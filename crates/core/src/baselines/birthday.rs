@@ -1,0 +1,169 @@
+//! The original inverted-birthday-paradox estimator of Bawa et al. \[2\].
+
+use crate::sampling::PeerSampler;
+use crate::SizeEstimator;
+use p2p_overlay::Graph;
+use p2p_sim::MessageCounter;
+use rand::rngs::SmallRng;
+
+/// Inverted birthday paradox (§III-A): draw samples until the *first*
+/// collision; with `X` draws, estimate `N̂ = X²/2`.
+///
+/// Two weaknesses, both fixed by Sample&Collide:
+///
+/// 1. a single collision gives ~100% relative noise (vs `1/√l` with `l`
+///    collisions);
+/// 2. the estimate is only unbiased under *uniform* sampling — with a
+///    degree-biased sampler (the practical reality of naive random walks,
+///    see [`FixedHopSampler`](crate::sampling::FixedHopSampler)) hubs
+///    collide early and the size is systematically underestimated on
+///    heterogeneous topologies.
+///
+/// `bench_baselines::biased_birthday` quantifies both effects.
+#[derive(Clone, Debug)]
+pub struct InvertedBirthdayParadox<S: PeerSampler> {
+    /// The sampler producing peers.
+    pub sampler: S,
+    /// Abort valve on samples per estimation.
+    pub max_samples: u64,
+}
+
+impl<S: PeerSampler> InvertedBirthdayParadox<S> {
+    /// Creates the estimator around `sampler`.
+    pub fn new(sampler: S) -> Self {
+        InvertedBirthdayParadox {
+            sampler,
+            max_samples: 50_000_000,
+        }
+    }
+
+    /// Runs one estimation from a specific initiator.
+    pub fn estimate_from(
+        &self,
+        graph: &Graph,
+        initiator: p2p_overlay::NodeId,
+        rng: &mut SmallRng,
+        msgs: &mut MessageCounter,
+    ) -> Option<f64> {
+        let mut seen = p2p_overlay::BitSet::with_capacity(graph.num_slots());
+        let mut draws = 0u64;
+        loop {
+            if draws >= self.max_samples {
+                return None;
+            }
+            let s = self.sampler.sample(graph, initiator, rng, msgs)?;
+            draws += 1;
+            if !seen.insert(s.index()) {
+                // collision on draw `draws`
+                let x = draws as f64;
+                return Some(x * x / 2.0);
+            }
+        }
+    }
+}
+
+impl<S: PeerSampler> SizeEstimator for InvertedBirthdayParadox<S> {
+    fn name(&self) -> &'static str {
+        "InvertedBirthdayParadox"
+    }
+
+    fn estimate(
+        &mut self,
+        graph: &Graph,
+        rng: &mut SmallRng,
+        msgs: &mut MessageCounter,
+    ) -> Option<f64> {
+        let initiator = graph.random_alive(rng)?;
+        self.estimate_from(graph, initiator, rng, msgs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::{FixedHopSampler, OracleSampler, RandomWalkSampler};
+    use p2p_overlay::builder::{BarabasiAlbert, GraphBuilder, HeterogeneousRandom};
+    use p2p_sim::rng::small_rng;
+
+    fn mean_estimate<S: PeerSampler>(
+        graph: &Graph,
+        est: &InvertedBirthdayParadox<S>,
+        runs: usize,
+        rng: &mut SmallRng,
+    ) -> f64 {
+        let mut msgs = MessageCounter::new();
+        let mut sum = 0.0;
+        let mut ok = 0usize;
+        for _ in 0..runs {
+            let init = graph.random_alive(rng).unwrap();
+            if let Some(e) = est.estimate_from(graph, init, rng, &mut msgs) {
+                sum += e;
+                ok += 1;
+            }
+        }
+        sum / ok as f64
+    }
+
+    #[test]
+    fn roughly_right_scale_with_uniform_sampling() {
+        let mut rng = small_rng(410);
+        let graph = HeterogeneousRandom::paper(2_000).build(&mut rng);
+        let est = InvertedBirthdayParadox::new(OracleSampler);
+        let mean = mean_estimate(&graph, &est, 400, &mut rng);
+        // E[X²/2] has positive skew; accept a broad band around N.
+        let q = mean / 2_000.0;
+        assert!((0.7..1.5).contains(&q), "mean quality {q}");
+    }
+
+    #[test]
+    fn single_collision_estimates_are_noisy() {
+        // The motivation for l = 200: individual estimates routinely land
+        // far outside ±50%.
+        let mut rng = small_rng(411);
+        let graph = HeterogeneousRandom::paper(2_000).build(&mut rng);
+        let est = InvertedBirthdayParadox::new(OracleSampler);
+        let mut msgs = MessageCounter::new();
+        let mut outliers = 0;
+        let runs = 200;
+        for _ in 0..runs {
+            let init = graph.random_alive(&mut rng).unwrap();
+            let e = est.estimate_from(&graph, init, &mut rng, &mut msgs).unwrap();
+            if !(0.5..1.5).contains(&(e / 2_000.0)) {
+                outliers += 1;
+            }
+        }
+        assert!(
+            outliers > runs / 5,
+            "expected many noisy estimates, got {outliers}/{runs}"
+        );
+    }
+
+    #[test]
+    fn degree_biased_sampler_underestimates_on_scale_free() {
+        // The \[2\]-vs-\[15\] ablation in miniature: on a BA graph the
+        // biased walk collides on hubs early → systematic underestimate,
+        // while the CTRW sampler stays near truth.
+        let mut rng = small_rng(412);
+        let graph = BarabasiAlbert::paper(2_000).build(&mut rng);
+        let biased = InvertedBirthdayParadox::new(FixedHopSampler::new(25));
+        let fair = InvertedBirthdayParadox::new(RandomWalkSampler::paper());
+        let m_biased = mean_estimate(&graph, &biased, 300, &mut rng);
+        let m_fair = mean_estimate(&graph, &fair, 300, &mut rng);
+        assert!(
+            m_biased < 0.8 * m_fair,
+            "biased {m_biased:.0} should sit well below unbiased {m_fair:.0}"
+        );
+        assert!((0.6..1.5).contains(&(m_fair / 2_000.0)), "fair quality {}", m_fair / 2_000.0);
+    }
+
+    #[test]
+    fn isolated_initiator_returns_none() {
+        let graph = Graph::with_nodes(3);
+        let mut rng = small_rng(413);
+        let mut msgs = MessageCounter::new();
+        let est = InvertedBirthdayParadox::new(RandomWalkSampler::paper());
+        assert!(est
+            .estimate_from(&graph, p2p_overlay::NodeId(0), &mut rng, &mut msgs)
+            .is_none());
+    }
+}

@@ -1,0 +1,21 @@
+//! The alternatives the paper discusses but rejects — kept as working
+//! implementations so each rejection is a reproducible ablation:
+//!
+//! * [`RandomTour`] — the other random-walk estimator of \[15\]; the paper
+//!   picked Sample&Collide because "the overhead of the Sample&Collide
+//!   algorithm is much lower than the one of Random Tour" (§II).
+//! * [`InvertedBirthdayParadox`] — the original birthday-paradox estimator
+//!   of \[2\], parameterized by a (possibly biased) sampler; with the
+//!   degree-biased [`FixedHopSampler`](crate::sampling::FixedHopSampler) it
+//!   shows the bias Sample&Collide's CTRW sampler removes.
+//! * [`GossipSampleHops`] — the `gossipSample` reply heuristic of \[17\];
+//!   the paper implemented it, found it "somehow led to less accurate
+//!   results", and used `minHopsReporting` instead (§III-B).
+
+mod birthday;
+mod gossip_sample;
+mod random_tour;
+
+pub use birthday::InvertedBirthdayParadox;
+pub use gossip_sample::GossipSampleHops;
+pub use random_tour::RandomTour;

@@ -1,0 +1,180 @@
+//! The Random Tour estimator of Massoulié et al. \[15\].
+
+use crate::SizeEstimator;
+use p2p_overlay::{Graph, NodeId};
+use p2p_sim::{MessageCounter, MessageKind};
+use rand::rngs::SmallRng;
+
+/// Random Tour: a random walk started at the initiator accumulates
+/// `Φ = Σ 1/d(X_k)` over the visited nodes until it first returns to the
+/// initiator; then `N̂ = d(initiator) · Φ`.
+///
+/// Why it works: the walk's stationary distribution weights node `i` by
+/// `d_i/2E`, so the expected accumulated `Σ 1/d` per step is `N/2E`, while
+/// the expected return time is `2E/d_init` steps — the product is `N/d_init`.
+///
+/// The tour length is a return time with heavy dispersion (and expectation
+/// `2E/d_init` ≈ `N·d̄/d_init` steps), which is why the paper's §II verdict
+/// favors Sample&Collide: one tour costs about as much as a *whole*
+/// Sample&Collide estimation but yields a far noisier estimate.
+/// `bench_baselines::random_tour` reproduces that comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomTour {
+    /// Abort valve: maximum walk steps per tour (the estimate is then
+    /// `None`). Keeps pathological overlays (e.g. near-disconnected after
+    /// churn) from hanging a simulation.
+    pub max_steps: u64,
+}
+
+impl Default for RandomTour {
+    fn default() -> Self {
+        RandomTour {
+            max_steps: 500_000_000,
+        }
+    }
+}
+
+impl RandomTour {
+    /// Creates a Random Tour estimator with the given step valve.
+    pub fn new(max_steps: u64) -> Self {
+        RandomTour { max_steps }
+    }
+
+    /// Runs one tour from `initiator`.
+    pub fn estimate_from(
+        &self,
+        graph: &Graph,
+        initiator: NodeId,
+        rng: &mut SmallRng,
+        msgs: &mut MessageCounter,
+    ) -> Option<f64> {
+        let d_init = graph.degree(initiator);
+        if d_init == 0 {
+            return None;
+        }
+        // Φ counts the initiator's own term: the tour "visits" X_0 = initiator.
+        let mut phi = 1.0 / d_init as f64;
+        let mut current = graph.random_neighbor(initiator, rng)?;
+        msgs.count(MessageKind::WalkStep);
+        let mut steps = 1u64;
+        while current != initiator {
+            if steps >= self.max_steps {
+                return None;
+            }
+            phi += 1.0 / graph.degree(current) as f64;
+            current = graph
+                .random_neighbor(current, rng)
+                .expect("visited node keeps its incoming link");
+            msgs.count(MessageKind::WalkStep);
+            steps += 1;
+        }
+        msgs.count(MessageKind::SampleReply); // final report to the application
+        Some(d_init as f64 * phi)
+    }
+}
+
+impl SizeEstimator for RandomTour {
+    fn name(&self) -> &'static str {
+        "RandomTour"
+    }
+
+    fn estimate(
+        &mut self,
+        graph: &Graph,
+        rng: &mut SmallRng,
+        msgs: &mut MessageCounter,
+    ) -> Option<f64> {
+        let initiator = graph.random_alive(rng)?;
+        self.estimate_from(graph, initiator, rng, msgs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2p_overlay::builder::{GraphBuilder, HeterogeneousRandom, RingLattice};
+    use p2p_sim::rng::small_rng;
+
+    #[test]
+    fn unbiased_in_expectation() {
+        let mut rng = small_rng(400);
+        let graph = HeterogeneousRandom::paper(300).build(&mut rng);
+        let rt = RandomTour::default();
+        let mut msgs = MessageCounter::new();
+        let runs = 600;
+        let mut mean = 0.0;
+        for _ in 0..runs {
+            let init = graph.random_alive(&mut rng).unwrap();
+            mean += rt.estimate_from(&graph, init, &mut rng, &mut msgs).unwrap();
+        }
+        mean /= runs as f64;
+        let q = mean / 300.0;
+        assert!((0.85..1.15).contains(&q), "mean quality {q}");
+    }
+
+    #[test]
+    fn exact_on_a_cycle() {
+        // On a 2-regular ring every node has degree 2 and Φ = steps/2;
+        // the estimator is still only exact in expectation, so average.
+        let mut rng = small_rng(401);
+        let graph = RingLattice::new(30, 2).build(&mut rng);
+        let rt = RandomTour::default();
+        let mut msgs = MessageCounter::new();
+        let runs = 800;
+        let mut mean = 0.0;
+        for _ in 0..runs {
+            mean += rt.estimate_from(&graph, NodeId(0), &mut rng, &mut msgs).unwrap();
+        }
+        mean /= runs as f64;
+        assert!((24.0..36.0).contains(&mean), "mean estimate {mean}");
+    }
+
+    #[test]
+    fn tour_cost_scales_with_overlay_size() {
+        // E[steps] = 2E/d_init ≈ N·d̄/d_init: doubling N roughly doubles the
+        // average tour length.
+        let mut rng = small_rng(402);
+        let cost = |n: usize, rng: &mut SmallRng| {
+            let graph = HeterogeneousRandom::paper(n).build(rng);
+            let rt = RandomTour::default();
+            let mut msgs = MessageCounter::new();
+            for _ in 0..40 {
+                let init = graph.random_alive(rng).unwrap();
+                rt.estimate_from(&graph, init, rng, &mut msgs);
+            }
+            msgs.get(MessageKind::WalkStep) as f64 / 40.0
+        };
+        let small = cost(400, &mut rng);
+        let large = cost(1_600, &mut rng);
+        let ratio = large / small;
+        assert!(
+            (2.0..8.0).contains(&ratio),
+            "cost should grow ≈4x with 4x nodes, got {ratio:.2} ({small:.0} → {large:.0})"
+        );
+    }
+
+    #[test]
+    fn isolated_initiator_returns_none() {
+        let graph = Graph::with_nodes(4);
+        let mut rng = small_rng(403);
+        let mut msgs = MessageCounter::new();
+        let rt = RandomTour::default();
+        assert!(rt.estimate_from(&graph, NodeId(0), &mut rng, &mut msgs).is_none());
+    }
+
+    #[test]
+    fn step_valve_aborts_long_tours() {
+        let mut rng = small_rng(404);
+        let graph = HeterogeneousRandom::paper(2_000).build(&mut rng);
+        let rt = RandomTour::new(5); // absurdly small valve
+        let mut msgs = MessageCounter::new();
+        let mut none_count = 0;
+        for _ in 0..20 {
+            let init = graph.random_alive(&mut rng).unwrap();
+            if rt.estimate_from(&graph, init, &mut rng, &mut msgs).is_none() {
+                none_count += 1;
+            }
+        }
+        assert!(none_count >= 19, "valve must trip on a 2000-node overlay");
+    }
+}

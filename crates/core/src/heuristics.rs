@@ -1,0 +1,147 @@
+//! The *oneShot* / *lastKruns* reporting heuristics.
+//!
+//! Every figure in the paper evaluates the polling-style algorithms under
+//! two reporting modes: the raw estimate of each run (*oneShot*) and the
+//! mean over the last 10 runs (*last10runs*), which trades 10× the overhead
+//! for a much smoother curve. [`Smoother`] encapsulates the choice so the
+//! experiment runners treat both identically.
+
+use p2p_stats::SlidingWindow;
+
+/// Which reporting heuristic to apply to a stream of raw estimates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Heuristic {
+    /// Report each raw estimate as-is.
+    OneShot,
+    /// Report the mean of the last `k` raw estimates (paper: `k = 10`).
+    LastKRuns(usize),
+}
+
+impl Heuristic {
+    /// The paper's smoothed variant, `last10runs`.
+    pub fn last10() -> Self {
+        Heuristic::LastKRuns(10)
+    }
+
+    /// Label used in figure legends.
+    pub fn label(&self) -> String {
+        match self {
+            Heuristic::OneShot => "one shot".to_string(),
+            Heuristic::LastKRuns(k) => format!("last {k} runs"),
+        }
+    }
+
+    /// Overhead multiplier relative to a single run: a `lastK` estimate
+    /// requires `k` completed runs' worth of traffic (§IV-E prices
+    /// `last10runs` at 10× `oneShot`).
+    pub fn overhead_factor(&self) -> u64 {
+        match self {
+            Heuristic::OneShot => 1,
+            Heuristic::LastKRuns(k) => *k as u64,
+        }
+    }
+}
+
+/// Stateful applier of a [`Heuristic`] to a stream of raw estimates.
+#[derive(Clone, Debug)]
+pub struct Smoother {
+    heuristic: Heuristic,
+    window: Option<SlidingWindow>,
+}
+
+impl Smoother {
+    /// Creates a smoother for the given heuristic.
+    ///
+    /// # Panics
+    /// Panics for `LastKRuns(0)`.
+    pub fn new(heuristic: Heuristic) -> Self {
+        let window = match heuristic {
+            Heuristic::OneShot => None,
+            Heuristic::LastKRuns(k) => Some(SlidingWindow::new(k)),
+        };
+        Smoother { heuristic, window }
+    }
+
+    /// The heuristic this smoother applies.
+    pub fn heuristic(&self) -> Heuristic {
+        self.heuristic
+    }
+
+    /// Feeds one raw estimate; returns the reported value.
+    pub fn apply(&mut self, raw: f64) -> f64 {
+        match &mut self.window {
+            None => raw,
+            Some(w) => w.push(raw),
+        }
+    }
+
+    /// Forgets all history (used when the monitored overlay restarts).
+    pub fn reset(&mut self) {
+        if let Some(w) = &mut self.window {
+            w.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_is_identity() {
+        let mut s = Smoother::new(Heuristic::OneShot);
+        for x in [1.0, 5.0, 2.0] {
+            assert_eq!(s.apply(x), x);
+        }
+    }
+
+    #[test]
+    fn last_k_averages() {
+        let mut s = Smoother::new(Heuristic::LastKRuns(3));
+        assert_eq!(s.apply(3.0), 3.0);
+        assert_eq!(s.apply(6.0), 4.5);
+        assert_eq!(s.apply(9.0), 6.0);
+        assert_eq!(s.apply(12.0), 9.0); // window slides: (6+9+12)/3
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut s = Smoother::new(Heuristic::last10());
+        for i in 0..10 {
+            s.apply(i as f64);
+        }
+        s.reset();
+        assert_eq!(s.apply(100.0), 100.0);
+    }
+
+    #[test]
+    fn labels_and_factors() {
+        assert_eq!(Heuristic::OneShot.label(), "one shot");
+        assert_eq!(Heuristic::last10().label(), "last 10 runs");
+        assert_eq!(Heuristic::OneShot.overhead_factor(), 1);
+        assert_eq!(Heuristic::last10().overhead_factor(), 10);
+    }
+
+    #[test]
+    fn smoothing_reduces_dispersion() {
+        // White noise around 100: the smoothed stream must have smaller
+        // deviation than the raw stream.
+        use p2p_sim::rng::small_rng;
+        use rand::Rng;
+        let mut rng = small_rng(320);
+        let mut s = Smoother::new(Heuristic::last10());
+        let mut raw_dev = 0.0;
+        let mut smooth_dev = 0.0;
+        let n = 1_000;
+        for _ in 0..n {
+            let raw = 100.0 + rng.gen_range(-30.0..30.0);
+            let smooth = s.apply(raw);
+            raw_dev += (raw - 100.0).abs();
+            smooth_dev += (smooth - 100.0).abs();
+        }
+        assert!(
+            smooth_dev < raw_dev / 2.0,
+            "smooth {smooth_dev} vs raw {raw_dev}"
+        );
+    }
+}

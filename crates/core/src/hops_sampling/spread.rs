@@ -1,0 +1,334 @@
+//! The gossip spread phase of HopsSampling.
+
+use super::{HopsSamplingConfig, TargetMode};
+use p2p_overlay::{Graph, NodeId};
+use p2p_sim::{MessageCounter, MessageKind};
+use rand::rngs::SmallRng;
+
+/// Result of one gossip spread.
+#[derive(Clone, Debug)]
+pub struct SpreadOutcome {
+    /// Believed distance per node slot: minimum hop count over all received
+    /// copies; `u32::MAX` for nodes the gossip never reached.
+    pub min_hops: Vec<u32>,
+    /// Number of reached nodes, including the initiator.
+    pub reached: usize,
+    /// Rounds until the gossip died out.
+    pub rounds: u32,
+}
+
+impl SpreadOutcome {
+    /// Fraction of the alive overlay the gossip reached.
+    ///
+    /// The paper measured ≈ 89% on the 100k overlay ("approximatively 11% of
+    /// non reached nodes out of 100,000") and identifies the miss as the
+    /// source of HopsSampling's underestimation.
+    pub fn reach_fraction(&self, graph: &Graph) -> f64 {
+        if graph.alive_count() == 0 {
+            return 0.0;
+        }
+        self.reached as f64 / graph.alive_count() as f64
+    }
+}
+
+/// Runs the synchronous gossip spread from `initiator`.
+///
+/// Mechanics (per \[17\]/\[11\] with the paper's parameter names):
+///
+/// * round 0: the initiator is active with hop count 0;
+/// * an active node takes `gossipFor` forwarding turns, one per round,
+///   sending `gossipTo` copies to uniformly chosen neighbors, each carrying
+///   its believed distance + 1;
+/// * a node becomes active the round after it first receives the message;
+/// * a node that has received the message **more than** `gossipUntil` times
+///   takes no *further* turns (it still counts received copies for the
+///   distance minimum). Every reached node takes at least its first turn —
+///   under a literal "mute before the first turn" reading, a spread with
+///   fan-out 2 dies out near the initiator whenever its first targets
+///   collide, which contradicts the ≈89% coverage the paper reports;
+/// * every copy is one [`MessageKind::GossipForward`].
+///
+/// Targets are drawn per [`TargetMode`]: uniformly over alive peers
+/// (membership substrate, the source papers' setting, default) or uniformly
+/// over the sender's overlay neighbors (the ablation mode). Duplicate picks
+/// are allowed within a turn — coverage stays probabilistic rather than a
+/// full broadcast.
+pub fn gossip_spread(
+    graph: &Graph,
+    initiator: NodeId,
+    config: &HopsSamplingConfig,
+    rng: &mut SmallRng,
+    msgs: &mut MessageCounter,
+) -> SpreadOutcome {
+    debug_assert!(graph.is_alive(initiator));
+    let slots = graph.num_slots();
+    let mut min_hops = vec![u32::MAX; slots];
+    let mut receipts = vec![0u32; slots];
+    let mut turns_left = vec![0u32; slots];
+    let mut turns_taken = vec![0u32; slots];
+
+    min_hops[initiator.index()] = 0;
+    turns_left[initiator.index()] = config.gossip_for;
+    let mut active: Vec<NodeId> = vec![initiator];
+    let mut reached = 1usize;
+    let mut rounds = 0u32;
+    let mut next_active: Vec<NodeId> = Vec::new();
+
+    while !active.is_empty() {
+        rounds += 1;
+        next_active.clear();
+        for &v in &active {
+            // Mute rule: too many received copies → no *additional* turns.
+            // The first turn always happens (see the doc comment above);
+            // the initiator never received a copy, so it always forwards.
+            if turns_taken[v.index()] > 0 && receipts[v.index()] > config.gossip_until {
+                turns_left[v.index()] = 0;
+                continue;
+            }
+            let hop = min_hops[v.index()] + 1;
+            for _ in 0..config.gossip_to {
+                let Some(w) = pick_target(graph, v, config.target_mode, rng) else {
+                    break; // nobody to forward to
+                };
+                msgs.count(MessageKind::GossipForward);
+                receipts[w.index()] += 1;
+                if min_hops[w.index()] == u32::MAX {
+                    // first contact: w joins the gossip next round
+                    min_hops[w.index()] = hop;
+                    turns_left[w.index()] = config.gossip_for;
+                    next_active.push(w);
+                    reached += 1;
+                } else if hop < min_hops[w.index()] {
+                    min_hops[w.index()] = hop;
+                }
+            }
+            turns_taken[v.index()] += 1;
+            turns_left[v.index()] -= 1;
+            if turns_left[v.index()] > 0 {
+                next_active.push(v);
+            }
+        }
+        std::mem::swap(&mut active, &mut next_active);
+    }
+
+    SpreadOutcome {
+        min_hops,
+        reached,
+        rounds,
+    }
+}
+
+/// Draws one gossip target for `sender` under the configured mode.
+fn pick_target(
+    graph: &Graph,
+    sender: NodeId,
+    mode: TargetMode,
+    rng: &mut SmallRng,
+) -> Option<NodeId> {
+    match mode {
+        TargetMode::Neighbors => graph.random_neighbor(sender, rng),
+        TargetMode::Membership => {
+            if graph.alive_count() < 2 {
+                return None;
+            }
+            // Rejection-sample away the sender itself; with ≥2 alive nodes
+            // this terminates almost surely and quickly.
+            loop {
+                let t = graph.random_alive(rng)?;
+                if t != sender {
+                    return Some(t);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2p_overlay::builder::{GraphBuilder, HeterogeneousRandom, RingLattice};
+    use p2p_overlay::connectivity;
+    use p2p_sim::rng::small_rng;
+
+    fn paper_cfg() -> HopsSamplingConfig {
+        HopsSamplingConfig::paper()
+    }
+
+    #[test]
+    fn reaches_most_of_the_overlay_with_fanout_two() {
+        let mut rng = small_rng(210);
+        let graph = HeterogeneousRandom::paper(20_000).build(&mut rng);
+        let mut msgs = MessageCounter::new();
+        let init = graph.random_alive(&mut rng).unwrap();
+        let out = gossip_spread(&graph, init, &paper_cfg(), &mut rng, &mut msgs);
+        let frac = out.reach_fraction(&graph);
+        // Fan-out-2 gossip saturates at the fixed point x = 1 − e^(−2x)
+        // ≈ 0.797; the paper measured ≈ 0.89 on its implementation. Either
+        // way the defining property is "most but clearly not all".
+        assert!(
+            (0.72..0.92).contains(&frac),
+            "reach fraction {frac}, expected ≈ 0.80"
+        );
+    }
+
+    #[test]
+    fn message_count_is_about_fanout_times_reached() {
+        // Every reached node forwards gossipTo copies on each of its
+        // gossipFor turns (unless muted) → total ≈ 2 × reached, the O(2N)
+        // overhead the paper states in §IV-E.
+        let mut rng = small_rng(211);
+        let graph = HeterogeneousRandom::paper(20_000).build(&mut rng);
+        let mut msgs = MessageCounter::new();
+        let init = graph.random_alive(&mut rng).unwrap();
+        let out = gossip_spread(&graph, init, &paper_cfg(), &mut rng, &mut msgs);
+        let forwards = msgs.get(MessageKind::GossipForward) as f64;
+        let per_reached = forwards / out.reached as f64;
+        assert!(
+            (1.5..2.05).contains(&per_reached),
+            "{per_reached} forwards per reached node, expected ≈ 2"
+        );
+    }
+
+    #[test]
+    fn believed_distances_dominate_true_distances() {
+        // In neighbor mode, gossip distances can never beat BFS distances,
+        // and are often worse — the "distances from the initiator are not
+        // always accurate" mechanism the paper names in §V(o).
+        let mut rng = small_rng(212);
+        let graph = HeterogeneousRandom::paper(5_000).build(&mut rng);
+        let mut msgs = MessageCounter::new();
+        let init = graph.random_alive(&mut rng).unwrap();
+        let cfg = paper_cfg().with_neighbor_targets();
+        let out = gossip_spread(&graph, init, &cfg, &mut rng, &mut msgs);
+        let bfs = connectivity::bfs_distances(&graph, init);
+        let mut inflated = 0usize;
+        for node in graph.alive_nodes() {
+            let believed = out.min_hops[node.index()];
+            if believed == u32::MAX {
+                continue;
+            }
+            assert!(
+                believed >= bfs[node.index()],
+                "believed distance below BFS distance at {node:?}"
+            );
+            if believed > bfs[node.index()] {
+                inflated += 1;
+            }
+        }
+        assert!(inflated > 0, "some distances should be inflated");
+    }
+
+    #[test]
+    fn initiator_distance_is_zero_and_counts_as_reached() {
+        let mut rng = small_rng(213);
+        let graph = RingLattice::new(50, 4).build(&mut rng);
+        let mut msgs = MessageCounter::new();
+        let out = gossip_spread(&graph, NodeId(7), &paper_cfg(), &mut rng, &mut msgs);
+        assert_eq!(out.min_hops[7], 0);
+        assert!(out.reached >= 1);
+    }
+
+    #[test]
+    fn bigger_fanout_improves_coverage() {
+        let mut rng = small_rng(214);
+        let graph = HeterogeneousRandom::paper(5_000).build(&mut rng);
+        let mut msgs = MessageCounter::new();
+        let init = graph.random_alive(&mut rng).unwrap();
+        let lo = gossip_spread(&graph, init, &paper_cfg(), &mut rng, &mut msgs);
+        let hi_cfg = HopsSamplingConfig {
+            gossip_to: 4,
+            ..paper_cfg()
+        };
+        let hi = gossip_spread(&graph, init, &hi_cfg, &mut rng, &mut msgs);
+        assert!(
+            hi.reached > lo.reached,
+            "fanout 4 ({}) should reach more than fanout 2 ({})",
+            hi.reached,
+            lo.reached
+        );
+        assert!(hi.reach_fraction(&graph) > 0.95);
+    }
+
+    #[test]
+    fn isolated_initiator_reaches_only_itself_in_neighbor_mode() {
+        let graph = Graph::with_nodes(5);
+        let mut rng = small_rng(215);
+        let mut msgs = MessageCounter::new();
+        let cfg = paper_cfg().with_neighbor_targets();
+        let out = gossip_spread(&graph, NodeId(2), &cfg, &mut rng, &mut msgs);
+        assert_eq!(out.reached, 1);
+        assert_eq!(msgs.total(), 0);
+    }
+
+    #[test]
+    fn membership_mode_ignores_missing_links() {
+        // A membership substrate can contact any alive peer, links or not.
+        let graph = Graph::with_nodes(50);
+        let mut rng = small_rng(217);
+        let mut msgs = MessageCounter::new();
+        let out = gossip_spread(&graph, NodeId(0), &paper_cfg(), &mut rng, &mut msgs);
+        assert!(out.reached > 10, "reached {}", out.reached);
+    }
+
+    #[test]
+    fn singleton_overlay_spread_is_trivial() {
+        let graph = Graph::with_nodes(1);
+        let mut rng = small_rng(218);
+        let mut msgs = MessageCounter::new();
+        let out = gossip_spread(&graph, NodeId(0), &paper_cfg(), &mut rng, &mut msgs);
+        assert_eq!(out.reached, 1);
+        assert_eq!(msgs.total(), 0);
+    }
+
+    #[test]
+    fn neighbor_mode_reaches_fewer_nodes_and_longer_distances() {
+        // The ablation claim: overlay-restricted targets both lose coverage
+        // (early extinction) and stretch believed distances (straggler tail).
+        let mut rng = small_rng(219);
+        let graph = HeterogeneousRandom::paper(10_000).build(&mut rng);
+        let mut msgs = MessageCounter::new();
+        let reps = 15;
+        let (mut m_reach, mut n_reach) = (0.0, 0.0);
+        let (mut m_maxd, mut n_maxd) = (0u32, 0u32);
+        for _ in 0..reps {
+            let init = graph.random_alive(&mut rng).unwrap();
+            let m = gossip_spread(&graph, init, &paper_cfg(), &mut rng, &mut msgs);
+            let n = gossip_spread(
+                &graph,
+                init,
+                &paper_cfg().with_neighbor_targets(),
+                &mut rng,
+                &mut msgs,
+            );
+            m_reach += m.reach_fraction(&graph);
+            n_reach += n.reach_fraction(&graph);
+            let maxd = |o: &SpreadOutcome| {
+                o.min_hops.iter().copied().filter(|&d| d != u32::MAX).max().unwrap()
+            };
+            m_maxd = m_maxd.max(maxd(&m));
+            n_maxd = n_maxd.max(maxd(&n));
+        }
+        assert!(
+            m_reach > n_reach,
+            "membership reach {m_reach} vs neighbor {n_reach} (sum over {reps} runs)"
+        );
+        assert!(
+            n_maxd >= m_maxd,
+            "neighbor-mode max distance {n_maxd} vs membership {m_maxd}"
+        );
+    }
+
+    #[test]
+    fn terminates_on_cycles() {
+        // A triangle keeps re-delivering copies; the mute rule must stop it.
+        let mut graph = Graph::with_nodes(3);
+        graph.add_edge(NodeId(0), NodeId(1));
+        graph.add_edge(NodeId(1), NodeId(2));
+        graph.add_edge(NodeId(2), NodeId(0));
+        let mut rng = small_rng(216);
+        let mut msgs = MessageCounter::new();
+        let out = gossip_spread(&graph, NodeId(0), &paper_cfg(), &mut rng, &mut msgs);
+        assert!(out.rounds < 20);
+        assert!(out.reached >= 2);
+    }
+}

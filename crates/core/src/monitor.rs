@@ -1,0 +1,253 @@
+//! Continuous size monitoring.
+//!
+//! The paper's dynamic evaluation (§IV-D) drives each algorithm as a
+//! *monitoring process*: "the algorithm has to be executed perpetually in
+//! order to track size variations; the monitoring process should sample
+//! continuously the system in order to provide periodical estimations."
+//!
+//! [`SizeMonitor`] packages that loop for library users: it owns an
+//! estimator, applies a reporting [`Heuristic`], keeps a bounded history,
+//! and tracks the cumulative message bill — everything an application needs
+//! to expose a "current network size" gauge.
+
+use crate::heuristics::{Heuristic, Smoother};
+use crate::SizeEstimator;
+use p2p_overlay::Graph;
+use p2p_sim::MessageCounter;
+use rand::rngs::SmallRng;
+use std::collections::VecDeque;
+
+/// One entry of the monitor's history.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Reading {
+    /// Monotone tick index of the estimation.
+    pub tick: u64,
+    /// Raw estimate of this tick's run.
+    pub raw: f64,
+    /// Heuristic-smoothed value actually reported.
+    pub reported: f64,
+    /// Messages this tick's run cost.
+    pub cost: u64,
+}
+
+/// A perpetual estimation loop around any [`SizeEstimator`].
+#[derive(Debug)]
+pub struct SizeMonitor<E: SizeEstimator> {
+    estimator: E,
+    smoother: Smoother,
+    history: VecDeque<Reading>,
+    history_cap: usize,
+    tick: u64,
+    failures: u64,
+    total_messages: MessageCounter,
+}
+
+impl<E: SizeEstimator> SizeMonitor<E> {
+    /// Wraps `estimator` with the given reporting heuristic, keeping up to
+    /// `history_cap` readings (must be ≥ 1).
+    pub fn new(estimator: E, heuristic: Heuristic, history_cap: usize) -> Self {
+        assert!(history_cap >= 1, "history capacity must be positive");
+        SizeMonitor {
+            estimator,
+            smoother: Smoother::new(heuristic),
+            history: VecDeque::with_capacity(history_cap),
+            history_cap,
+            tick: 0,
+            failures: 0,
+            total_messages: MessageCounter::new(),
+        }
+    }
+
+    /// Runs one estimation on the current overlay snapshot.
+    ///
+    /// Returns the new reading, or `None` when the estimator could not
+    /// produce a value this tick (counted in [`failures`](Self::failures);
+    /// the history and smoothing state are untouched so one shattered tick
+    /// does not poison the report).
+    pub fn tick(&mut self, graph: &Graph, rng: &mut SmallRng) -> Option<Reading> {
+        self.tick += 1;
+        let mut msgs = MessageCounter::new();
+        let Some(raw) = self.estimator.estimate(graph, rng, &mut msgs) else {
+            self.failures += 1;
+            self.total_messages.merge(&msgs);
+            return None;
+        };
+        let reading = Reading {
+            tick: self.tick,
+            raw,
+            reported: self.smoother.apply(raw),
+            cost: msgs.total(),
+        };
+        self.total_messages.merge(&msgs);
+        if self.history.len() == self.history_cap {
+            self.history.pop_front();
+        }
+        self.history.push_back(reading);
+        Some(reading)
+    }
+
+    /// The most recent reported value, if any tick has succeeded.
+    pub fn current(&self) -> Option<f64> {
+        self.history.back().map(|r| r.reported)
+    }
+
+    /// Readings, oldest first.
+    pub fn history(&self) -> impl Iterator<Item = &Reading> {
+        self.history.iter()
+    }
+
+    /// Total ticks attempted.
+    pub fn ticks(&self) -> u64 {
+        self.tick
+    }
+
+    /// Ticks whose estimation failed (e.g. initiator isolated by churn).
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// Cumulative message bill across all ticks, per kind.
+    pub fn total_messages(&self) -> &MessageCounter {
+        &self.total_messages
+    }
+
+    /// Mean cost (messages) per successful estimation so far.
+    pub fn mean_cost(&self) -> Option<f64> {
+        let succeeded = self.tick - self.failures;
+        (succeeded > 0).then(|| {
+            // Failures may still have charged partial traffic; include it —
+            // that traffic was really spent to obtain the current report.
+            self.total_messages.total() as f64 / succeeded as f64
+        })
+    }
+
+    /// The underlying estimator's name.
+    pub fn name(&self) -> &'static str {
+        self.estimator.name()
+    }
+
+    /// Drops smoothing state and history — call after a known network reset
+    /// (e.g. the application rejoined a different overlay).
+    pub fn reset(&mut self) {
+        self.smoother.reset();
+        self.history.clear();
+    }
+}
+
+/// Convenience constructor: the paper's most reactive monitoring setup —
+/// Sample&Collide oneShot (§IV-D(l): "Sample&Collide provides really
+/// reactive results; this could be explained by the oneShot heuristic as the
+/// algorithm does not keep any memory").
+pub fn reactive_monitor() -> SizeMonitor<crate::SampleCollide> {
+    SizeMonitor::new(crate::SampleCollide::paper(), Heuristic::OneShot, 64)
+}
+
+/// Convenience constructor: a smoother, cheaper monitor (l = 10 walks,
+/// last-10-runs reporting) for applications that prefer stability over
+/// immediacy.
+pub fn smooth_monitor() -> SizeMonitor<crate::SampleCollide> {
+    SizeMonitor::new(crate::SampleCollide::cheap(), Heuristic::last10(), 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SampleCollide;
+    use p2p_overlay::builder::{GraphBuilder, HeterogeneousRandom};
+    use p2p_overlay::churn;
+    use p2p_sim::rng::small_rng;
+    use p2p_sim::MessageKind;
+
+    #[test]
+    fn monitor_tracks_a_static_overlay() {
+        let mut rng = small_rng(600);
+        let graph = HeterogeneousRandom::paper(3_000).build(&mut rng);
+        let mut mon = reactive_monitor();
+        for _ in 0..10 {
+            mon.tick(&graph, &mut rng).expect("static overlay");
+        }
+        assert_eq!(mon.ticks(), 10);
+        assert_eq!(mon.failures(), 0);
+        let current = mon.current().unwrap();
+        assert!((current / 3_000.0 - 1.0).abs() < 0.25, "estimate {current}");
+        assert!(mon.mean_cost().unwrap() > 0.0);
+        assert!(mon.total_messages().get(MessageKind::WalkStep) > 0);
+    }
+
+    #[test]
+    fn history_is_bounded_and_ordered() {
+        let mut rng = small_rng(601);
+        let graph = HeterogeneousRandom::paper(500).build(&mut rng);
+        let mut mon = SizeMonitor::new(SampleCollide::cheap(), Heuristic::OneShot, 4);
+        for _ in 0..10 {
+            mon.tick(&graph, &mut rng);
+        }
+        let ticks: Vec<u64> = mon.history().map(|r| r.tick).collect();
+        assert_eq!(ticks, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn smoothing_is_applied_to_reported_values() {
+        let mut rng = small_rng(602);
+        let graph = HeterogeneousRandom::paper(2_000).build(&mut rng);
+        let mut mon = SizeMonitor::new(SampleCollide::cheap(), Heuristic::LastKRuns(5), 16);
+        for _ in 0..12 {
+            mon.tick(&graph, &mut rng);
+        }
+        // The reported stream must have lower dispersion than the raw one.
+        let (mut raw_dev, mut rep_dev) = (0.0, 0.0);
+        for r in mon.history() {
+            raw_dev += (r.raw - 2_000.0).abs();
+            rep_dev += (r.reported - 2_000.0).abs();
+        }
+        assert!(rep_dev < raw_dev, "reported {rep_dev} vs raw {raw_dev}");
+    }
+
+    #[test]
+    fn failures_are_counted_not_fatal() {
+        let mut rng = small_rng(603);
+        let mut graph = HeterogeneousRandom::paper(50).build(&mut rng);
+        let mut mon = reactive_monitor();
+        mon.tick(&graph, &mut rng).unwrap();
+        // Shatter the overlay completely: every estimation now fails.
+        churn::remove_random_nodes(&mut graph, 50, &mut rng);
+        assert!(mon.tick(&graph, &mut rng).is_none());
+        assert_eq!(mon.failures(), 1);
+        assert_eq!(mon.current().map(|c| c > 0.0), Some(true), "last good reading kept");
+    }
+
+    #[test]
+    fn monitor_follows_churn() {
+        let mut rng = small_rng(604);
+        let mut graph = HeterogeneousRandom::paper(3_000).build(&mut rng);
+        let mut mon = reactive_monitor();
+        for _ in 0..3 {
+            mon.tick(&graph, &mut rng);
+        }
+        let before = mon.current().unwrap();
+        churn::catastrophic_failure(&mut graph, 0.5, &mut rng);
+        for _ in 0..3 {
+            mon.tick(&graph, &mut rng);
+        }
+        let after = mon.current().unwrap();
+        assert!(
+            after < 0.75 * before,
+            "monitor must see the halving: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn reset_clears_history_but_keeps_counters() {
+        let mut rng = small_rng(605);
+        let graph = HeterogeneousRandom::paper(500).build(&mut rng);
+        let mut mon = smooth_monitor();
+        for _ in 0..5 {
+            mon.tick(&graph, &mut rng);
+        }
+        let spent = mon.total_messages().total();
+        mon.reset();
+        assert!(mon.current().is_none());
+        assert_eq!(mon.ticks(), 5, "tick counter is cumulative");
+        assert_eq!(mon.total_messages().total(), spent, "bill is cumulative");
+    }
+}

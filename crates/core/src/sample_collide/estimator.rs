@@ -1,0 +1,175 @@
+//! Collision counting and the size estimators built on it.
+
+use p2p_overlay::{BitSet, NodeId};
+
+/// Tracks samples and collisions for one Sample&Collide estimation.
+///
+/// A *collision* is a freshly drawn sample whose node was already observed
+/// during this estimation. Membership is a dense bit set over graph slots —
+/// O(1) per observation, no hashing.
+#[derive(Clone, Debug)]
+pub struct CollisionCounter {
+    seen: BitSet,
+    samples: u64,
+    collisions: u64,
+}
+
+impl CollisionCounter {
+    /// Creates a counter for a graph with `slots` node slots.
+    pub fn new(slots: usize) -> Self {
+        CollisionCounter {
+            seen: BitSet::with_capacity(slots),
+            samples: 0,
+            collisions: 0,
+        }
+    }
+
+    /// Records one sampled node; returns `true` if it collided.
+    pub fn observe(&mut self, node: NodeId) -> bool {
+        self.samples += 1;
+        let fresh = self.seen.insert(node.index());
+        if !fresh {
+            self.collisions += 1;
+        }
+        !fresh
+    }
+
+    /// Samples drawn so far (`C` in the estimators).
+    #[inline]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Collisions observed so far (`l` when the stop rule fires).
+    #[inline]
+    pub fn collisions(&self) -> u64 {
+        self.collisions
+    }
+
+    /// Distinct nodes observed.
+    #[inline]
+    pub fn distinct(&self) -> u64 {
+        self.samples - self.collisions
+    }
+}
+
+/// The moment estimator `N̂ = C·(C−1) / (2·l)`.
+///
+/// Under uniform sampling with replacement, the expected number of colliding
+/// pairs after `C` draws is `C·(C−1)/(2N)`; equating with the observed
+/// collision count `l` and solving for `N` gives the estimator. For `l = 1`
+/// it degenerates to the inverted birthday paradox `N̂ ≈ X²/2` (§III-A).
+pub fn moment_size_estimate(samples: u64, collisions: u64) -> f64 {
+    assert!(collisions > 0, "estimate requires at least one collision");
+    let c = samples as f64;
+    (c * (c - 1.0)) / (2.0 * collisions as f64)
+}
+
+/// Maximum-likelihood estimator: solves
+/// `E[collisions | N, C] = C − N·(1 − (1 − 1/N)^C) = l` for `N` by bisection.
+///
+/// The expectation is exact for uniform sampling with replacement (collisions
+/// = samples − distinct, and `E[distinct] = N·(1 − (1−1/N)^C)`). The MLE uses
+/// the *full* collision trajectory only through its endpoint, but corrects
+/// the small-`l` bias of the moment estimator.
+pub fn mle_size_estimate(samples: u64, collisions: u64) -> f64 {
+    assert!(collisions > 0, "estimate requires at least one collision");
+    assert!(
+        samples > collisions,
+        "need at least one distinct node ({samples} samples, {collisions} collisions)"
+    );
+    let c = samples as f64;
+    let l = collisions as f64;
+
+    // Expected collisions is decreasing in N: large N → few collisions.
+    let expected = |n: f64| c - n * (1.0 - (1.0 - 1.0 / n).powf(c));
+
+    // Bracket: N=1 maximizes collisions (C−1), N→∞ gives 0.
+    let mut lo = 1.0_f64;
+    let mut hi = (c * c).max(4.0); // moment estimate is ≤ C²/2, safely inside
+    if expected(hi) > l {
+        // Degenerate: even huge N can't push collisions below l (shouldn't
+        // happen for valid inputs); fall back to the moment estimator.
+        return moment_size_estimate(samples, collisions);
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if expected(mid) > l {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-9 * hi {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_tracks_collisions() {
+        let mut c = CollisionCounter::new(10);
+        assert!(!c.observe(NodeId(3)));
+        assert!(!c.observe(NodeId(5)));
+        assert!(c.observe(NodeId(3)));
+        assert!(c.observe(NodeId(3)));
+        assert_eq!(c.samples(), 4);
+        assert_eq!(c.collisions(), 2);
+        assert_eq!(c.distinct(), 2);
+    }
+
+    #[test]
+    fn moment_matches_birthday_paradox_shape() {
+        // For N = 365, the first collision typically needs ≈ √(2·365) ≈ 27
+        // draws; plugging 28 samples / 1 collision back in recovers ≈ N.
+        let n = moment_size_estimate(28, 1);
+        assert!((300.0..450.0).contains(&n), "estimate {n}");
+    }
+
+    #[test]
+    fn moment_known_values() {
+        assert_eq!(moment_size_estimate(2, 1), 1.0);
+        assert_eq!(moment_size_estimate(100, 1), 4_950.0);
+        assert_eq!(moment_size_estimate(100, 10), 495.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "collision")]
+    fn moment_requires_a_collision() {
+        moment_size_estimate(50, 0);
+    }
+
+    #[test]
+    fn mle_inverts_expectation_exactly() {
+        // Construct the expected collision count for a known N, then verify
+        // the MLE recovers that N.
+        for n_true in [100.0_f64, 1_000.0, 50_000.0] {
+            let c = (2.0 * 200.0 * n_true).sqrt().round();
+            let l = (c - n_true * (1.0 - (1.0 - 1.0 / n_true).powf(c))).round();
+            assert!(l >= 1.0);
+            let n_hat = mle_size_estimate(c as u64, l as u64);
+            let rel = (n_hat - n_true).abs() / n_true;
+            assert!(rel < 0.05, "N {n_true}: MLE {n_hat} (rel err {rel:.3})");
+        }
+    }
+
+    #[test]
+    fn mle_close_to_moment_for_large_l() {
+        let (c, l) = (2_000, 200);
+        let m = moment_size_estimate(c, l);
+        let mle = mle_size_estimate(c, l);
+        let rel = (m - mle).abs() / m;
+        assert!(rel < 0.15, "moment {m} vs mle {mle}");
+    }
+
+    #[test]
+    fn mle_handles_small_overlays() {
+        // 2-node overlay sampled 10 times: ~8 collisions.
+        let n = mle_size_estimate(10, 8);
+        assert!((1.0..6.0).contains(&n), "estimate {n}");
+    }
+}

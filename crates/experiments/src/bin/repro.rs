@@ -1,0 +1,154 @@
+//! `repro` — regenerate any figure or table of the paper.
+//!
+//! ```text
+//! repro --all                    # every figure + Table I, small scale
+//! repro --fig 5 --scale paper    # one figure at full paper scale
+//! repro --table 1                # Table I
+//! repro --all --out target/figs  # choose the CSV output directory
+//! repro --seed 7                 # change the master seed
+//! ```
+
+use p2p_experiments::figures;
+use p2p_experiments::table::table1;
+use p2p_experiments::ExperimentScale;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    figs: Vec<u32>,
+    table: bool,
+    scale: ExperimentScale,
+    scale_name: String,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn usage() -> &'static str {
+    "usage: repro [--all | --fig N [--fig M ...] | --table 1]\n             [--scale paper|small|tiny] [--seed S] [--out DIR]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut figs = Vec::new();
+    let mut table = false;
+    let mut all = false;
+    let mut scale_name = "small".to_string();
+    let mut seed = 20060619; // HPDC-15 opening day
+    let mut out = PathBuf::from("target/figures");
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => all = true,
+            "--fig" => {
+                let v = it.next().ok_or("--fig needs a number")?;
+                let n: u32 = v.parse().map_err(|_| format!("bad figure number {v}"))?;
+                figs.push(n);
+            }
+            "--table" => {
+                let v = it.next().ok_or("--table needs a number")?;
+                if v != "1" {
+                    return Err(format!("unknown table {v} (the paper has only Table I)"));
+                }
+                table = true;
+            }
+            "--scale" => {
+                scale_name = it.next().ok_or("--scale needs a name")?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+            }
+            "--out" => {
+                out = PathBuf::from(it.next().ok_or("--out needs a directory")?);
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+    }
+    if all {
+        figs = figures::ALL_FIGURES.to_vec();
+        table = true;
+    }
+    if figs.is_empty() && !table {
+        return Err(usage().to_string());
+    }
+    let scale = ExperimentScale::by_name(&scale_name)
+        .ok_or_else(|| format!("unknown scale {scale_name} (paper|small|tiny)"))?;
+    Ok(Args {
+        figs,
+        table,
+        scale,
+        scale_name,
+        seed,
+        out,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "# repro: scale={} (large={}, huge={}), seed={}, out={}",
+        args.scale_name,
+        args.scale.large,
+        args.scale.huge,
+        args.seed,
+        args.out.display()
+    );
+
+    for n in &args.figs {
+        let start = Instant::now();
+        let Some(fig) = figures::by_number(*n, &args.scale, args.seed) else {
+            eprintln!("fig{n:02}: unknown figure number");
+            return ExitCode::FAILURE;
+        };
+        let elapsed = start.elapsed();
+        match fig.save_csv(&args.out) {
+            Ok(path) => {
+                println!("\n{} — {} [{:.1?}]", fig.id, fig.title, elapsed);
+                println!("  -> {}", path.display());
+            }
+            Err(e) => {
+                eprintln!("fig{n:02}: failed to write CSV: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        for s in &fig.series {
+            let (lo, hi) = s.y_range().unwrap_or((f64::NAN, f64::NAN));
+            println!(
+                "  {:<22} {:>4} points, y in [{:.1}, {:.1}]",
+                s.name,
+                s.len(),
+                lo,
+                hi
+            );
+        }
+    }
+
+    if args.table {
+        let start = Instant::now();
+        let runs = if args.scale.large >= 100_000 { 10 } else { 20 };
+        let t = table1(args.scale.large, runs, args.seed);
+        println!("\n[{:.1?}]", start.elapsed());
+        println!("{t}");
+        if let Err(e) = std::fs::create_dir_all(&args.out) {
+            eprintln!("cannot create {}: {e}", args.out.display());
+            return ExitCode::FAILURE;
+        }
+        let path = args.out.join("table1.csv");
+        if let Err(e) = std::fs::write(&path, t.to_csv()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("  -> {}", path.display());
+    }
+
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,243 @@
+//! End-to-end estimation delay — the comparison §V(p) leaves open.
+//!
+//! The paper: *"HopsSampling probably outperforms the other algorithms in
+//! terms of delay, which we haven't measured in this comparison due to the
+//! fact that physical network topology was not modeled in our simulator. A
+//! gossip based broadcast and an immediate ACK response … is very likely to
+//! be much shorter than the 50 rounds of Aggregation or the wait for 200
+//! equivalent samples of Sample&Collide."*
+//!
+//! This module measures exactly that, combining a per-hop latency
+//! distribution ([`HopLatency`]) with each protocol's *communication
+//! structure*:
+//!
+//! * **Sample&Collide** — samples are sequential random walks; each walk is
+//!   a chain of dependent hops, so delay = Σ over walks of Σ hop latencies
+//!   (+1 reply hop each). A `concurrent_walks` knob models an initiator
+//!   pipelining several walks at once.
+//! * **HopsSampling** — a synchronous gossip wave: each spread round costs
+//!   the maximum latency over that round's parallel messages, plus one reply
+//!   hop at the end.
+//! * **Aggregation** — `rounds_per_estimate` synchronized rounds; each round
+//!   costs a round-trip (push + pull) of the slowest exchange.
+
+use p2p_estimation::aggregation::AggregationConfig;
+use p2p_estimation::hops_sampling::{gossip_spread, HopsSamplingConfig};
+use p2p_estimation::sample_collide::SampleCollideConfig;
+use p2p_estimation::sampling::{PeerSampler, RandomWalkSampler};
+use p2p_overlay::Graph;
+use p2p_sim::latency::HopLatency;
+use p2p_sim::rng::small_rng;
+use p2p_sim::{MessageCounter, MessageKind};
+use rand::rngs::SmallRng;
+
+/// Delay measurement for one algorithm.
+#[derive(Clone, Debug)]
+pub struct DelayReport {
+    /// Algorithm label.
+    pub algorithm: &'static str,
+    /// Mean end-to-end delay per estimation (model milliseconds).
+    pub mean_ms: f64,
+    /// Worst observed delay across replications.
+    pub max_ms: f64,
+}
+
+/// Sample&Collide delay: walks until `l` collisions, hop by hop.
+pub fn sample_collide_delay(
+    graph: &Graph,
+    config: &SampleCollideConfig,
+    latency: HopLatency,
+    concurrent_walks: usize,
+    rng: &mut SmallRng,
+) -> Option<f64> {
+    assert!(concurrent_walks >= 1);
+    let sampler = RandomWalkSampler::new(config.timer);
+    let initiator = graph.random_alive(rng)?;
+    let mut msgs = MessageCounter::new();
+    let mut counter = p2p_estimation::sample_collide::CollisionCounter::new(graph.num_slots());
+    let mut total = 0.0;
+    while counter.collisions() < config.l as u64 {
+        let before = msgs.get(MessageKind::WalkStep);
+        let s = sampler.sample(graph, initiator, rng, &mut msgs)?;
+        let hops = (msgs.get(MessageKind::WalkStep) - before) as usize;
+        // The walk itself is a dependent chain; +1 hop for the id return.
+        let walk_ms: f64 = (0..hops + 1).map(|_| latency.sample(rng)).sum();
+        total += walk_ms;
+        counter.observe(s);
+    }
+    // Pipelining w walks divides the serial wait (idealized: walks have
+    // i.i.d. durations, so throughput scales with the window).
+    Some(total / concurrent_walks as f64)
+}
+
+/// HopsSampling delay: synchronous spread rounds + one reply hop.
+pub fn hops_sampling_delay(
+    graph: &Graph,
+    config: &HopsSamplingConfig,
+    latency: HopLatency,
+    rng: &mut SmallRng,
+) -> Option<f64> {
+    let initiator = graph.random_alive(rng)?;
+    let mut msgs = MessageCounter::new();
+    let outcome = gossip_spread(graph, initiator, config, rng, &mut msgs);
+    // Per round, messages fly in parallel; the round lasts as long as its
+    // slowest message. Round populations roughly double; cap the max-order
+    // statistic's sample count to keep this O(rounds · log N).
+    let mut total = 0.0;
+    let forwards = msgs.get(MessageKind::GossipForward) as usize;
+    let per_round = (forwards / outcome.rounds.max(1) as usize).clamp(1, 4096);
+    for _ in 0..outcome.rounds {
+        total += latency.sample_max(per_round, rng);
+    }
+    // Replies go straight back to the initiator: one more hop (the slowest
+    // of the reply wave).
+    total += latency.sample_max(64, rng);
+    Some(total)
+}
+
+/// Aggregation delay: synchronized push-pull rounds (each a round trip).
+pub fn aggregation_delay(
+    graph: &Graph,
+    config: &AggregationConfig,
+    latency: HopLatency,
+    rng: &mut SmallRng,
+) -> Option<f64> {
+    if graph.alive_count() == 0 {
+        return None;
+    }
+    // Each round: every node's exchange is a push + pull round trip; the
+    // round is as slow as its slowest exchange. With N exchanges in flight
+    // the max-order statistic is effectively the distribution's upper end.
+    let n = graph.alive_count().min(4096);
+    let mut total = 0.0;
+    for _ in 0..config.rounds_per_estimate {
+        total += latency.sample_max(n, rng) + latency.sample_max(n, rng);
+    }
+    Some(total)
+}
+
+/// Measures all three candidates on `graph` over `replications` estimations.
+pub fn compare_delays(
+    graph: &Graph,
+    latency: HopLatency,
+    replications: usize,
+    seed: u64,
+) -> Vec<DelayReport> {
+    let mut rng = small_rng(seed);
+    let mut reports = Vec::new();
+    let mut measure = |name: &'static str, f: &mut dyn FnMut(&mut SmallRng) -> Option<f64>| {
+        let (mut sum, mut max, mut n) = (0.0, 0.0f64, 0usize);
+        for _ in 0..replications {
+            if let Some(d) = f(&mut rng) {
+                sum += d;
+                max = max.max(d);
+                n += 1;
+            }
+        }
+        if n > 0 {
+            reports.push(DelayReport {
+                algorithm: name,
+                mean_ms: sum / n as f64,
+                max_ms: max,
+            });
+        }
+    };
+    let sc_cfg = SampleCollideConfig::paper();
+    measure("Sample&Collide (serial)", &mut |rng| {
+        sample_collide_delay(graph, &sc_cfg, latency, 1, rng)
+    });
+    measure("Sample&Collide (32 walks)", &mut |rng| {
+        sample_collide_delay(graph, &sc_cfg, latency, 32, rng)
+    });
+    let hs_cfg = HopsSamplingConfig::paper();
+    measure("HopsSampling", &mut |rng| {
+        hops_sampling_delay(graph, &hs_cfg, latency, rng)
+    });
+    let agg_cfg = AggregationConfig::paper();
+    measure("Aggregation", &mut |rng| {
+        aggregation_delay(graph, &agg_cfg, latency, rng)
+    });
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2p_overlay::builder::{GraphBuilder, HeterogeneousRandom};
+
+    fn overlay(n: usize, seed: u64) -> Graph {
+        let mut rng = small_rng(seed);
+        HeterogeneousRandom::paper(n).build(&mut rng)
+    }
+
+    #[test]
+    fn paper_conjecture_hops_sampling_is_fastest() {
+        // §V(p): gossip + immediate ACK ≪ 50 Aggregation rounds ≪ waiting
+        // for ~200 collisions worth of serial walks.
+        let graph = overlay(5_000, 1);
+        let reports = compare_delays(&graph, HopLatency::wan(), 3, 2);
+        let by_name = |name: &str| {
+            reports
+                .iter()
+                .find(|r| r.algorithm == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .mean_ms
+        };
+        let hs = by_name("HopsSampling");
+        let agg = by_name("Aggregation");
+        let sc_serial = by_name("Sample&Collide (serial)");
+        assert!(hs < agg, "HS {hs} should beat Aggregation {agg}");
+        assert!(hs < sc_serial, "HS {hs} should beat serial S&C {sc_serial}");
+        assert!(agg < sc_serial, "Agg {agg} should beat serial S&C {sc_serial}");
+    }
+
+    #[test]
+    fn pipelining_walks_divides_sc_delay() {
+        let graph = overlay(2_000, 3);
+        let mut rng = small_rng(4);
+        let cfg = SampleCollideConfig::paper();
+        let serial = sample_collide_delay(&graph, &cfg, HopLatency::Constant(10.0), 1, &mut rng).unwrap();
+        let wide = sample_collide_delay(&graph, &cfg, HopLatency::Constant(10.0), 32, &mut rng).unwrap();
+        let ratio = serial / wide;
+        assert!((20.0..50.0).contains(&ratio), "pipelining ratio {ratio}");
+    }
+
+    #[test]
+    fn aggregation_delay_is_rounds_times_roundtrip() {
+        let graph = overlay(500, 5);
+        let mut rng = small_rng(6);
+        let d = aggregation_delay(&graph, &AggregationConfig::paper(), HopLatency::Constant(10.0), &mut rng)
+            .unwrap();
+        // 50 rounds × (10 + 10) ms exactly under constant latency.
+        assert_eq!(d, 1_000.0);
+    }
+
+    #[test]
+    fn hops_sampling_delay_scales_with_rounds_not_nodes() {
+        // Doubling N adds ~1 spread round (log growth), so delay grows
+        // slowly — the point of the paper's conjecture.
+        let mut rng = small_rng(7);
+        let small = overlay(2_000, 8);
+        let big = overlay(16_000, 9);
+        let cfg = HopsSamplingConfig::paper();
+        let avg = |g: &Graph, rng: &mut SmallRng| {
+            (0..5)
+                .filter_map(|_| hops_sampling_delay(g, &cfg, HopLatency::Constant(10.0), rng))
+                .sum::<f64>()
+                / 5.0
+        };
+        let d_small = avg(&small, &mut rng);
+        let d_big = avg(&big, &mut rng);
+        assert!(
+            d_big < 1.6 * d_small,
+            "8x nodes must not cost 8x delay: {d_small} → {d_big}"
+        );
+    }
+
+    #[test]
+    fn empty_overlay_yields_no_reports() {
+        let graph = Graph::with_capacity(0);
+        let reports = compare_delays(&graph, HopLatency::wan(), 2, 10);
+        assert!(reports.is_empty());
+    }
+}

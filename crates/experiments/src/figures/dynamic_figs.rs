@@ -1,0 +1,290 @@
+//! Dynamic-context figures: 9–17 (§IV-D).
+//!
+//! The y axis here is the raw estimated size ("the value on the y-axis of
+//! the figures is no longer normalized but represents the actual network
+//! size"); every figure carries a "Real network size" reference curve plus
+//! `replications` independent estimation runs.
+
+use crate::runner::{run_aggregation_scenario, run_polling_scenario, Trace};
+use crate::scenario::Scenario;
+use crate::ExperimentScale;
+use p2p_estimation::aggregation::AggregationConfig;
+use p2p_estimation::{Heuristic, HopsSampling, SampleCollide, SizeEstimator};
+use p2p_sim::parallel::par_replications;
+use p2p_sim::rng::derive_seed;
+use p2p_stats::series::Figure;
+
+/// Number of estimations on the polling-algorithm dynamic timelines.
+const POLL_STEPS: u64 = 100;
+
+fn assemble(id: &str, title: String, x_label: &str, traces: Vec<Trace>) -> Figure {
+    let mut fig = Figure::new(id, title, x_label, "Estimated size");
+    if let Some(first) = traces.first() {
+        let mut real = first.real_size.clone();
+        real.name = "Real network size".to_string();
+        fig.add(real);
+    }
+    for t in traces {
+        fig.add(t.estimates);
+    }
+    fig
+}
+
+fn polling_dynamic_figure<E, F>(
+    make: F,
+    id: &str,
+    title: String,
+    scenario: Scenario,
+    heuristic: Heuristic,
+    seed: u64,
+    replications: usize,
+) -> Figure
+where
+    E: SizeEstimator,
+    F: Fn() -> E + Sync,
+{
+    let traces = par_replications(seed, replications.max(1), |i, child_seed| {
+        let mut est = make();
+        run_polling_scenario(
+            &mut est,
+            &scenario,
+            heuristic,
+            child_seed,
+            format!("Estimation #{}", i + 1),
+        )
+    });
+    assemble(id, title, "Number of estimations", traces)
+}
+
+fn aggregation_dynamic_figure(
+    id: &str,
+    title: String,
+    scenario: Scenario,
+    seed: u64,
+    replications: usize,
+) -> Figure {
+    let traces = par_replications(seed, replications.max(1), |i, child_seed| {
+        run_aggregation_scenario(
+            AggregationConfig::paper(),
+            &scenario,
+            child_seed,
+            format!("Estimation #{}", i + 1),
+        )
+    });
+    assemble(id, title, "#Round", traces)
+}
+
+/// Fig 9 — Sample&Collide (oneShot) under catastrophic failures.
+pub fn fig09(scale: &ExperimentScale, seed: u64) -> Figure {
+    polling_dynamic_figure(
+        SampleCollide::paper,
+        "fig09",
+        format!(
+            "Sample&Collide: oneShot heuristic, {} node network, catastrophic failures",
+            scale.large
+        ),
+        Scenario::catastrophic(scale.large, POLL_STEPS),
+        Heuristic::OneShot,
+        derive_seed(seed, 9),
+        scale.replications,
+    )
+}
+
+/// Fig 10 — Sample&Collide (oneShot), growing network (+50%).
+pub fn fig10(scale: &ExperimentScale, seed: u64) -> Figure {
+    polling_dynamic_figure(
+        SampleCollide::paper,
+        "fig10",
+        format!(
+            "Sample&Collide: oneShot, {} node network, growing network",
+            scale.large
+        ),
+        Scenario::growing(scale.large, POLL_STEPS, 0.5),
+        Heuristic::OneShot,
+        derive_seed(seed, 10),
+        scale.replications,
+    )
+}
+
+/// Fig 11 — Sample&Collide (oneShot), shrinking network (−50%).
+pub fn fig11(scale: &ExperimentScale, seed: u64) -> Figure {
+    polling_dynamic_figure(
+        SampleCollide::paper,
+        "fig11",
+        format!(
+            "Sample&Collide: oneShot, {} node network, shrinking network",
+            scale.large
+        ),
+        Scenario::shrinking(scale.large, POLL_STEPS, 0.5),
+        Heuristic::OneShot,
+        derive_seed(seed, 11),
+        scale.replications,
+    )
+}
+
+/// Fig 12 — HopsSampling (last10runs) under catastrophic failures.
+pub fn fig12(scale: &ExperimentScale, seed: u64) -> Figure {
+    polling_dynamic_figure(
+        HopsSampling::paper,
+        "fig12",
+        format!(
+            "HopsSampling: Last10runs heuristic, {} node network, catastrophic failures",
+            scale.large
+        ),
+        Scenario::catastrophic(scale.large, POLL_STEPS),
+        Heuristic::last10(),
+        derive_seed(seed, 12),
+        scale.replications,
+    )
+}
+
+/// Fig 13 — HopsSampling (last10runs), growing network.
+pub fn fig13(scale: &ExperimentScale, seed: u64) -> Figure {
+    polling_dynamic_figure(
+        HopsSampling::paper,
+        "fig13",
+        format!(
+            "HopsSampling: Last10runs heuristic, {} node network, growing network",
+            scale.large
+        ),
+        Scenario::growing(scale.large, POLL_STEPS, 0.5),
+        Heuristic::last10(),
+        derive_seed(seed, 13),
+        scale.replications,
+    )
+}
+
+/// Fig 14 — HopsSampling (last10runs), shrinking network.
+pub fn fig14(scale: &ExperimentScale, seed: u64) -> Figure {
+    polling_dynamic_figure(
+        HopsSampling::paper,
+        "fig14",
+        format!(
+            "HopsSampling: Last10runs heuristic, {} node network, shrinking network",
+            scale.large
+        ),
+        Scenario::shrinking(scale.large, POLL_STEPS, 0.5),
+        Heuristic::last10(),
+        derive_seed(seed, 14),
+        scale.replications,
+    )
+}
+
+/// Fig 15 — Aggregation under failures: −25% at (scaled) rounds 100 and
+/// 500, +25% of the initial size at round 700.
+pub fn fig15(scale: &ExperimentScale, seed: u64) -> Figure {
+    aggregation_dynamic_figure(
+        "fig15",
+        format!(
+            "Aggregation: Reaction under failures, {} nodes at beginning, -25% at 100 and 500, +{} at 700 (x{} rounds)",
+            scale.large,
+            scale.large / 4,
+            scale.agg_dynamic_rounds
+        ),
+        Scenario::catastrophic_fig15(scale.large, scale.agg_dynamic_rounds),
+        derive_seed(seed, 15),
+        scale.replications,
+    )
+}
+
+/// Fig 16 — Aggregation, growing network.
+pub fn fig16(scale: &ExperimentScale, seed: u64) -> Figure {
+    aggregation_dynamic_figure(
+        "fig16",
+        format!("Aggregation: Growing network, {} node network", scale.large),
+        Scenario::growing(scale.large, scale.agg_dynamic_rounds, 0.5),
+        derive_seed(seed, 16),
+        scale.replications,
+    )
+}
+
+/// Fig 17 — Aggregation, shrinking network (breaks down past ≈30%
+/// departures as connectivity degrades).
+pub fn fig17(scale: &ExperimentScale, seed: u64) -> Figure {
+    aggregation_dynamic_figure(
+        "fig17",
+        format!("Aggregation: Shrinking network, {} node network", scale.large),
+        Scenario::shrinking(scale.large, scale.agg_dynamic_rounds, 0.5),
+        derive_seed(seed, 17),
+        scale.replications,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentScale {
+        ExperimentScale::tiny()
+    }
+
+    /// Mean relative deviation between an estimate curve and the truth curve
+    /// at matching steps.
+    fn tracking_error(fig: &Figure, series_idx: usize) -> f64 {
+        let real = &fig.series[0];
+        let est = &fig.series[series_idx];
+        let mut err = 0.0;
+        let mut n = 0usize;
+        for &(x, y) in &est.points {
+            if let Some(&(_, truth)) = real.points.iter().find(|&&(rx, _)| rx == x) {
+                err += (y - truth).abs() / truth;
+                n += 1;
+            }
+        }
+        err / n as f64
+    }
+
+    #[test]
+    fn fig09_sc_tracks_catastrophic_changes() {
+        let fig = fig09(&tiny(), 21);
+        assert_eq!(fig.series[0].name, "Real network size");
+        assert!(fig.series.len() >= 3);
+        let err = tracking_error(&fig, 1);
+        // §IV-D(i): "the algorithm reacts very well to changes, even brutal".
+        assert!(err < 0.25, "mean tracking error {err}");
+    }
+
+    #[test]
+    fn fig10_truth_grows_and_estimates_follow() {
+        let fig = fig10(&tiny(), 22);
+        let real = &fig.series[0];
+        let first = real.points.first().unwrap().1;
+        let last = real.points.last().unwrap().1;
+        assert!(last > 1.4 * first, "truth should grow 50%: {first} → {last}");
+        assert!(tracking_error(&fig, 1) < 0.25);
+    }
+
+    #[test]
+    fn fig14_hs_underestimates_but_follows_shape() {
+        let fig = fig14(&tiny(), 23);
+        let err = tracking_error(&fig, 1);
+        // HS estimates lag (last10runs) and sit below truth, but stay in a
+        // broad band (§IV-D(j)).
+        assert!(err < 0.45, "mean tracking error {err}");
+    }
+
+    #[test]
+    fn fig16_aggregation_adapts_to_growth() {
+        let fig = fig16(&tiny(), 24);
+        // §IV-D(k): "fairly good adaptation to a growing network" — the last
+        // epoch estimate should be within ~20% of the final size.
+        let real_last = fig.series[0].points.last().unwrap().1;
+        let est_last = fig.series[1].points.last().unwrap().1;
+        let rel = (est_last - real_last).abs() / real_last;
+        assert!(rel < 0.2, "final epoch error {rel} ({est_last} vs {real_last})");
+    }
+
+    #[test]
+    fn fig17_aggregation_struggles_when_shrinking() {
+        // The estimates should visibly deviate from the shrinking truth more
+        // than they do from the growing one (the paper's headline asymmetry).
+        let grow = fig16(&tiny(), 25);
+        let shrink = fig17(&tiny(), 25);
+        let e_grow = tracking_error(&grow, 1);
+        let e_shrink = tracking_error(&shrink, 1);
+        assert!(
+            e_shrink > e_grow,
+            "shrinking error {e_shrink} should exceed growing error {e_grow}"
+        );
+    }
+}

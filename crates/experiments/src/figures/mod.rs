@@ -1,0 +1,99 @@
+//! One generator per paper figure.
+//!
+//! Every `figNN` function takes the [`ExperimentScale`] and a master seed and
+//! returns a plot-ready [`Figure`]; the mapping to the paper and the bench
+//! targets is tabulated in `DESIGN.md`.
+
+mod dynamic_figs;
+mod scale_free;
+mod static_figs;
+
+pub use dynamic_figs::{fig09, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17};
+pub use scale_free::{fig07, fig08};
+pub use static_figs::{fig01, fig02, fig03, fig04, fig05, fig06, fig18};
+
+use crate::ExperimentScale;
+use p2p_stats::series::Figure;
+use p2p_stats::{Series, SlidingWindow};
+
+/// All figure ids, in paper order.
+pub const ALL_FIGURES: [u32; 18] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18];
+
+/// Runs a figure by paper number.
+pub fn by_number(n: u32, scale: &ExperimentScale, seed: u64) -> Option<Figure> {
+    let f = match n {
+        1 => fig01(scale, seed),
+        2 => fig02(scale, seed),
+        3 => fig03(scale, seed),
+        4 => fig04(scale, seed),
+        5 => fig05(scale, seed),
+        6 => fig06(scale, seed),
+        7 => fig07(scale, seed),
+        8 => fig08(scale, seed),
+        9 => fig09(scale, seed),
+        10 => fig10(scale, seed),
+        11 => fig11(scale, seed),
+        12 => fig12(scale, seed),
+        13 => fig13(scale, seed),
+        14 => fig14(scale, seed),
+        15 => fig15(scale, seed),
+        16 => fig16(scale, seed),
+        17 => fig17(scale, seed),
+        18 => fig18(scale, seed),
+        _ => return None,
+    };
+    Some(f)
+}
+
+/// Rescales a raw-estimate series to the paper's quality-% axis.
+pub(crate) fn to_quality(series: &Series, truth: f64, name: &str) -> Series {
+    let mut out = Series::new(name);
+    for &(x, y) in &series.points {
+        out.push(x, 100.0 * y / truth);
+    }
+    out
+}
+
+/// Derives the `last10runs` curve from a raw one-shot series.
+pub(crate) fn smooth_last_k(series: &Series, k: usize, name: &str) -> Series {
+    let mut w = SlidingWindow::new(k);
+    let mut out = Series::new(name);
+    for &(x, y) in &series.points {
+        out.push(x, w.push(y));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_rescaling() {
+        let mut s = Series::new("raw");
+        s.push(0.0, 900.0);
+        s.push(1.0, 1_100.0);
+        let q = to_quality(&s, 1_000.0, "q");
+        assert_eq!(q.points, vec![(0.0, 90.0), (1.0, 110.0)]);
+    }
+
+    #[test]
+    fn smoothing_matches_window_semantics() {
+        let mut s = Series::new("raw");
+        for i in 0..5 {
+            s.push(i as f64, (i + 1) as f64);
+        }
+        let sm = smooth_last_k(&s, 2, "sm");
+        assert_eq!(
+            sm.points,
+            vec![(0.0, 1.0), (1.0, 1.5), (2.0, 2.5), (3.0, 3.5), (4.0, 4.5)]
+        );
+    }
+
+    #[test]
+    fn unknown_figure_number_is_none() {
+        let scale = ExperimentScale::tiny();
+        assert!(by_number(0, &scale, 1).is_none());
+        assert!(by_number(19, &scale, 1).is_none());
+    }
+}

@@ -1,0 +1,130 @@
+//! Scale-free topology figures: 7 and 8 (§IV-C(g)).
+
+use super::to_quality;
+ 
+use crate::ExperimentScale;
+use p2p_estimation::aggregation::Aggregation;
+use p2p_estimation::{Heuristic, HopsSampling, SampleCollide, SizeEstimator, Smoother};
+use p2p_overlay::builder::{BarabasiAlbert, GraphBuilder};
+use p2p_overlay::metrics::degree_histogram;
+use p2p_sim::rng::{derive_seed, small_rng};
+use p2p_sim::MessageCounter;
+use p2p_stats::series::Figure;
+use p2p_stats::Series;
+
+/// Fig 7 — the power-law degree distribution of the Barabási–Albert overlay
+/// (log-log axes in the paper; the CSV carries the raw `(degree, count)`
+/// points). Paper instance: 100k nodes, 3 links per arrival, max degree
+/// 1177, average ≈ 6.
+pub fn fig07(scale: &ExperimentScale, seed: u64) -> Figure {
+    let mut rng = small_rng(derive_seed(seed, 7));
+    let graph = BarabasiAlbert::paper(scale.large).build(&mut rng);
+    let mut s = Series::new("Scale Free Distribution");
+    for (degree, count) in degree_histogram(&graph) {
+        s.push(degree as f64, count as f64);
+    }
+    let stats = p2p_overlay::metrics::degree_stats(&graph);
+    let mut fig = Figure::new(
+        "fig07",
+        format!(
+            "Scale free degree distribution for {} nodes, 3 neighbors min per node, max node degree: {}, average: {:.1}",
+            scale.large, stats.max, stats.mean
+        ),
+        "Degree",
+        "Number of nodes",
+    );
+    fig.add(s);
+    fig
+}
+
+/// Fig 8 — the three candidates head-to-head on the scale-free overlay:
+/// Sample&Collide `l=200` (oneShot), Aggregation (one estimate per 50
+/// rounds), HopsSampling (last10runs). 100 estimations each, same graph.
+pub fn fig08(scale: &ExperimentScale, seed: u64) -> Figure {
+    let mut rng = small_rng(derive_seed(seed, 8));
+    let graph = BarabasiAlbert::paper(scale.large).build(&mut rng);
+    let truth = graph.alive_count() as f64;
+    let estimations = 100u64;
+
+    let run = |est: &mut dyn SizeEstimator, heuristic: Heuristic, seed: u64| -> Series {
+        let mut rng = small_rng(seed);
+        let mut msgs = MessageCounter::new();
+        let mut smoother = Smoother::new(heuristic);
+        let mut s = Series::new("raw");
+        for i in 1..=estimations {
+            if let Some(raw) = est.estimate(&graph, &mut rng, &mut msgs) {
+                s.push(i as f64, smoother.apply(raw));
+            }
+        }
+        s
+    };
+
+    let mut agg = Aggregation::paper();
+    let mut sc = SampleCollide::paper();
+    let mut hs = HopsSampling::paper();
+    let agg_series = run(&mut agg, Heuristic::OneShot, derive_seed(seed, 81));
+    let sc_series = run(&mut sc, Heuristic::OneShot, derive_seed(seed, 82));
+    let hs_series = run(&mut hs, Heuristic::last10(), derive_seed(seed, 83));
+
+    let mut fig = Figure::new(
+        "fig08",
+        format!(
+            "Test of the 3 algorithms on a scale free graph ({} nodes)",
+            scale.large
+        ),
+        "Number of estimations",
+        "Quality %",
+    );
+    fig.add(to_quality(&agg_series, truth, "Aggregation"));
+    fig.add(to_quality(&sc_series, truth, "Sample&collide"));
+    fig.add(to_quality(&hs_series, truth, "HopsSampling"));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2p_stats::histogram::log_log_slope;
+
+    #[test]
+    fn fig07_distribution_is_heavy_tailed() {
+        let scale = ExperimentScale::tiny();
+        let fig = fig07(&scale, 5);
+        let s = &fig.series[0];
+        assert!(!s.is_empty());
+        // Convert back to points and check the log-log slope is power-law-ish.
+        let points: Vec<(usize, u64)> = s
+            .points
+            .iter()
+            .map(|&(d, c)| (d as usize, c as u64))
+            .collect();
+        let slope = log_log_slope(&points, 3).unwrap();
+        assert!(
+            (-4.0..-1.0).contains(&slope),
+            "log-log slope {slope}, expected power law"
+        );
+        // Minimum degree is m = 3 by construction.
+        assert!(s.points[0].0 >= 3.0);
+    }
+
+    #[test]
+    fn fig08_sc_and_agg_stay_accurate_hops_underestimates_more() {
+        // §IV-C(g): "the degree distribution does not bias Sample&Collide";
+        // "Aggregation also still provides accurate results"; "In the
+        // HopsSampling case … the under estimation factor … is increased".
+        let scale = ExperimentScale::tiny();
+        let fig = fig08(&scale, 6);
+        let mean = |name: &str| {
+            let s = fig.series.iter().find(|s| s.name == name).unwrap();
+            let ys = s.ys();
+            ys.iter().sum::<f64>() / ys.len() as f64
+        };
+        let agg = mean("Aggregation");
+        let sc = mean("Sample&collide");
+        let hs = mean("HopsSampling");
+        assert!((97.0..103.0).contains(&agg), "Aggregation mean {agg}");
+        assert!((88.0..112.0).contains(&sc), "Sample&Collide mean {sc}");
+        assert!(hs < sc, "HopsSampling ({hs}) should underestimate vs S&C ({sc})");
+        assert!(hs < 95.0, "HopsSampling mean {hs} should sit below 95%");
+    }
+}

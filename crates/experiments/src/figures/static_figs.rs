@@ -1,0 +1,209 @@
+//! Static-context figures: 1–6 and 18 (§IV-C).
+
+use super::{smooth_last_k, to_quality};
+use crate::runner::{record_aggregation_convergence, run_polling_scenario};
+use crate::scenario::Scenario;
+use crate::ExperimentScale;
+use p2p_estimation::{Heuristic, HopsSampling, SampleCollide, SizeEstimator};
+use p2p_sim::parallel::par_replications;
+use p2p_sim::rng::derive_seed;
+use p2p_stats::series::Figure;
+
+/// Shared runner for the S&C / HopsSampling static figures: run `count`
+/// one-shot estimations on a static overlay of `n` nodes and plot both the
+/// raw curve and its last-10-runs smoothing, on the quality-% axis.
+fn polling_static_figure<E, F>(
+    make: F,
+    id: &str,
+    title: String,
+    n: usize,
+    count: u64,
+    seed: u64,
+) -> Figure
+where
+    E: SizeEstimator,
+    F: Fn() -> E,
+{
+    let scenario = Scenario::static_network(n, count);
+    let mut est = make();
+    let trace = run_polling_scenario(&mut est, &scenario, Heuristic::OneShot, seed, "raw");
+    let truth = n as f64;
+    let one_shot = to_quality(&trace.estimates, truth, "one shot");
+    let last10 = smooth_last_k(&one_shot, 10, "last 10 runs");
+    let mut fig = Figure::new(id, title, "Number of estimations", "Quality %");
+    fig.add(last10).add(one_shot);
+    fig
+}
+
+/// Fig 1 — Sample&Collide, oneShot and last10runs, `l = 200`, 100k-class
+/// network, static environment, 100 estimations.
+pub fn fig01(scale: &ExperimentScale, seed: u64) -> Figure {
+    polling_static_figure(
+        SampleCollide::paper,
+        "fig01",
+        format!(
+            "Sample&Collide: oneShot and last10runs, l=200, {} node network, static",
+            scale.large
+        ),
+        scale.large,
+        100,
+        derive_seed(seed, 1),
+    )
+}
+
+/// Fig 2 — same as Fig 1 on the 1M-class network, 18 estimations.
+pub fn fig02(scale: &ExperimentScale, seed: u64) -> Figure {
+    polling_static_figure(
+        SampleCollide::paper,
+        "fig02",
+        format!(
+            "Sample&Collide: oneShot and last10runs, l=200, {} node network",
+            scale.huge
+        ),
+        scale.huge,
+        18,
+        derive_seed(seed, 2),
+    )
+}
+
+/// Fig 3 — HopsSampling, oneShot and last10runs, 100k-class network,
+/// 100 estimations.
+pub fn fig03(scale: &ExperimentScale, seed: u64) -> Figure {
+    polling_static_figure(
+        HopsSampling::paper,
+        "fig03",
+        format!(
+            "HopsSampling: oneShot and last10runs, {} node network",
+            scale.large
+        ),
+        scale.large,
+        100,
+        derive_seed(seed, 3),
+    )
+}
+
+/// Fig 4 — HopsSampling on the 1M-class network, 20 estimations.
+pub fn fig04(scale: &ExperimentScale, seed: u64) -> Figure {
+    polling_static_figure(
+        HopsSampling::paper,
+        "fig04",
+        format!(
+            "HopsSampling: oneShot and last10runs, {} node network",
+            scale.huge
+        ),
+        scale.huge,
+        20,
+        derive_seed(seed, 4),
+    )
+}
+
+/// Shared runner for Figs 5/6: three independent Aggregation runs, quality
+/// per round over 100 rounds.
+fn aggregation_convergence_figure(id: &str, n: usize, seed: u64, replications: usize) -> Figure {
+    let mut fig = Figure::new(
+        id,
+        format!("Aggregation: {n} node network"),
+        "#Round",
+        "Quality %",
+    );
+    let series = par_replications(seed, replications.max(3), |i, child_seed| {
+        record_aggregation_convergence(n, 100, child_seed, format!("Estimation #{}", i + 1)).0
+    });
+    for s in series {
+        fig.add(s);
+    }
+    fig
+}
+
+/// Fig 5 — Aggregation convergence, 100k-class network. The paper observes
+/// ≈100% quality around round 40.
+pub fn fig05(scale: &ExperimentScale, seed: u64) -> Figure {
+    aggregation_convergence_figure("fig05", scale.large, derive_seed(seed, 5), scale.replications)
+}
+
+/// Fig 6 — Aggregation convergence, 1M-class network (≈100% around round
+/// 50; convergence rounds grow like log N).
+pub fn fig06(scale: &ExperimentScale, seed: u64) -> Figure {
+    aggregation_convergence_figure("fig06", scale.huge, derive_seed(seed, 6), scale.replications)
+}
+
+/// Fig 18 — Sample&Collide with the cheap configuration `l = 10`,
+/// 100k-class network, 50 estimations, oneShot only.
+pub fn fig18(scale: &ExperimentScale, seed: u64) -> Figure {
+    let scenario = Scenario::static_network(scale.large, 50);
+    let mut est = SampleCollide::cheap();
+    let trace = run_polling_scenario(
+        &mut est,
+        &scenario,
+        Heuristic::OneShot,
+        derive_seed(seed, 18),
+        "raw",
+    );
+    let one_shot = to_quality(&trace.estimates, scale.large as f64, "One Shot");
+    let mut fig = Figure::new(
+        "fig18",
+        format!("Sample & collide with l=10, {} node network", scale.large),
+        "Number of estimations",
+        "Quality %",
+    );
+    fig.add(one_shot);
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2p_stats::summary::within_band;
+
+    fn tiny() -> ExperimentScale {
+        ExperimentScale::tiny()
+    }
+
+    #[test]
+    fn fig01_shape() {
+        let fig = fig01(&tiny(), 1);
+        assert_eq!(fig.series.len(), 2);
+        assert_eq!(fig.series[0].name, "last 10 runs");
+        assert_eq!(fig.series[1].name, "one shot");
+        assert_eq!(fig.series[1].len(), 100);
+        // last10runs must be tighter than oneShot, and both near 100.
+        let one = within_band(&fig.series[1].ys(), 25.0);
+        let smooth = within_band(&fig.series[0].ys()[10..], 10.0);
+        assert!(one > 0.8, "one-shot within 25%: {one}");
+        assert!(smooth > 0.9, "last10 (warmed up) within 10%: {smooth}");
+    }
+
+    #[test]
+    fn fig05_converges_to_100() {
+        let fig = fig05(&tiny(), 2);
+        assert!(fig.series.len() >= 3);
+        for s in &fig.series {
+            let last = s.points.last().unwrap().1;
+            assert!((99.0..101.0).contains(&last), "{}: final {last}", s.name);
+        }
+    }
+
+    #[test]
+    fn fig18_is_noisier_than_fig01() {
+        let f18 = fig18(&tiny(), 3);
+        let f1 = fig01(&tiny(), 3);
+        let spread = |ys: &[f64]| {
+            let m = ys.iter().sum::<f64>() / ys.len() as f64;
+            (ys.iter().map(|y| (y - m) * (y - m)).sum::<f64>() / ys.len() as f64).sqrt()
+        };
+        let s18 = spread(&f18.series[0].ys());
+        let s1 = spread(&f1.series[1].ys());
+        assert!(
+            s18 > s1,
+            "l=10 std {s18:.1} should exceed l=200 std {s1:.1}"
+        );
+    }
+
+    #[test]
+    fn figure_ids_match_functions() {
+        assert_eq!(fig02(&tiny(), 4).id, "fig02");
+        assert_eq!(fig03(&tiny(), 4).id, "fig03");
+        assert_eq!(fig04(&tiny(), 4).id, "fig04");
+        assert_eq!(fig06(&tiny(), 4).id, "fig06");
+    }
+}

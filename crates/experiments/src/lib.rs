@@ -1,0 +1,33 @@
+//! # p2p-experiments
+//!
+//! Reproduction drivers for every experiment in the HPDC 2006 comparative
+//! study: one function per figure/table, each returning plot-ready data
+//! ([`p2p_stats::series::Figure`] or [`table::Table1`]).
+//!
+//! The mapping figure → function → bench target lives in `DESIGN.md`; the
+//! measured-vs-paper record lives in `EXPERIMENTS.md`. Everything is driven
+//! by the `repro` binary:
+//!
+//! ```text
+//! repro --all --scale small --out target/figures
+//! repro --fig 5 --scale paper
+//! repro --table 1
+//! ```
+//!
+//! ## Scales
+//!
+//! The paper simulates 100,000- and 1,000,000-node overlays. All runners are
+//! parameterized by [`scale::ExperimentScale`] so the same code produces
+//! quick CI-sized runs (`small`/`tiny`) and full paper-sized runs (`paper`).
+//! Estimation quality and cost *shapes* are scale-free (that is the point of
+//! the algorithms); absolute message counts grow with N as derived in §IV-E.
+
+pub mod delay;
+pub mod figures;
+pub mod runner;
+pub mod scale;
+pub mod scenario;
+pub mod table;
+
+pub use scale::ExperimentScale;
+pub use scenario::Scenario;

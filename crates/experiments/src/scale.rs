@@ -1,0 +1,105 @@
+//! Experiment sizing.
+
+/// Sizes for one full reproduction pass.
+///
+/// `large` plays the paper's 100,000-node overlay, `huge` the 1,000,000-node
+/// one. Dynamic scenarios run on `large` (as in the paper, "dynamic
+/// environment was created on 100,000 node graphs for practical
+/// considerations").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExperimentScale {
+    /// Stand-in for the paper's 100k overlay.
+    pub large: usize,
+    /// Stand-in for the paper's 1M overlay.
+    pub huge: usize,
+    /// Rounds of the dynamic Aggregation figures (paper: 10,000).
+    pub agg_dynamic_rounds: u64,
+    /// Replications ("Estimation #1..#3" curves) for dynamic figures.
+    pub replications: usize,
+}
+
+impl ExperimentScale {
+    /// The paper's exact sizes. A full `--all` pass at this scale takes tens
+    /// of minutes on a laptop-class machine.
+    pub fn paper() -> Self {
+        ExperimentScale {
+            large: 100_000,
+            huge: 1_000_000,
+            agg_dynamic_rounds: 10_000,
+            replications: 3,
+        }
+    }
+
+    /// A 10×-reduced scale preserving every qualitative shape; the default
+    /// for `cargo bench` and the `repro` CLI.
+    pub fn small() -> Self {
+        ExperimentScale {
+            large: 10_000,
+            huge: 100_000,
+            agg_dynamic_rounds: 4_000,
+            replications: 3,
+        }
+    }
+
+    /// Minimal scale for smoke tests.
+    pub fn tiny() -> Self {
+        ExperimentScale {
+            large: 2_000,
+            huge: 5_000,
+            agg_dynamic_rounds: 400,
+            replications: 2,
+        }
+    }
+
+    /// Parses a scale name (`paper`, `small`, `tiny`).
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "paper" => Some(Self::paper()),
+            "small" => Some(Self::small()),
+            "tiny" => Some(Self::tiny()),
+            _ => None,
+        }
+    }
+
+    /// Resolves the scale for benches: `P2P_PAPER_SCALE=1` selects
+    /// [`paper`](Self::paper), anything else [`small`](Self::small).
+    pub fn from_env() -> Self {
+        match std::env::var("P2P_PAPER_SCALE") {
+            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Self::paper(),
+            _ => Self::small(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_scales_resolve() {
+        assert_eq!(ExperimentScale::by_name("paper"), Some(ExperimentScale::paper()));
+        assert_eq!(ExperimentScale::by_name("small"), Some(ExperimentScale::small()));
+        assert_eq!(ExperimentScale::by_name("tiny"), Some(ExperimentScale::tiny()));
+        assert_eq!(ExperimentScale::by_name("bogus"), None);
+    }
+
+    #[test]
+    fn paper_scale_matches_the_paper() {
+        let s = ExperimentScale::paper();
+        assert_eq!(s.large, 100_000);
+        assert_eq!(s.huge, 1_000_000);
+        assert_eq!(s.agg_dynamic_rounds, 10_000);
+        assert_eq!(s.replications, 3);
+    }
+
+    #[test]
+    fn smaller_scales_shrink_monotonically() {
+        let (p, s, t) = (
+            ExperimentScale::paper(),
+            ExperimentScale::small(),
+            ExperimentScale::tiny(),
+        );
+        assert!(p.large > s.large && s.large > t.large);
+        assert!(p.huge > s.huge && s.huge > t.huge);
+    }
+}

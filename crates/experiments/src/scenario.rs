@@ -1,0 +1,251 @@
+//! Dynamic-network scenarios (§IV-D).
+//!
+//! The paper applies "constant nodes arrivals and departures (+/−50%) as
+//! well as catastrophic failures (−25%)" to the 100k heterogeneous overlay.
+//! A [`Scenario`] is an initial size plus a churn schedule over an abstract
+//! timeline of *steps* — estimation indices for the polling algorithms,
+//! gossip rounds for Aggregation.
+
+use p2p_overlay::builder::{GraphBuilder, HeterogeneousRandom};
+use p2p_overlay::churn::ChurnOp;
+use p2p_overlay::Graph;
+use rand::rngs::SmallRng;
+
+/// The degree cap used throughout the evaluation (paper: 10 → avg ≈ 7.2).
+pub const MAX_DEGREE: usize = 10;
+
+/// A named timeline of churn over the paper's heterogeneous overlay.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Scenario name for figure titles.
+    pub name: &'static str,
+    /// Nodes at step 0.
+    pub initial_size: usize,
+    /// Total steps (estimations or rounds).
+    pub steps: u64,
+    /// `(step, op)` pairs; multiple ops may share a step.
+    pub schedule: Vec<(u64, ChurnOp)>,
+}
+
+impl Scenario {
+    /// A static overlay: no churn at all.
+    pub fn static_network(initial_size: usize, steps: u64) -> Self {
+        Scenario {
+            name: "static",
+            initial_size,
+            steps,
+            schedule: Vec::new(),
+        }
+    }
+
+    /// Gradual growth by `fraction` of the initial size, spread evenly over
+    /// the timeline (paper: +50%, Figs 10/13/16).
+    pub fn growing(initial_size: usize, steps: u64, fraction: f64) -> Self {
+        Scenario {
+            name: "growing",
+            initial_size,
+            steps,
+            schedule: spread_evenly(initial_size, steps, fraction, true),
+        }
+    }
+
+    /// Gradual shrinkage by `fraction` of the initial size (paper: −50%,
+    /// Figs 11/14/17).
+    pub fn shrinking(initial_size: usize, steps: u64, fraction: f64) -> Self {
+        Scenario {
+            name: "shrinking",
+            initial_size,
+            steps,
+            schedule: spread_evenly(initial_size, steps, fraction, false),
+        }
+    }
+
+    /// Catastrophic failures for the polling algorithms (Figs 9/12): −25% of
+    /// the current size at 25% and 50% of the timeline, then a +25%-of-
+    /// initial mass arrival at 75% (mirroring Fig 15's recover phase).
+    pub fn catastrophic(initial_size: usize, steps: u64) -> Self {
+        Scenario {
+            name: "catastrophic",
+            initial_size,
+            steps,
+            schedule: vec![
+                (steps / 4, ChurnOp::Catastrophe { fraction: 0.25 }),
+                (steps / 2, ChurnOp::Catastrophe { fraction: 0.25 }),
+                (
+                    3 * steps / 4,
+                    ChurnOp::Join {
+                        count: initial_size / 4,
+                        max_degree: MAX_DEGREE,
+                    },
+                ),
+            ],
+        }
+    }
+
+    /// Fig 15's exact schedule, scaled to the timeline: "100,000 nodes at
+    /// beginning, −25% of nodes at round 100 and 500, +25000 nodes at
+    /// 700" — event rounds scale with `steps / 10_000`.
+    pub fn catastrophic_fig15(initial_size: usize, steps: u64) -> Self {
+        let at = |paper_round: u64| paper_round * steps / 10_000;
+        Scenario {
+            name: "catastrophic-fig15",
+            initial_size,
+            steps,
+            schedule: vec![
+                (at(100), ChurnOp::Catastrophe { fraction: 0.25 }),
+                (at(500), ChurnOp::Catastrophe { fraction: 0.25 }),
+                (
+                    at(700),
+                    ChurnOp::Join {
+                        count: initial_size / 4,
+                        max_degree: MAX_DEGREE,
+                    },
+                ),
+            ],
+        }
+    }
+
+    /// Builds the initial overlay (the paper's heterogeneous random graph).
+    pub fn build_overlay(&self, rng: &mut SmallRng) -> Graph {
+        HeterogeneousRandom::new(self.initial_size, MAX_DEGREE).build(rng)
+    }
+
+    /// The churn ops due at `step`, in schedule order.
+    pub fn ops_at(&self, step: u64) -> impl Iterator<Item = ChurnOp> + '_ {
+        self.schedule
+            .iter()
+            .filter(move |&&(s, _)| s == step)
+            .map(|&(_, op)| op)
+    }
+
+    /// Expected final size if every op executes (approximate for
+    /// catastrophes, which are fractions of the then-current size).
+    pub fn nominal_final_size(&self) -> f64 {
+        let mut n = self.initial_size as f64;
+        for &(_, op) in &self.schedule {
+            match op {
+                ChurnOp::Join { count, .. } => n += count as f64,
+                ChurnOp::Leave { count } => n -= count as f64,
+                ChurnOp::Catastrophe { fraction } => n *= 1.0 - fraction,
+            }
+        }
+        n
+    }
+}
+
+/// Distributes `fraction · initial` joins or leaves over `steps` steps using
+/// cumulative rounding, so the total is exact regardless of divisibility.
+fn spread_evenly(
+    initial: usize,
+    steps: u64,
+    fraction: f64,
+    join: bool,
+) -> Vec<(u64, ChurnOp)> {
+    assert!(steps > 0, "need at least one step");
+    let total = (initial as f64 * fraction).round() as u64;
+    let mut out = Vec::new();
+    let mut emitted = 0u64;
+    for step in 1..=steps {
+        let target = total * step / steps;
+        let count = (target - emitted) as usize;
+        if count > 0 {
+            let op = if join {
+                ChurnOp::Join {
+                    count,
+                    max_degree: MAX_DEGREE,
+                }
+            } else {
+                ChurnOp::Leave { count }
+            };
+            out.push((step, op));
+            emitted = target;
+        }
+    }
+    debug_assert_eq!(emitted, total);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2p_sim::rng::small_rng;
+
+    #[test]
+    fn static_scenario_has_no_ops() {
+        let s = Scenario::static_network(1_000, 100);
+        assert!(s.schedule.is_empty());
+        assert_eq!(s.nominal_final_size(), 1_000.0);
+    }
+
+    #[test]
+    fn growing_adds_exactly_the_fraction() {
+        let s = Scenario::growing(1_000, 100, 0.5);
+        let total: usize = s
+            .schedule
+            .iter()
+            .map(|&(_, op)| match op {
+                ChurnOp::Join { count, .. } => count,
+                _ => panic!("growing scenario must only join"),
+            })
+            .sum();
+        assert_eq!(total, 500);
+        assert_eq!(s.nominal_final_size(), 1_500.0);
+    }
+
+    #[test]
+    fn shrinking_removes_exactly_the_fraction() {
+        let s = Scenario::shrinking(1_000, 77, 0.5);
+        let total: usize = s
+            .schedule
+            .iter()
+            .map(|&(_, op)| match op {
+                ChurnOp::Leave { count } => count,
+                _ => panic!("shrinking scenario must only leave"),
+            })
+            .sum();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn catastrophic_timeline_shape() {
+        let s = Scenario::catastrophic(10_000, 100);
+        assert_eq!(s.schedule.len(), 3);
+        assert_eq!(s.schedule[0].0, 25);
+        assert_eq!(s.schedule[1].0, 50);
+        assert_eq!(s.schedule[2].0, 75);
+        // 10000 → 7500 → 5625 → +2500 = 8125
+        assert_eq!(s.nominal_final_size(), 8_125.0);
+    }
+
+    #[test]
+    fn fig15_schedule_scales_with_steps() {
+        let s = Scenario::catastrophic_fig15(100_000, 10_000);
+        assert_eq!(s.schedule[0].0, 100);
+        assert_eq!(s.schedule[1].0, 500);
+        assert_eq!(s.schedule[2].0, 700);
+        let half = Scenario::catastrophic_fig15(100_000, 5_000);
+        assert_eq!(half.schedule[0].0, 50);
+        assert_eq!(half.schedule[2].0, 350);
+    }
+
+    #[test]
+    fn scenario_executes_to_expected_size() {
+        let mut rng = small_rng(500);
+        let s = Scenario::growing(2_000, 50, 0.5);
+        let mut g = s.build_overlay(&mut rng);
+        for step in 0..=s.steps {
+            for op in s.ops_at(step) {
+                op.apply(&mut g, &mut rng);
+            }
+        }
+        assert_eq!(g.alive_count(), 3_000);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ops_at_returns_only_due_ops() {
+        let s = Scenario::catastrophic(1_000, 100);
+        assert_eq!(s.ops_at(25).count(), 1);
+        assert_eq!(s.ops_at(26).count(), 0);
+    }
+}

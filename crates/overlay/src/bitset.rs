@@ -1,0 +1,206 @@
+//! A fixed-capacity bit set used for alive/visited marks.
+//!
+//! The simulator repeatedly needs "was this node visited / is it alive"
+//! queries over up to a million nodes; a `Vec<bool>` wastes 8x the memory and
+//! a `HashSet` is an order of magnitude slower. This small dense bit set
+//! covers exactly what the crate needs without an external dependency.
+
+/// A growable dense bit set over `usize` indices.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitSet {
+    blocks: Vec<u64>,
+    /// Number of set bits, maintained incrementally.
+    ones: usize,
+}
+
+const BITS: usize = 64;
+
+impl BitSet {
+    /// Creates an empty bit set with capacity for `n` bits.
+    pub fn with_capacity(n: usize) -> Self {
+        BitSet {
+            blocks: vec![0; n.div_ceil(BITS)],
+            ones: 0,
+        }
+    }
+
+    /// Number of bits currently set.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Capacity in bits (multiple of 64).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.blocks.len() * BITS
+    }
+
+    /// Returns whether bit `i` is set. Out-of-range indices read as unset.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        match self.blocks.get(i / BITS) {
+            Some(b) => (b >> (i % BITS)) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// Sets bit `i` to `value`, growing if needed. Returns the previous value.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) -> bool {
+        if i >= self.capacity() {
+            self.blocks.resize((i + 1).div_ceil(BITS), 0);
+        }
+        let block = &mut self.blocks[i / BITS];
+        let mask = 1u64 << (i % BITS);
+        let was = *block & mask != 0;
+        if value {
+            *block |= mask;
+            if !was {
+                self.ones += 1;
+            }
+        } else {
+            *block &= !mask;
+            if was {
+                self.ones -= 1;
+            }
+        }
+        was
+    }
+
+    /// Sets bit `i`, returning `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        !self.set(i, true)
+    }
+
+    /// Clears bit `i`, returning `true` if it was previously set.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        self.set(i, false)
+    }
+
+    /// Clears all bits, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.blocks.fill(0);
+        self.ones = 0;
+    }
+
+    /// Returns `true` if no bit is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ones == 0
+    }
+
+    /// Iterates over the indices of set bits in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
+            BlockOnes {
+                block,
+                base: bi * BITS,
+            }
+        })
+    }
+}
+
+/// Iterator over the set bits of a single 64-bit block.
+struct BlockOnes {
+    block: u64,
+    base: usize,
+}
+
+impl Iterator for BlockOnes {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.block == 0 {
+            return None;
+        }
+        let tz = self.block.trailing_zeros() as usize;
+        self.block &= self.block - 1;
+        Some(self.base + tz)
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = BitSet::default();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut s = BitSet::with_capacity(100);
+        assert!(!s.get(5));
+        s.set(5, true);
+        assert!(s.get(5));
+        assert_eq!(s.count_ones(), 1);
+        s.set(5, false);
+        assert!(!s.get(5));
+        assert_eq!(s.count_ones(), 0);
+    }
+
+    #[test]
+    fn grows_on_demand() {
+        let mut s = BitSet::default();
+        s.set(1000, true);
+        assert!(s.get(1000));
+        assert!(!s.get(999));
+        assert!(s.capacity() >= 1001);
+    }
+
+    #[test]
+    fn out_of_range_reads_unset() {
+        let s = BitSet::with_capacity(10);
+        assert!(!s.get(1_000_000));
+    }
+
+    #[test]
+    fn insert_remove_report_change() {
+        let mut s = BitSet::with_capacity(10);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+    }
+
+    #[test]
+    fn count_ones_tracks_mutations() {
+        let mut s = BitSet::with_capacity(256);
+        for i in (0..256).step_by(3) {
+            s.insert(i);
+        }
+        assert_eq!(s.count_ones(), (0..256).step_by(3).count());
+        for i in (0..256).step_by(6) {
+            s.remove(i);
+        }
+        assert_eq!(s.count_ones(), (0..256).step_by(3).count() - (0..256).step_by(6).count());
+    }
+
+    #[test]
+    fn iter_yields_sorted_set_bits() {
+        let bits = [0usize, 1, 63, 64, 65, 127, 128, 200];
+        let s: BitSet = bits.iter().copied().collect();
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, bits);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s = BitSet::with_capacity(128);
+        s.insert(100);
+        let cap = s.capacity();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), cap);
+    }
+}

@@ -1,0 +1,86 @@
+//! Homogeneous (near-regular) random graphs.
+
+use super::{pick_below_max, GraphBuilder};
+use crate::graph::Graph;
+use rand::Rng;
+
+/// A random graph where every node aims for exactly `degree` neighbors.
+///
+/// The paper (§IV-A) "also ran some tests in the context of homogeneous
+/// graphs. This parameter consistently improved all algorithms" — this
+/// builder backs that ablation (`bench_ablations::topology`).
+///
+/// Construction is the same partner-matching process as
+/// [`HeterogeneousRandom`](super::HeterogeneousRandom) with a fixed target,
+/// i.e. a near-`k`-regular random graph (a handful of nodes may end below `k`
+/// when the remaining candidates saturate).
+#[derive(Clone, Copy, Debug)]
+pub struct HomogeneousRandom {
+    /// Number of nodes.
+    pub n: usize,
+    /// Target degree for every node.
+    pub degree: usize,
+}
+
+impl HomogeneousRandom {
+    /// Creates the builder. `degree` must be ≥ 1.
+    pub fn new(n: usize, degree: usize) -> Self {
+        assert!(degree >= 1, "degree must be at least 1");
+        HomogeneousRandom { n, degree }
+    }
+}
+
+impl GraphBuilder for HomogeneousRandom {
+    fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> Graph {
+        let mut g = Graph::with_nodes(self.n);
+        for i in 0..self.n {
+            let node = crate::NodeId::from_index(i);
+            while g.degree(node) < self.degree {
+                match pick_below_max(&g, node, self.degree, rng) {
+                    Some(partner) => {
+                        g.add_edge(node, partner);
+                    }
+                    None => break,
+                }
+            }
+        }
+        g
+    }
+
+    fn name(&self) -> &'static str {
+        "homogeneous-random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn most_nodes_hit_exact_degree() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let g = HomogeneousRandom::new(1_000, 8).build(&mut rng);
+        g.check_invariants().unwrap();
+        let exact = g.alive_nodes().filter(|&n| g.degree(n) == 8).count();
+        assert!(exact >= 990, "only {exact}/1000 nodes at target degree");
+        for n in g.alive_nodes() {
+            assert!(g.degree(n) <= 8);
+        }
+    }
+
+    #[test]
+    fn degree_variance_is_lower_than_heterogeneous() {
+        use crate::metrics::degree_stats;
+        let mut rng = SmallRng::seed_from_u64(11);
+        let homo = HomogeneousRandom::new(2_000, 7).build(&mut rng);
+        let hetero = super::super::HeterogeneousRandom::new(2_000, 10).build(&mut rng);
+        let sd_homo = degree_stats(&homo).std_dev;
+        let sd_hetero = degree_stats(&hetero).std_dev;
+        assert!(
+            sd_homo < sd_hetero / 2.0,
+            "homogeneous sd {sd_homo} not clearly below heterogeneous sd {sd_hetero}"
+        );
+    }
+}

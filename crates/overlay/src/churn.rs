@@ -1,0 +1,196 @@
+//! Node churn: arrivals, departures, catastrophic failures.
+//!
+//! Semantics follow §IV-A/§IV-D of the paper:
+//!
+//! * departures remove all of the victim's links; survivors do **not**
+//!   re-wire ("nodes that have lost one or several neighbors do not create
+//!   new links with other nodes") — so sustained departures degrade overlay
+//!   connectivity, which is what breaks Aggregation past ~30% losses;
+//! * arrivals wire like the original construction (uniform target degree,
+//!   below-max partners).
+
+use crate::builder::wire_new_node;
+use crate::graph::Graph;
+use rand::Rng;
+
+/// A single churn action applied atomically to the overlay.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ChurnOp {
+    /// `count` new nodes join, each wired with `max_degree`.
+    Join { count: usize, max_degree: usize },
+    /// `count` alive nodes, chosen uniformly, leave (no-repair).
+    Leave { count: usize },
+    /// A catastrophic failure: `fraction` of the *current* alive nodes die
+    /// simultaneously (paper: −25%).
+    Catastrophe { fraction: f64 },
+}
+
+impl ChurnOp {
+    /// Applies the operation; returns how many nodes joined (+) or left (−).
+    pub fn apply<R: Rng + ?Sized>(&self, g: &mut Graph, rng: &mut R) -> i64 {
+        match *self {
+            ChurnOp::Join { count, max_degree } => {
+                join_nodes(g, count, max_degree, rng);
+                count as i64
+            }
+            ChurnOp::Leave { count } => {
+                let removed = remove_random_nodes(g, count, rng);
+                -(removed as i64)
+            }
+            ChurnOp::Catastrophe { fraction } => {
+                let removed = catastrophic_failure(g, fraction, rng);
+                -(removed as i64)
+            }
+        }
+    }
+}
+
+/// Adds `count` nodes, each wired into the overlay like the paper's
+/// construction process with the given `max_degree`.
+pub fn join_nodes<R: Rng + ?Sized>(g: &mut Graph, count: usize, max_degree: usize, rng: &mut R) {
+    for _ in 0..count {
+        wire_new_node(g, max_degree, rng);
+    }
+}
+
+/// Removes up to `count` uniformly chosen alive nodes. Returns how many were
+/// actually removed (bounded by the current population).
+pub fn remove_random_nodes<R: Rng + ?Sized>(g: &mut Graph, count: usize, rng: &mut R) -> usize {
+    let count = count.min(g.alive_count());
+    for _ in 0..count {
+        let victim = g
+            .random_alive(rng)
+            .expect("count bounded by alive population");
+        g.remove_node(victim);
+    }
+    count
+}
+
+/// Kills `fraction` (rounded) of the current alive population at once.
+/// Returns the number of victims.
+pub fn catastrophic_failure<R: Rng + ?Sized>(g: &mut Graph, fraction: f64, rng: &mut R) -> usize {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let victims = (g.alive_count() as f64 * fraction).round() as usize;
+    remove_random_nodes(g, victims, rng)
+}
+
+/// A steady churn mixer: per step, `arrival_rate` joins and `departure_rate`
+/// departures (expected values; fractional parts are resolved by Bernoulli
+/// draws). Models the paper's "constant nodes arrivals and departures".
+#[derive(Clone, Copy, Debug)]
+pub struct SteadyChurn {
+    /// Expected joins per step.
+    pub arrival_rate: f64,
+    /// Expected departures per step.
+    pub departure_rate: f64,
+    /// Degree cap for newly wired nodes.
+    pub max_degree: usize,
+}
+
+impl SteadyChurn {
+    /// Applies one step of churn; returns net population change.
+    pub fn step<R: Rng + ?Sized>(&self, g: &mut Graph, rng: &mut R) -> i64 {
+        let joins = sample_rate(self.arrival_rate, rng);
+        let leaves = sample_rate(self.departure_rate, rng);
+        join_nodes(g, joins, self.max_degree, rng);
+        let left = remove_random_nodes(g, leaves, rng);
+        joins as i64 - left as i64
+    }
+}
+
+fn sample_rate<R: Rng + ?Sized>(rate: f64, rng: &mut R) -> usize {
+    debug_assert!(rate >= 0.0);
+    let base = rate.floor() as usize;
+    let frac = rate - rate.floor();
+    base + usize::from(rng.gen::<f64>() < frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{GraphBuilder, HeterogeneousRandom};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn overlay(n: usize, seed: u64) -> (Graph, SmallRng) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = HeterogeneousRandom::paper(n).build(&mut rng);
+        (g, rng)
+    }
+
+    #[test]
+    fn join_grows_population_and_stays_valid() {
+        let (mut g, mut rng) = overlay(500, 51);
+        join_nodes(&mut g, 100, 10, &mut rng);
+        assert_eq!(g.alive_count(), 600);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn leave_shrinks_population_no_repair() {
+        let (mut g, mut rng) = overlay(500, 52);
+        let edges_before = g.edge_count();
+        let removed = remove_random_nodes(&mut g, 200, &mut rng);
+        assert_eq!(removed, 200);
+        assert_eq!(g.alive_count(), 300);
+        assert!(g.edge_count() < edges_before);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn leave_caps_at_population() {
+        let (mut g, mut rng) = overlay(50, 53);
+        let removed = remove_random_nodes(&mut g, 1_000, &mut rng);
+        assert_eq!(removed, 50);
+        assert_eq!(g.alive_count(), 0);
+    }
+
+    #[test]
+    fn catastrophe_removes_fraction_of_current_size() {
+        let (mut g, mut rng) = overlay(1_000, 54);
+        let removed = catastrophic_failure(&mut g, 0.25, &mut rng);
+        assert_eq!(removed, 250);
+        assert_eq!(g.alive_count(), 750);
+        // a second -25% applies to the *current* size
+        let removed = catastrophic_failure(&mut g, 0.25, &mut rng);
+        assert_eq!(removed, 188); // round(750 * 0.25)
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn churn_op_reports_net_change() {
+        let (mut g, mut rng) = overlay(400, 55);
+        assert_eq!(ChurnOp::Join { count: 40, max_degree: 10 }.apply(&mut g, &mut rng), 40);
+        assert_eq!(ChurnOp::Leave { count: 140 }.apply(&mut g, &mut rng), -140);
+        assert_eq!(
+            ChurnOp::Catastrophe { fraction: 0.5 }.apply(&mut g, &mut rng),
+            -150
+        );
+        assert_eq!(g.alive_count(), 150);
+    }
+
+    #[test]
+    fn steady_churn_tracks_expected_drift() {
+        let (mut g, mut rng) = overlay(2_000, 56);
+        let churn = SteadyChurn {
+            arrival_rate: 2.5,
+            departure_rate: 0.5,
+            max_degree: 10,
+        };
+        for _ in 0..500 {
+            churn.step(&mut g, &mut rng);
+        }
+        // expected net drift: +2 per step => ~+1000; allow wide slack
+        let n = g.alive_count() as i64;
+        assert!((2_700..=3_300).contains(&n), "population {n}");
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn sample_rate_handles_integer_and_fractional() {
+        let mut rng = SmallRng::seed_from_u64(57);
+        assert_eq!(sample_rate(3.0, &mut rng), 3);
+        let mean: f64 = (0..10_000).map(|_| sample_rate(0.3, &mut rng) as f64).sum::<f64>() / 10_000.0;
+        assert!((0.25..0.35).contains(&mean), "mean {mean}");
+    }
+}

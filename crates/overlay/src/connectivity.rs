@@ -1,0 +1,160 @@
+//! Connectivity queries: components, reachability, hop distances.
+
+use crate::bitset::BitSet;
+use crate::graph::Graph;
+use crate::node::NodeId;
+use std::collections::VecDeque;
+
+/// Size of the connected component containing `start` (alive nodes only).
+pub fn component_size(g: &Graph, start: NodeId) -> usize {
+    if !g.is_alive(start) {
+        return 0;
+    }
+    let mut visited = BitSet::with_capacity(g.num_slots());
+    let mut queue = VecDeque::new();
+    visited.insert(start.index());
+    queue.push_back(start);
+    let mut size = 0;
+    while let Some(u) = queue.pop_front() {
+        size += 1;
+        for &w in g.neighbors(u) {
+            if visited.insert(w.index()) {
+                queue.push_back(w);
+            }
+        }
+    }
+    size
+}
+
+/// Whether the alive part of the overlay is a single connected component.
+pub fn is_connected(g: &Graph) -> bool {
+    match g.alive_nodes().next() {
+        None => true,
+        Some(start) => component_size(g, start) == g.alive_count(),
+    }
+}
+
+/// Sizes of all connected components over alive nodes, largest first.
+pub fn component_sizes(g: &Graph) -> Vec<usize> {
+    let mut visited = BitSet::with_capacity(g.num_slots());
+    let mut sizes = Vec::new();
+    let mut queue = VecDeque::new();
+    for start in g.alive_nodes() {
+        if visited.get(start.index()) {
+            continue;
+        }
+        visited.insert(start.index());
+        queue.push_back(start);
+        let mut size = 0;
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for &w in g.neighbors(u) {
+                if visited.insert(w.index()) {
+                    queue.push_back(w);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    sizes
+}
+
+/// Fraction of alive nodes inside the largest component (1.0 when connected,
+/// 0.0 when empty).
+pub fn largest_component_fraction(g: &Graph) -> f64 {
+    let n = g.alive_count();
+    if n == 0 {
+        return 0.0;
+    }
+    component_sizes(g)[0] as f64 / n as f64
+}
+
+/// BFS hop distances from `source` to every alive node.
+///
+/// Returns a vector indexed by node slot; unreachable or dead nodes hold
+/// `u32::MAX`. This is the *oracle* distance used by the paper's §V(o) check
+/// ("by giving the accurate distance from the initiator to all nodes in the
+/// overlay, the resulting size estimation was correct").
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.num_slots()];
+    if !g.is_alive(source) {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &w in g.neighbors(u) {
+            if dist[w.index()] == u32::MAX {
+                dist[w.index()] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{GraphBuilder, HeterogeneousRandom, RingLattice};
+    use crate::churn;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_graph_components_and_distances() {
+        let mut g = Graph::with_nodes(5);
+        for i in 0..4u32 {
+            g.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        assert!(is_connected(&g));
+        assert_eq!(component_size(&g, NodeId(0)), 5);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(&d[..5], &[0, 1, 2, 3, 4]);
+
+        g.remove_node(NodeId(2));
+        assert!(!is_connected(&g));
+        assert_eq!(component_sizes(&g), vec![2, 2]);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d[1], 1);
+        assert_eq!(d[3], u32::MAX, "other side unreachable");
+        assert_eq!(d[2], u32::MAX, "dead node unreachable");
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = Graph::with_capacity(0);
+        assert!(is_connected(&g));
+        assert_eq!(largest_component_fraction(&g), 0.0);
+    }
+
+    #[test]
+    fn paper_overlay_is_connected_at_avg_7() {
+        // §IV-A: average degree ≈7.2 over log10(N) keeps the graph connected.
+        let mut rng = SmallRng::seed_from_u64(61);
+        let g = HeterogeneousRandom::paper(5_000).build(&mut rng);
+        assert!(is_connected(&g), "paper construction should be connected");
+    }
+
+    #[test]
+    fn heavy_departures_fragment_overlay() {
+        // The mechanism behind Fig 15/17: no-repair departures eventually
+        // disconnect the overlay.
+        let mut rng = SmallRng::seed_from_u64(62);
+        let mut g = HeterogeneousRandom::paper(2_000).build(&mut rng);
+        churn::remove_random_nodes(&mut g, 1_500, &mut rng);
+        let frac = largest_component_fraction(&g);
+        assert!(frac < 1.0, "75% departures should fragment the overlay (frac={frac})");
+    }
+
+    #[test]
+    fn ring_distance_is_hop_count() {
+        let mut rng = SmallRng::seed_from_u64(63);
+        let g = RingLattice::new(10, 2).build(&mut rng);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(&d[..10], &[0, 1, 2, 3, 4, 5, 4, 3, 2, 1]);
+    }
+}

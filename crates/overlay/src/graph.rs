@@ -1,0 +1,399 @@
+//! The mutable overlay graph.
+
+use crate::bitset::BitSet;
+use crate::node::NodeId;
+use rand::Rng;
+
+/// An undirected, unstructured peer-to-peer overlay.
+///
+/// Nodes are dense `u32` slots. Each slot is either *alive* (participating in
+/// the overlay) or *dead* (departed/failed). Dead slots keep their id so
+/// that samples and traces recorded before a departure stay meaningful, but
+/// they have no links and cannot be sampled.
+///
+/// Links are bidirectional, as in the paper (§IV-A): "whenever a node contacts
+/// another one, the reached node also has knowledge of communication
+/// initiator's existence and keeps a link back to the contact node".
+///
+/// Complexity of the operations the estimation algorithms rely on:
+///
+/// * `neighbors` — O(1) slice access,
+/// * `random_neighbor` — O(1),
+/// * `random_alive` (uniform over alive nodes) — O(1),
+/// * `remove_node` — O(degree²) worst case (degree · neighbor-list scan),
+/// * `add_edge`/`remove_edge` — O(degree).
+#[derive(Clone, Debug)]
+pub struct Graph {
+    adj: Vec<Vec<NodeId>>,
+    alive: BitSet,
+    /// Dense list of alive node ids, for O(1) uniform sampling.
+    alive_list: Vec<NodeId>,
+    /// `alive_pos[i]` = position of node `i` in `alive_list`, or `u32::MAX`.
+    alive_pos: Vec<u32>,
+    /// Number of undirected edges between alive nodes.
+    edges: usize,
+}
+
+const NOT_ALIVE: u32 = u32::MAX;
+
+impl Graph {
+    /// Creates an empty graph with capacity reserved for `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        Graph {
+            adj: Vec::with_capacity(n),
+            alive: BitSet::with_capacity(n),
+            alive_list: Vec::with_capacity(n),
+            alive_pos: Vec::with_capacity(n),
+            edges: 0,
+        }
+    }
+
+    /// Creates a graph with `n` alive, unconnected nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        let mut g = Graph::with_capacity(n);
+        for _ in 0..n {
+            g.add_node();
+        }
+        g
+    }
+
+    /// Adds a new alive node with no links and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::from_index(self.adj.len());
+        self.adj.push(Vec::new());
+        self.alive.set(id.index(), true);
+        self.alive_pos.push(self.alive_list.len() as u32);
+        self.alive_list.push(id);
+        id
+    }
+
+    /// Total number of node slots ever allocated (alive + dead).
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of alive nodes — the ground-truth "system size" the estimation
+    /// algorithms are trying to discover.
+    #[inline]
+    pub fn alive_count(&self) -> usize {
+        self.alive_list.len()
+    }
+
+    /// Number of undirected edges between alive nodes.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Whether `node` is currently alive.
+    #[inline]
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive.get(node.index())
+    }
+
+    /// The neighbor view of `node`. Empty for dead nodes.
+    #[inline]
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.adj[node.index()]
+    }
+
+    /// Degree of `node` (0 for dead nodes).
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adj[node.index()].len()
+    }
+
+    /// Iterates over all alive node ids (in sampling-list order, which is
+    /// arbitrary but deterministic).
+    #[inline]
+    pub fn alive_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.alive_list.iter().copied()
+    }
+
+    /// Slice of all alive node ids.
+    #[inline]
+    pub fn alive_slice(&self) -> &[NodeId] {
+        &self.alive_list
+    }
+
+    /// Draws an alive node uniformly at random in O(1).
+    ///
+    /// This is the *oracle* sampler: real deployments cannot do this (that is
+    /// the whole point of the paper), but the simulator uses it to pick churn
+    /// victims, estimation initiators, and to validate the random-walk
+    /// sampler's uniformity.
+    ///
+    /// Returns `None` when the overlay is empty.
+    pub fn random_alive<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        if self.alive_list.is_empty() {
+            None
+        } else {
+            Some(self.alive_list[rng.gen_range(0..self.alive_list.len())])
+        }
+    }
+
+    /// Draws a uniform random neighbor of `node` in O(1), or `None` if the
+    /// node is isolated.
+    pub fn random_neighbor<R: Rng + ?Sized>(&self, node: NodeId, rng: &mut R) -> Option<NodeId> {
+        let nb = &self.adj[node.index()];
+        if nb.is_empty() {
+            None
+        } else {
+            Some(nb[rng.gen_range(0..nb.len())])
+        }
+    }
+
+    /// Returns whether `a` and `b` are directly linked.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        let (fst, snd) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.adj[fst.index()].contains(&snd)
+    }
+
+    /// Adds the undirected edge `a — b`.
+    ///
+    /// Returns `false` (and does nothing) on self-loops, duplicate edges, or
+    /// if either endpoint is dead.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        if a == b || !self.is_alive(a) || !self.is_alive(b) || self.has_edge(a, b) {
+            return false;
+        }
+        self.adj[a.index()].push(b);
+        self.adj[b.index()].push(a);
+        self.edges += 1;
+        true
+    }
+
+    /// Removes the undirected edge `a — b`. Returns `false` if absent.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        if !Self::remove_from_list(&mut self.adj[a.index()], b) {
+            return false;
+        }
+        let removed = Self::remove_from_list(&mut self.adj[b.index()], a);
+        debug_assert!(removed, "adjacency lists out of sync");
+        self.edges -= 1;
+        true
+    }
+
+    #[inline]
+    fn remove_from_list(list: &mut Vec<NodeId>, target: NodeId) -> bool {
+        match list.iter().position(|&x| x == target) {
+            Some(pos) => {
+                list.swap_remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes `node` from the overlay: all its links disappear and surviving
+    /// neighbors do **not** re-wire (the paper's no-repair churn semantics,
+    /// §IV-A: "the nodes that have lost one or several neighbors do not create
+    /// new links with other nodes").
+    ///
+    /// Returns the node's former neighbors, or `None` if it was already dead.
+    pub fn remove_node(&mut self, node: NodeId) -> Option<Vec<NodeId>> {
+        if !self.is_alive(node) {
+            return None;
+        }
+        let neighbors = std::mem::take(&mut self.adj[node.index()]);
+        for &w in &neighbors {
+            let removed = Self::remove_from_list(&mut self.adj[w.index()], node);
+            debug_assert!(removed, "adjacency lists out of sync");
+        }
+        self.edges -= neighbors.len();
+        self.alive.set(node.index(), false);
+        // O(1) removal from the dense alive list via swap-remove.
+        let pos = self.alive_pos[node.index()];
+        debug_assert_ne!(pos, NOT_ALIVE);
+        let last = *self.alive_list.last().expect("alive node implies non-empty list");
+        self.alive_list.swap_remove(pos as usize);
+        if last != node {
+            self.alive_pos[last.index()] = pos;
+        }
+        self.alive_pos[node.index()] = NOT_ALIVE;
+        Some(neighbors)
+    }
+
+    /// Checks internal invariants. Used by tests and debug assertions; O(V+E).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.alive_list.len() != self.alive.count_ones() {
+            return Err(format!(
+                "alive list/bitset mismatch: {} vs {}",
+                self.alive_list.len(),
+                self.alive.count_ones()
+            ));
+        }
+        for (pos, &n) in self.alive_list.iter().enumerate() {
+            if self.alive_pos[n.index()] as usize != pos {
+                return Err(format!("alive_pos[{n:?}] does not point back to list slot {pos}"));
+            }
+            if !self.alive.get(n.index()) {
+                return Err(format!("{n:?} in alive list but bit unset"));
+            }
+        }
+        let mut half_edges = 0usize;
+        for (i, nb) in self.adj.iter().enumerate() {
+            let id = NodeId::from_index(i);
+            if !self.alive.get(i) && !nb.is_empty() {
+                return Err(format!("dead node {id:?} still has links"));
+            }
+            for &w in nb {
+                if !self.alive.get(w.index()) {
+                    return Err(format!("{id:?} links to dead node {w:?}"));
+                }
+                if w == id {
+                    return Err(format!("self-loop at {id:?}"));
+                }
+                if !self.adj[w.index()].contains(&id) {
+                    return Err(format!("asymmetric edge {id:?} -> {w:?}"));
+                }
+            }
+            let mut sorted: Vec<NodeId> = nb.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() != nb.len() {
+                return Err(format!("duplicate links at {id:?}"));
+            }
+            half_edges += nb.len();
+        }
+        if half_edges != 2 * self.edges {
+            return Err(format!(
+                "edge counter mismatch: counted {} half-edges, stored {} edges",
+                half_edges, self.edges
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn triangle() -> (Graph, NodeId, NodeId, NodeId) {
+        let mut g = Graph::with_nodes(3);
+        let (a, b, c) = (NodeId(0), NodeId(1), NodeId(2));
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(c, a);
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let (g, a, b, c) = triangle();
+        assert_eq!(g.alive_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(a, b) && g.has_edge(b, c) && g.has_edge(c, a));
+        assert_eq!(g.degree(a), 2);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rejects_self_loops_and_duplicates() {
+        let mut g = Graph::with_nodes(2);
+        let (a, b) = (NodeId(0), NodeId(1));
+        assert!(!g.add_edge(a, a));
+        assert!(g.add_edge(a, b));
+        assert!(!g.add_edge(a, b));
+        assert!(!g.add_edge(b, a));
+        assert_eq!(g.edge_count(), 1);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_edge_works_both_directions() {
+        let (mut g, a, b, _) = triangle();
+        assert!(g.remove_edge(b, a));
+        assert!(!g.has_edge(a, b));
+        assert!(!g.remove_edge(a, b));
+        assert_eq!(g.edge_count(), 2);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_node_detaches_and_reports_neighbors() {
+        let (mut g, a, b, c) = triangle();
+        let mut nbs = g.remove_node(b).unwrap();
+        nbs.sort_unstable();
+        assert_eq!(nbs, vec![a, c]);
+        assert!(!g.is_alive(b));
+        assert_eq!(g.alive_count(), 2);
+        assert_eq!(g.degree(a), 1);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.remove_node(b).is_none(), "double removal must be a no-op");
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn edges_to_dead_nodes_are_rejected() {
+        let (mut g, a, b, _) = triangle();
+        g.remove_node(b);
+        assert!(!g.add_edge(a, b));
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn random_alive_is_uniform_over_alive_nodes() {
+        let mut g = Graph::with_nodes(10);
+        for i in 0..5 {
+            g.remove_node(NodeId(i * 2)); // kill even nodes
+        }
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            let n = g.random_alive(&mut rng).unwrap();
+            assert!(g.is_alive(n));
+            counts[n.index()] += 1;
+        }
+        for i in (1..10).step_by(2) {
+            // each odd node should get ~10_000 draws; allow generous slack
+            assert!(counts[i] > 8_500 && counts[i] < 11_500, "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    fn random_neighbor_respects_view() {
+        let (g, a, b, c) = triangle();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let n = g.random_neighbor(a, &mut rng).unwrap();
+            assert!(n == b || n == c);
+        }
+    }
+
+    #[test]
+    fn empty_and_isolated_cases() {
+        let g = Graph::with_capacity(0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(g.random_alive(&mut rng).is_none());
+
+        let mut g = Graph::with_nodes(1);
+        assert!(g.random_neighbor(NodeId(0), &mut rng).is_none());
+        assert_eq!(g.remove_node(NodeId(0)), Some(vec![]));
+        assert_eq!(g.alive_count(), 0);
+    }
+
+    #[test]
+    fn alive_list_swap_remove_bookkeeping() {
+        let mut g = Graph::with_nodes(100);
+        // Remove in a scattered order, then verify every survivor samples fine.
+        for i in [0u32, 99, 50, 1, 98, 51, 2] {
+            g.remove_node(NodeId(i));
+        }
+        g.check_invariants().unwrap();
+        assert_eq!(g.alive_count(), 93);
+        let alive: Vec<NodeId> = g.alive_nodes().collect();
+        assert_eq!(alive.len(), 93);
+        for n in alive {
+            assert!(g.is_alive(n));
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Degree statistics and distributions.
+
+use crate::graph::Graph;
+
+/// Summary statistics over the alive nodes' degrees.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree (= 2·E/N).
+    pub mean: f64,
+    /// Population standard deviation of the degree.
+    pub std_dev: f64,
+}
+
+/// Computes [`DegreeStats`] in one pass. Returns all-zero stats for an empty
+/// overlay.
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let n = g.alive_count();
+    if n == 0 {
+        return DegreeStats::default();
+    }
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut sum = 0f64;
+    let mut sum_sq = 0f64;
+    for node in g.alive_nodes() {
+        let d = g.degree(node);
+        min = min.min(d);
+        max = max.max(d);
+        sum += d as f64;
+        sum_sq += (d * d) as f64;
+    }
+    let mean = sum / n as f64;
+    let var = (sum_sq / n as f64 - mean * mean).max(0.0);
+    DegreeStats {
+        min,
+        max,
+        mean,
+        std_dev: var.sqrt(),
+    }
+}
+
+/// Degree → node-count histogram, sorted by degree, zero counts omitted.
+///
+/// This is exactly the data behind Fig 7 ("Scale free degree distribution"):
+/// the paper plots number of nodes per degree value on log-log axes.
+pub fn degree_histogram(g: &Graph) -> Vec<(usize, usize)> {
+    let mut counts: Vec<usize> = Vec::new();
+    for node in g.alive_nodes() {
+        let d = g.degree(node);
+        if d >= counts.len() {
+            counts.resize(d + 1, 0);
+        }
+        counts[d] += 1;
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, c)| c > 0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BarabasiAlbert, GraphBuilder, RingLattice};
+    use crate::NodeId;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stats_on_regular_graph() {
+        let mut rng = SmallRng::seed_from_u64(71);
+        let g = RingLattice::new(50, 4).build(&mut rng);
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 4);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert!(s.std_dev < 1e-9);
+    }
+
+    #[test]
+    fn stats_empty_graph() {
+        let g = Graph::with_capacity(0);
+        assert_eq!(degree_stats(&g), DegreeStats::default());
+        assert!(degree_histogram(&g).is_empty());
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_population() {
+        let mut rng = SmallRng::seed_from_u64(72);
+        let g = BarabasiAlbert::paper(3_000).build(&mut rng);
+        let hist = degree_histogram(&g);
+        let total: usize = hist.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, g.alive_count());
+        // sorted by degree, no zero-count rows
+        for w in hist.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        assert!(hist.iter().all(|&(_, c)| c > 0));
+    }
+
+    #[test]
+    fn histogram_simple_star() {
+        let mut g = Graph::with_nodes(4);
+        for i in 1..4u32 {
+            g.add_edge(NodeId(0), NodeId(i));
+        }
+        // degrees: hub 3, leaves 1,1,1
+        assert_eq!(degree_histogram(&g), vec![(1, 3), (3, 1)]);
+        let s = degree_stats(&g);
+        assert_eq!((s.min, s.max), (1, 3));
+        assert!((s.mean - 1.5).abs() < 1e-12);
+    }
+}

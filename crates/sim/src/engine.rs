@@ -1,0 +1,220 @@
+//! The discrete-event engine.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled on the virtual timeline.
+struct Scheduled<E> {
+    time: SimTime,
+    /// Tie-breaker guaranteeing FIFO order among same-time events, which
+    /// keeps runs deterministic for a given seed.
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A minimal discrete-event simulator core.
+///
+/// `Engine` owns the clock and the pending-event queue; domain state (the
+/// overlay, protocol state machines) lives outside and is borrowed by the
+/// handler on each dispatch. This inversion keeps the engine reusable for any
+/// payload type and avoids `dyn` dispatch in the hot loop.
+///
+/// ```
+/// use p2p_sim::{Engine, SimTime};
+///
+/// let mut engine: Engine<&str> = Engine::new();
+/// engine.schedule_in(10, "b");
+/// engine.schedule_in(5, "a");
+/// let mut order = Vec::new();
+/// while let Some((t, ev)) = engine.pop() {
+///     order.push((t.ticks(), ev));
+/// }
+/// assert_eq!(order, vec![(5, "a"), (10, "b")]);
+/// ```
+pub struct Engine<E> {
+    queue: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    seq: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine at time zero with an empty queue.
+    pub fn new() -> Self {
+        Engine {
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+        }
+    }
+
+    /// Current virtual time (the timestamp of the last dispatched event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Schedules `payload` at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics when scheduling in the past — that would silently corrupt
+    /// causality.
+    pub fn schedule_at(&mut self, time: SimTime, payload: E) {
+        assert!(time >= self.now, "cannot schedule into the past ({time} < {})", self.now);
+        self.queue.push(Scheduled {
+            time,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `payload` `delay` ticks from now.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: u64, payload: E) {
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let ev = self.queue.pop()?;
+        debug_assert!(ev.time >= self.now);
+        self.now = ev.time;
+        Some((ev.time, ev.payload))
+    }
+
+    /// Peeks at the timestamp of the next event without dispatching it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|e| e.time)
+    }
+
+    /// Drains every pending event through `handler`. The handler may schedule
+    /// further events.
+    pub fn run<F: FnMut(&mut Self, SimTime, E)>(&mut self, mut handler: F) {
+        while let Some(ev) = self.queue.pop() {
+            self.now = ev.time;
+            handler(self, ev.time, ev.payload);
+        }
+    }
+
+    /// Runs events with `time <= horizon`, leaving later events queued. The
+    /// clock ends at `horizon`.
+    pub fn run_until<F: FnMut(&mut Self, SimTime, E)>(&mut self, horizon: SimTime, mut handler: F) {
+        while let Some(t) = self.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event exists");
+            self.now = ev.time;
+            handler(self, ev.time, ev.payload);
+        }
+        self.now = self.now.max(horizon);
+    }
+
+    /// Discards all pending events (the clock is unchanged).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_among_simultaneous_events() {
+        let mut e: Engine<u32> = Engine::new();
+        for i in 0..10 {
+            e.schedule_at(SimTime(7), i);
+        }
+        let got: Vec<u32> = std::iter::from_fn(|| e.pop().map(|(_, p)| p)).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handler_can_schedule_followups() {
+        let mut e: Engine<u64> = Engine::new();
+        e.schedule_in(1, 1);
+        let mut fired = Vec::new();
+        e.run(|e, t, depth| {
+            fired.push((t.ticks(), depth));
+            if depth < 4 {
+                e.schedule_in(depth, depth + 1);
+            }
+        });
+        assert_eq!(fired, vec![(1, 1), (2, 2), (4, 3), (7, 4)]);
+        assert_eq!(e.now().ticks(), 7);
+    }
+
+    #[test]
+    fn run_until_leaves_future_events() {
+        let mut e: Engine<&str> = Engine::new();
+        e.schedule_in(5, "early");
+        e.schedule_in(50, "late");
+        let mut seen = Vec::new();
+        e.run_until(SimTime(10), |_, _, p| seen.push(p));
+        assert_eq!(seen, vec!["early"]);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.now(), SimTime(10));
+        e.run(|_, _, p| seen.push(p));
+        assert_eq!(seen, vec!["early", "late"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_the_past_panics() {
+        let mut e: Engine<()> = Engine::new();
+        e.schedule_in(10, ());
+        e.pop();
+        e.schedule_at(SimTime(3), ());
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut e: Engine<u8> = Engine::new();
+        e.schedule_in(3, 0);
+        e.schedule_in(3, 1);
+        e.schedule_in(9, 2);
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = e.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+    }
+}

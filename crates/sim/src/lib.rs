@@ -1,0 +1,37 @@
+//! # p2p-sim
+//!
+//! The discrete-event, message-counting simulation substrate used by the
+//! HPDC 2006 size-estimation study.
+//!
+//! The paper (§IV-A) describes its simulator as follows: *"we evaluated them
+//! using a discrete event simulator, able to simulate static and dynamic
+//! network configurations. The simulator counts the messages over the
+//! network. It does not model the physical network topology nor the queuing
+//! delays and packet losses."* This crate makes the same modelling choices:
+//!
+//! * [`engine::Engine`] — a generic discrete-event queue over virtual time
+//!   (used to interleave churn with estimation activity in the dynamic
+//!   scenarios);
+//! * [`rounds`] — a synchronous round clock plus round-indexed schedules for
+//!   the gossip protocols, which the source papers define in rounds;
+//! * [`message`] — per-kind message counters backing every overhead number
+//!   (Table I);
+//! * [`rng`] — deterministic seed derivation (SplitMix64) so that every
+//!   experiment is reproducible and parallel replications are independent of
+//!   thread scheduling;
+//! * [`parallel`] — a small scoped-thread fan-out for embarrassingly parallel
+//!   replications (independent seeds/parameter points).
+
+pub mod engine;
+pub mod latency;
+pub mod message;
+pub mod parallel;
+pub mod rng;
+pub mod rounds;
+pub mod time;
+
+pub use engine::Engine;
+pub use latency::HopLatency;
+pub use message::{MessageCounter, MessageKind};
+pub use rounds::{RoundClock, RoundSchedule};
+pub use time::SimTime;

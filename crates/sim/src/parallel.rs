@@ -1,0 +1,146 @@
+//! Parallel replication of independent simulations.
+//!
+//! The study runs many *independent* simulations (replications with
+//! different seeds, parameter sweeps, the three curves of each figure).
+//! These are embarrassingly parallel, so a small scoped-thread fan-out is
+//! all the parallelism the workspace needs — no work stealing, no shared
+//! mutable state, results returned in input order regardless of which
+//! thread finished first.
+
+use crossbeam::channel;
+use std::num::NonZeroUsize;
+
+/// A sensible worker count: the machine's available parallelism, capped by
+/// the job count.
+pub fn default_threads(jobs: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    hw.min(jobs).max(1)
+}
+
+/// Maps `f` over `items` on `threads` worker threads, returning results in
+/// input order.
+///
+/// `f` receives `(index, item)` so callers can derive per-task seeds from the
+/// index (see [`crate::rng::derive_seed`]). Panics in workers propagate.
+pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let (task_tx, task_rx) = channel::unbounded::<(usize, T)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
+    for pair in items.into_iter().enumerate() {
+        task_tx.send(pair).expect("queue open");
+    }
+    drop(task_tx);
+
+    let f = &f;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let task_rx = task_rx.clone();
+            let res_tx = res_tx.clone();
+            scope.spawn(move || {
+                while let Ok((i, item)) = task_rx.recv() {
+                    let r = f(i, item);
+                    if res_tx.send((i, r)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        drop(task_rx);
+
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in res_rx {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every task produced a result"))
+            .collect()
+    })
+}
+
+/// Runs `f(replication_index, seed)` for `replications` independent seeds
+/// derived from `master_seed`, in parallel, preserving order.
+pub fn par_replications<R, F>(master_seed: u64, replications: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, u64) -> R + Sync,
+{
+    let seeds: Vec<u64> = (0..replications as u64)
+        .map(|i| crate::rng::derive_seed(master_seed, i))
+        .collect();
+    par_map(seeds, default_threads(replications), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(items, 8, |_, x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let out = par_map(vec![1, 2, 3], 1, |i, x| i as i32 + x);
+        assert_eq!(out, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u8> = par_map(Vec::<u8>::new(), 4, |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = par_map(vec![10], 64, |_, x| x + 1);
+        assert_eq!(out, vec![11]);
+    }
+
+    #[test]
+    fn indices_match_items() {
+        let items: Vec<usize> = (0..50).collect();
+        let out = par_map(items, 4, |i, x| (i, x));
+        for (i, (idx, val)) in out.into_iter().enumerate() {
+            assert_eq!(i, idx);
+            assert_eq!(i, val);
+        }
+    }
+
+    #[test]
+    fn replications_are_deterministic_and_distinct() {
+        let a = par_replications(42, 8, |_, seed| seed);
+        let b = par_replications(42, 8, |_, seed| seed);
+        assert_eq!(a, b, "same master seed, same seeds");
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), a.len(), "per-replication seeds must differ");
+    }
+
+    #[test]
+    fn default_threads_bounds() {
+        assert!(default_threads(0) >= 1);
+        assert!(default_threads(1) == 1);
+        assert!(default_threads(1_000) >= 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Synchronous rounds and round-indexed schedules.
+//!
+//! Both gossip-style candidates are specified in *rounds* ("at each
+//! predefined cycle, each node …"). The experiments drive them with a
+//! [`RoundClock`] and interleave churn through a [`RoundSchedule`] — e.g.
+//! Fig 15 is literally `[(100, -25%), (500, -25%), (700, +25k)]`.
+
+/// A monotone round counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundClock {
+    round: u64,
+}
+
+impl RoundClock {
+    /// A clock at round 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current round (0 before any tick).
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Advances to the next round and returns its number.
+    #[inline]
+    pub fn tick(&mut self) -> u64 {
+        self.round += 1;
+        self.round
+    }
+}
+
+/// Actions planned for specific rounds, delivered in order.
+///
+/// The schedule is consumed by repeatedly calling [`RoundSchedule::due`]
+/// with the current round; actions fire exactly once.
+#[derive(Clone, Debug)]
+pub struct RoundSchedule<T> {
+    /// `(round, action)` sorted ascending by round; consumed from the front.
+    entries: std::collections::VecDeque<(u64, T)>,
+}
+
+impl<T> RoundSchedule<T> {
+    /// Builds a schedule from `(round, action)` pairs (any order).
+    pub fn new(mut entries: Vec<(u64, T)>) -> Self {
+        entries.sort_by_key(|&(r, _)| r);
+        RoundSchedule {
+            entries: entries.into(),
+        }
+    }
+
+    /// An empty schedule.
+    pub fn empty() -> Self {
+        RoundSchedule {
+            entries: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Pops every action scheduled at or before `round`.
+    pub fn due(&mut self, round: u64) -> Vec<T> {
+        let mut out = Vec::new();
+        while self
+            .entries
+            .front()
+            .is_some_and(|&(r, _)| r <= round)
+        {
+            out.push(self.entries.pop_front().expect("front checked").1);
+        }
+        out
+    }
+
+    /// Actions not yet delivered.
+    pub fn remaining(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether all actions have fired.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_ticks_monotonically() {
+        let mut c = RoundClock::new();
+        assert_eq!(c.round(), 0);
+        assert_eq!(c.tick(), 1);
+        assert_eq!(c.tick(), 2);
+        assert_eq!(c.round(), 2);
+    }
+
+    #[test]
+    fn schedule_fires_in_round_order() {
+        let mut s = RoundSchedule::new(vec![(500, "b"), (100, "a"), (700, "c")]);
+        assert_eq!(s.remaining(), 3);
+        assert!(s.due(99).is_empty());
+        assert_eq!(s.due(100), vec!["a"]);
+        assert!(s.due(100).is_empty(), "actions fire once");
+        assert_eq!(s.due(10_000), vec!["b", "c"]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn same_round_actions_preserve_insertion_order() {
+        let mut s = RoundSchedule::new(vec![(5, 1), (5, 2), (5, 3)]);
+        assert_eq!(s.due(5), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let mut s: RoundSchedule<u8> = RoundSchedule::empty();
+        assert!(s.is_empty());
+        assert!(s.due(1_000).is_empty());
+    }
+}

@@ -1,0 +1,75 @@
+//! Virtual simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, measured in abstract ticks.
+///
+/// The paper's simulator does not model latency, so ticks carry no physical
+/// unit: protocols only rely on ordering (and the round protocols on equal
+/// spacing). `SimTime` is a `u64` newtype to keep arithmetic honest.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The raw tick count.
+    #[inline]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0
+            .checked_sub(rhs.0)
+            .expect("SimTime subtraction underflow")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + 5;
+        assert_eq!(t.ticks(), 5);
+        let mut u = t;
+        u += 10;
+        assert_eq!(u - t, 10);
+        assert!(u > t);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn negative_duration_panics() {
+        let _ = SimTime(3) - SimTime(5);
+    }
+}

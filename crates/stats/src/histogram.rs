@@ -1,0 +1,152 @@
+//! Integer histograms, including the log-log view behind Fig 7.
+
+/// A dense histogram over small non-negative integer values (e.g. degrees).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IntHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl IntHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&mut self, value: usize) {
+        if value >= self.counts.len() {
+            self.counts.resize(value + 1, 0);
+        }
+        self.counts[value] += 1;
+        self.total += 1;
+    }
+
+    /// Count of observations equal to `value`.
+    pub fn count(&self, value: usize) -> u64 {
+        self.counts.get(value).copied().unwrap_or(0)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Non-zero `(value, count)` pairs in increasing value order — exactly
+    /// the points Fig 7 plots on log-log axes.
+    pub fn points(&self) -> Vec<(usize, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(v, &c)| (v, c))
+            .collect()
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as u64 * c)
+            .sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Largest observed value (`None` when empty).
+    pub fn max_value(&self) -> Option<usize> {
+        self.counts.iter().rposition(|&c| c > 0)
+    }
+}
+
+impl FromIterator<usize> for IntHistogram {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut h = IntHistogram::new();
+        for v in iter {
+            h.record(v);
+        }
+        h
+    }
+}
+
+/// Fits `log(count) = a + slope · log(value)` over the histogram's non-zero
+/// points with `value ≥ min_value`, by ordinary least squares.
+///
+/// Used to verify the power-law tail of the Barabási–Albert overlay (Fig 7
+/// shows a straight line on log-log axes; BA theory says slope ≈ −3).
+/// Returns `None` with fewer than two usable points.
+pub fn log_log_slope(points: &[(usize, u64)], min_value: usize) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(v, c)| v >= min_value.max(1) && c > 0)
+        .map(|&(v, c)| ((v as f64).ln(), (c as f64).ln()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let h: IntHistogram = [3usize, 3, 5, 1].into_iter().collect();
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.count(3), 2);
+        assert_eq!(h.count(4), 0);
+        assert_eq!(h.count(100), 0);
+        assert_eq!(h.points(), vec![(1, 1), (3, 2), (5, 1)]);
+        assert_eq!(h.max_value(), Some(5));
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = IntHistogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max_value(), None);
+        assert!(h.points().is_empty());
+    }
+
+    #[test]
+    fn slope_of_exact_power_law() {
+        // count(v) = 1000 · v^-2 exactly → slope -2.
+        let points: Vec<(usize, u64)> = (1..=10)
+            .map(|v| (v, (1_000_000 / (v * v)) as u64))
+            .collect();
+        let slope = log_log_slope(&points, 1).unwrap();
+        assert!((slope + 2.0).abs() < 0.01, "slope {slope}");
+    }
+
+    #[test]
+    fn slope_requires_two_points() {
+        assert_eq!(log_log_slope(&[(1, 5)], 1), None);
+        assert_eq!(log_log_slope(&[], 1), None);
+        // All points below min_value are filtered out.
+        assert_eq!(log_log_slope(&[(1, 5), (2, 3)], 10), None);
+    }
+
+    #[test]
+    fn slope_ignores_value_zero() {
+        // v = 0 can't be log-transformed; it must be skipped, not panic.
+        let slope = log_log_slope(&[(0, 10), (1, 100), (10, 1)], 1).unwrap();
+        assert!((slope + 2.0).abs() < 0.01, "slope {slope}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Single-pass running moments (Welford's algorithm).
+
+/// Numerically stable running mean/variance/min/max accumulator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 for fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance with Bessel's correction (0 for fewer than 2).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`NaN` when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (`NaN` when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator (parallel reduction; Chan et al.).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = RunningStats::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn known_moments() {
+        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.count(), 8);
+        assert!(close(s.mean(), 5.0));
+        assert!(close(s.variance(), 4.0));
+        assert!(close(s.std_dev(), 2.0));
+        assert!(close(s.sample_variance(), 32.0 / 7.0));
+        assert!(close(s.min(), 2.0));
+        assert!(close(s.max(), 9.0));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert!(s.min().is_nan());
+
+        let s: RunningStats = [3.5].into_iter().collect();
+        assert!(close(s.mean(), 3.5));
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole: RunningStats = xs.iter().copied().collect();
+        let mut left: RunningStats = xs[..37].iter().copied().collect();
+        let right: RunningStats = xs[37..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!(close(left.mean(), whole.mean()));
+        assert!(close(left.variance(), whole.variance()));
+        assert!(close(left.min(), whole.min()));
+        assert!(close(left.max(), whole.max()));
+    }
+
+    #[test]
+    fn merge_with_empty_sides() {
+        let mut a = RunningStats::new();
+        let b: RunningStats = [1.0, 2.0].into_iter().collect();
+        a.merge(&b);
+        assert!(close(a.mean(), 1.5));
+        let mut c: RunningStats = [5.0].into_iter().collect();
+        c.merge(&RunningStats::new());
+        assert!(close(c.mean(), 5.0));
+    }
+
+    #[test]
+    fn stable_for_large_offsets() {
+        // Welford should not catastrophically cancel for a large common
+        // offset; a naive sum-of-squares would lose the variance entirely
+        // (1e18 dwarfs 2.0 in f64). Allow the few-ulp noise that remains.
+        let s: RunningStats = (0..1_000).map(|i| 1e9 + (i % 5) as f64).collect();
+        assert!(
+            (s.variance() - 2.0).abs() < 1e-3,
+            "variance {} should be ≈ 2.0",
+            s.variance()
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Sample summaries and the paper's quality metric.
+
+/// The paper's accuracy metric: estimates are "normalized to 100 to enable us
+/// to express the quality of the estimation in terms of percentage", i.e.
+/// `100 · estimate / truth`. 100% is a perfect estimate.
+#[inline]
+pub fn quality_percent(estimate: f64, truth: f64) -> f64 {
+    debug_assert!(truth > 0.0, "truth must be positive");
+    100.0 * estimate / truth
+}
+
+/// Absolute relative error in percent: `|quality − 100|`.
+#[inline]
+pub fn error_percent(estimate: f64, truth: f64) -> f64 {
+    (quality_percent(estimate, truth) - 100.0).abs()
+}
+
+/// Summary of a finished sample: median and selected percentiles.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 50th percentile.
+    pub median: f64,
+    /// 5th percentile.
+    pub p05: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Summarizes a batch of observations. Returns the default (all zeros) for an
+/// empty slice.
+pub fn summarize(values: &[f64]) -> Summary {
+    if values.is_empty() {
+        return Summary::default();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in observations"));
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    Summary {
+        count: sorted.len(),
+        mean,
+        median: percentile_sorted(&sorted, 50.0),
+        p05: percentile_sorted(&sorted, 5.0),
+        p95: percentile_sorted(&sorted, 95.0),
+        min: sorted[0],
+        max: sorted[sorted.len() - 1],
+    }
+}
+
+/// Linear-interpolated percentile (`p` in `[0, 100]`) of a **sorted** slice.
+///
+/// # Panics
+/// Panics on an empty slice or `p` outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Fraction of observations with quality within `±band` percentage points of
+/// 100% — e.g. the paper's "remains most of the time in a 10% precision
+/// window" claims are checked with `within_band(&qualities, 10.0)`.
+pub fn within_band(qualities: &[f64], band: f64) -> f64 {
+    if qualities.is_empty() {
+        return 0.0;
+    }
+    let hits = qualities
+        .iter()
+        .filter(|&&q| (q - 100.0).abs() <= band)
+        .count();
+    hits as f64 / qualities.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_basics() {
+        assert_eq!(quality_percent(100_000.0, 100_000.0), 100.0);
+        assert_eq!(quality_percent(50_000.0, 100_000.0), 50.0);
+        assert_eq!(error_percent(110.0, 100.0), 10.0);
+        assert_eq!(error_percent(90.0, 100.0), 10.0);
+    }
+
+    #[test]
+    fn percentile_interpolation() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_sorted(&s, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&s, 100.0), 4.0);
+        assert_eq!(percentile_sorted(&s, 50.0), 2.5);
+        assert!((percentile_sorted(&s, 25.0) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile_sorted(&[7.0], 95.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile_sorted(&[], 50.0);
+    }
+
+    #[test]
+    fn summary_known_values() {
+        let s = summarize(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn summary_empty_is_default() {
+        assert_eq!(summarize(&[]), Summary::default());
+    }
+
+    #[test]
+    fn band_fraction() {
+        let q = [95.0, 105.0, 120.0, 100.0];
+        assert_eq!(within_band(&q, 10.0), 0.75);
+        assert_eq!(within_band(&q, 25.0), 1.0);
+        assert_eq!(within_band(&[], 10.0), 0.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Fixed-size sliding windows — the paper's *lastKruns* heuristic.
+
+use std::collections::VecDeque;
+
+/// A fixed-capacity sliding window over `f64` observations with O(1) mean.
+///
+/// The paper evaluates every polling-style algorithm both as a raw *oneShot*
+/// estimate and smoothed over the *last 10 runs*; this type is that
+/// smoother (with arbitrary `k`).
+#[derive(Clone, Debug)]
+pub struct SlidingWindow {
+    buf: VecDeque<f64>,
+    capacity: usize,
+    sum: f64,
+}
+
+impl SlidingWindow {
+    /// A window holding at most `capacity` observations.
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        SlidingWindow {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            sum: 0.0,
+        }
+    }
+
+    /// Pushes an observation, evicting the oldest when full. Returns the
+    /// current window mean.
+    pub fn push(&mut self, x: f64) -> f64 {
+        if self.buf.len() == self.capacity {
+            let old = self.buf.pop_front().expect("full window is non-empty");
+            self.sum -= old;
+        }
+        self.buf.push_back(x);
+        self.sum += x;
+        self.mean()
+    }
+
+    /// Mean of the current contents (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.buf.is_empty() {
+            f64::NAN
+        } else {
+            self.sum / self.buf.len() as f64
+        }
+    }
+
+    /// Number of buffered observations (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the window holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether the window has reached capacity.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// Clears the window.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.sum = 0.0;
+    }
+
+    /// The buffered observations, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.buf.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_over_partial_window() {
+        let mut w = SlidingWindow::new(10);
+        assert!(w.mean().is_nan());
+        assert_eq!(w.push(4.0), 4.0);
+        assert_eq!(w.push(6.0), 5.0);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_full());
+    }
+
+    #[test]
+    fn eviction_keeps_last_k() {
+        let mut w = SlidingWindow::new(3);
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            w.push(x);
+        }
+        assert!(w.is_full());
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![3.0, 4.0, 5.0]);
+        assert_eq!(w.mean(), 4.0);
+    }
+
+    #[test]
+    fn last10_matches_paper_semantics() {
+        // The figure runner feeds one-shot estimates; the curve value at
+        // step i is the mean of estimates max(0, i-9)..=i.
+        let mut w = SlidingWindow::new(10);
+        let estimates: Vec<f64> = (1..=25).map(|i| i as f64).collect();
+        let mut smoothed = Vec::new();
+        for &e in &estimates {
+            smoothed.push(w.push(e));
+        }
+        assert_eq!(smoothed[0], 1.0);
+        assert_eq!(smoothed[9], 5.5); // mean of 1..=10
+        assert_eq!(smoothed[24], 20.5); // mean of 16..=25
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut w = SlidingWindow::new(2);
+        w.push(1.0);
+        w.clear();
+        assert!(w.is_empty());
+        assert!(w.mean().is_nan());
+        assert_eq!(w.push(8.0), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        SlidingWindow::new(0);
+    }
+
+    #[test]
+    fn no_drift_over_many_pushes() {
+        // The incremental sum must not accumulate error vs a fresh sum.
+        let mut w = SlidingWindow::new(7);
+        for i in 0..10_000 {
+            w.push((i as f64) * 0.1);
+        }
+        let fresh: f64 = w.iter().sum::<f64>() / w.len() as f64;
+        assert!((w.mean() - fresh).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,80 @@
+//! Bring your own topology: the estimators are overlay-agnostic.
+//!
+//! ```text
+//! cargo run --release --example custom_overlay
+//! ```
+//!
+//! The paper's pitch is that all three candidates are "generally applicable
+//! irrespective of the underlying structure of the peer to peer overlay".
+//! This example implements a custom [`GraphBuilder`] — a 2-D torus grid, a
+//! topology none of the crates ship — and runs the estimators unchanged.
+//! It also shows the §III-A caveat in action: on a poorly-expanding graph
+//! the walk budget `T` must grow for Sample&Collide to stay unbiased.
+
+use p2p_size_estimation::estimation::sample_collide::SampleCollideConfig;
+use p2p_size_estimation::estimation::{SampleCollide, SizeEstimator};
+use p2p_size_estimation::overlay::builder::GraphBuilder;
+use p2p_size_estimation::overlay::{Graph, NodeId};
+use p2p_size_estimation::sim::rng::small_rng;
+use p2p_size_estimation::sim::MessageCounter;
+use rand::Rng;
+
+/// A w×h torus: each node links to its 4 grid neighbors. Diameter Θ(w+h) —
+/// terrible expansion, great stress test for random-walk mixing.
+struct Torus {
+    w: usize,
+    h: usize,
+}
+
+impl GraphBuilder for Torus {
+    fn build<R: Rng + ?Sized>(&self, _rng: &mut R) -> Graph {
+        let mut g = Graph::with_nodes(self.w * self.h);
+        let id = |x: usize, y: usize| NodeId::from_index(y * self.w + x);
+        for y in 0..self.h {
+            for x in 0..self.w {
+                g.add_edge(id(x, y), id((x + 1) % self.w, y));
+                g.add_edge(id(x, y), id(x, (y + 1) % self.h));
+            }
+        }
+        g
+    }
+
+    fn name(&self) -> &'static str {
+        "torus"
+    }
+}
+
+fn main() {
+    let mut rng = small_rng(99);
+    let torus = Torus { w: 70, h: 70 };
+    let graph = torus.build(&mut rng);
+    let n = graph.alive_count();
+    println!("custom overlay: {} ({} nodes, all degree 4)\n", torus.name(), n);
+
+    // Sweep the walk budget: the torus mixes in Θ(diameter²) walk time, so
+    // small T leaves the sampler biased toward the initiator's neighborhood
+    // and the birthday estimator overestimates collisions → underestimates N.
+    println!("{:>6} {:>12} {:>10} {:>14}", "T", "estimate", "quality%", "msgs/est");
+    for timer in [2.0, 10.0, 50.0, 200.0] {
+        let mut cfg = SampleCollideConfig::paper();
+        cfg.timer = timer;
+        let mut sc = SampleCollide::with_config(cfg);
+        let mut msgs = MessageCounter::new();
+        let runs = 5;
+        let mut mean = 0.0;
+        for _ in 0..runs {
+            mean += sc.estimate(&graph, &mut rng, &mut msgs).expect("connected overlay");
+        }
+        mean /= runs as f64;
+        println!(
+            "{timer:>6.0} {mean:>12.0} {:>10.1} {:>14.0}",
+            100.0 * mean / n as f64,
+            msgs.total() as f64 / runs as f64
+        );
+    }
+
+    println!(
+        "\nTake-away (§III-A): \"the expansion properties of the graph influence how\n\
+         large T should be selected\" — on expanders T=10 suffices, on a torus it does not."
+    );
+}

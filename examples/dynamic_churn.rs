@@ -1,0 +1,64 @@
+//! Monitoring a churning overlay with continuous Sample&Collide estimation.
+//!
+//! ```text
+//! cargo run --release --example dynamic_churn
+//! ```
+//!
+//! Replays the paper's §IV-D setting in miniature: a 5,000-node overlay
+//! suffers a 25% catastrophic failure, keeps shrinking, then recovers, while
+//! a monitoring process continuously re-estimates the size with the cheap
+//! `l = 10` configuration (one estimate per tick).
+
+use p2p_size_estimation::estimation::{SampleCollide, SizeEstimator};
+use p2p_size_estimation::overlay::churn;
+use p2p_size_estimation::overlay::builder::{GraphBuilder, HeterogeneousRandom};
+use p2p_size_estimation::sim::rng::small_rng;
+use p2p_size_estimation::sim::MessageCounter;
+
+fn main() {
+    let mut rng = small_rng(7);
+    let mut graph = HeterogeneousRandom::paper(5_000).build(&mut rng);
+    let mut sc = SampleCollide::cheap(); // l = 10: cheap, noisier (paper Fig 18)
+    let mut msgs = MessageCounter::new();
+
+    println!("{:>5} {:>10} {:>10} {:>8} {:>12}", "tick", "true size", "estimate", "err %", "msgs so far");
+    for tick in 0..40 {
+        // Churn script: catastrophe at tick 10, steady decline 15..25,
+        // recovery burst at tick 30.
+        match tick {
+            10 => {
+                churn::catastrophic_failure(&mut graph, 0.25, &mut rng);
+            }
+            15..=25 => {
+                churn::remove_random_nodes(&mut graph, 60, &mut rng);
+            }
+            30 => {
+                churn::join_nodes(&mut graph, 1_500, 10, &mut rng);
+            }
+            _ => {}
+        }
+
+        let truth = graph.alive_count() as f64;
+        match sc.estimate(&graph, &mut rng, &mut msgs) {
+            Some(est) => {
+                let err = 100.0 * (est - truth) / truth;
+                let marker = match tick {
+                    10 => "  <- catastrophe -25%",
+                    15 => "  <- steady departures begin",
+                    30 => "  <- 1500 nodes join",
+                    _ => "",
+                };
+                println!(
+                    "{tick:>5} {truth:>10.0} {est:>10.0} {err:>8.1} {:>12}{marker}",
+                    msgs.total()
+                );
+            }
+            None => println!("{tick:>5} {truth:>10.0} {:>10}", "n/a"),
+        }
+    }
+
+    println!(
+        "\nNo restart logic was needed: Sample&Collide keeps no cross-estimate state,\n\
+         which is exactly why the paper finds it the most reactive candidate (§IV-D)."
+    );
+}

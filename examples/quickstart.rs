@@ -1,0 +1,56 @@
+//! Quickstart: estimate the size of an unstructured overlay three ways.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the paper's heterogeneous random overlay (10,000 nodes, max
+//! degree 10) and runs each candidate algorithm once, printing the estimate
+//! and what it cost in messages.
+
+use p2p_size_estimation::estimation::aggregation::Aggregation;
+use p2p_size_estimation::estimation::{HopsSampling, SampleCollide, SizeEstimator};
+use p2p_size_estimation::overlay::builder::{GraphBuilder, HeterogeneousRandom};
+use p2p_size_estimation::overlay::metrics::degree_stats;
+use p2p_size_estimation::sim::rng::small_rng;
+use p2p_size_estimation::sim::MessageCounter;
+
+fn main() {
+    let n = 10_000;
+    let mut rng = small_rng(42);
+
+    // 1. Build the overlay: every node links to 1..=10 uniform random
+    //    partners; links are bidirectional (paper §IV-A).
+    let graph = HeterogeneousRandom::paper(n).build(&mut rng);
+    let stats = degree_stats(&graph);
+    println!("overlay: {} nodes, avg degree {:.2} (min {}, max {})", n, stats.mean, stats.min, stats.max);
+    println!("true size (hidden from the algorithms): {}\n", graph.alive_count());
+
+    // 2. Run each estimator once. Each call picks a random initiator, runs
+    //    the full protocol, and charges every simulated message.
+    let mut estimators: Vec<Box<dyn SizeEstimator>> = vec![
+        Box::new(SampleCollide::paper()), // random walks, l = 200
+        Box::new(HopsSampling::paper()),  // probabilistic polling
+        Box::new(Aggregation::paper()),   // push-pull averaging, 50 rounds
+    ];
+
+    println!("{:<16} {:>12} {:>10} {:>14}", "algorithm", "estimate", "quality%", "messages");
+    for est in &mut estimators {
+        let mut msgs = MessageCounter::new();
+        match est.estimate(&graph, &mut rng, &mut msgs) {
+            Some(size) => println!(
+                "{:<16} {:>12.0} {:>10.1} {:>14}",
+                est.name(),
+                size,
+                100.0 * size / n as f64,
+                msgs.total()
+            ),
+            None => println!("{:<16} {:>12}", est.name(), "failed"),
+        }
+    }
+
+    println!(
+        "\nTrade-off (paper Table I): Sample&Collide is cheap and decent, HopsSampling\n\
+         underestimates, Aggregation is near-exact but costs 2 messages per node per round."
+    );
+}

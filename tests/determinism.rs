@@ -1,0 +1,87 @@
+//! Reproducibility: identical seeds must give identical experiments —
+//! including across the parallel replication runner, whose results must not
+//! depend on thread scheduling.
+
+use p2p_size_estimation::estimation::{HopsSampling, SampleCollide, SizeEstimator};
+use p2p_size_estimation::experiments::figures;
+use p2p_size_estimation::experiments::table::table1;
+use p2p_size_estimation::experiments::ExperimentScale;
+use p2p_size_estimation::overlay::builder::{BarabasiAlbert, GraphBuilder, HeterogeneousRandom};
+use p2p_size_estimation::sim::parallel::{par_map, par_replications};
+use p2p_size_estimation::sim::rng::small_rng;
+use p2p_size_estimation::sim::MessageCounter;
+
+#[test]
+fn graph_construction_is_deterministic() {
+    for seed in [0u64, 1, 99] {
+        let mut a = small_rng(seed);
+        let mut b = small_rng(seed);
+        let ga = HeterogeneousRandom::paper(2_000).build(&mut a);
+        let gb = HeterogeneousRandom::paper(2_000).build(&mut b);
+        assert_eq!(ga.edge_count(), gb.edge_count());
+        for n in ga.alive_nodes() {
+            assert_eq!(ga.neighbors(n), gb.neighbors(n));
+        }
+        let sa = BarabasiAlbert::paper(2_000).build(&mut a);
+        let sb = BarabasiAlbert::paper(2_000).build(&mut b);
+        assert_eq!(sa.edge_count(), sb.edge_count());
+    }
+}
+
+#[test]
+fn estimations_are_deterministic() {
+    let run = |seed: u64| {
+        let mut rng = small_rng(seed);
+        let g = HeterogeneousRandom::paper(3_000).build(&mut rng);
+        let mut msgs = MessageCounter::new();
+        let sc = SampleCollide::paper().estimate(&g, &mut rng, &mut msgs);
+        let hs = HopsSampling::paper().estimate(&g, &mut rng, &mut msgs);
+        (sc, hs, msgs)
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7).2, run(8).2, "different seeds should differ");
+}
+
+#[test]
+fn figures_are_deterministic() {
+    let scale = ExperimentScale::tiny();
+    for fig_no in [1u32, 7, 9, 15] {
+        let a = figures::by_number(fig_no, &scale, 3).unwrap();
+        let b = figures::by_number(fig_no, &scale, 3).unwrap();
+        assert_eq!(a.series.len(), b.series.len(), "fig{fig_no}");
+        for (sa, sb) in a.series.iter().zip(&b.series) {
+            assert_eq!(sa.points, sb.points, "fig{fig_no}/{}", sa.name);
+        }
+    }
+}
+
+#[test]
+fn table1_is_deterministic() {
+    let a = table1(1_500, 4, 5);
+    let b = table1(1_500, 4, 5);
+    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(ra.mean_error_pct, rb.mean_error_pct);
+        assert_eq!(ra.overhead_messages, rb.overhead_messages);
+    }
+}
+
+#[test]
+fn parallel_replications_independent_of_thread_count() {
+    // The same work mapped over 1 thread and over 8 threads must agree:
+    // seeds derive from the replication index, never from scheduling.
+    let work = |i: usize, seed: u64| {
+        let mut rng = small_rng(seed);
+        let g = HeterogeneousRandom::paper(500 + i * 10).build(&mut rng);
+        let mut msgs = MessageCounter::new();
+        let est = SampleCollide::cheap().estimate(&g, &mut rng, &mut msgs);
+        (est.map(|e| e.to_bits()), msgs.total())
+    };
+    let seeds: Vec<u64> = (0..12).map(|i| p2p_size_estimation::sim::rng::derive_seed(9, i)).collect();
+    let serial = par_map(seeds.clone(), 1, work);
+    let parallel = par_map(seeds, 8, work);
+    assert_eq!(serial, parallel);
+
+    let a = par_replications(33, 6, |_, s| s);
+    let b = par_replications(33, 6, |_, s| s);
+    assert_eq!(a, b);
+}

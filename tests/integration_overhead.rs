@@ -1,0 +1,118 @@
+//! Cross-crate integration: §IV-E overhead accounting and Table I shape.
+
+use p2p_size_estimation::estimation::aggregation::Aggregation;
+use p2p_size_estimation::estimation::{HopsSampling, SampleCollide, SizeEstimator};
+use p2p_size_estimation::experiments::table::table1;
+use p2p_size_estimation::overlay::builder::{GraphBuilder, HeterogeneousRandom};
+use p2p_size_estimation::sim::rng::small_rng;
+use p2p_size_estimation::sim::{MessageCounter, MessageKind};
+
+#[test]
+fn aggregation_overhead_is_exactly_2n_per_round() {
+    // §IV-E: "Overhead = number of nodes × number of rounds × 2".
+    let mut rng = small_rng(1);
+    let g = HeterogeneousRandom::paper(3_000).build(&mut rng);
+    let mut msgs = MessageCounter::new();
+    Aggregation::paper().estimate(&g, &mut rng, &mut msgs).unwrap();
+    assert_eq!(msgs.total(), 3_000 * 50 * 2);
+}
+
+#[test]
+fn hops_sampling_overhead_is_order_2n() {
+    // §IV-E: "a single shot estimation consumes O(2N)".
+    let mut rng = small_rng(2);
+    let g = HeterogeneousRandom::paper(20_000).build(&mut rng);
+    let mut msgs = MessageCounter::new();
+    HopsSampling::paper().estimate(&g, &mut rng, &mut msgs).unwrap();
+    let per_node = msgs.total() as f64 / 20_000.0;
+    assert!(
+        (1.0..3.0).contains(&per_node),
+        "messages per node {per_node}, expected O(2)"
+    );
+}
+
+#[test]
+fn sample_collide_overhead_scales_with_sqrt_n() {
+    // Samples to l collisions ≈ √(2lN); walk length ≈ T·d̄. Doubling N four
+    // times should scale cost by ≈ 2 each two doublings (√N law).
+    let mut rng = small_rng(3);
+    let cost = |n: usize, rng: &mut rand::rngs::SmallRng| {
+        let g = HeterogeneousRandom::paper(n).build(rng);
+        let mut msgs = MessageCounter::new();
+        let mut sc = SampleCollide::paper();
+        for _ in 0..5 {
+            sc.estimate(&g, rng, &mut msgs).unwrap();
+        }
+        msgs.total() as f64 / 5.0
+    };
+    let c1 = cost(5_000, &mut rng);
+    let c4 = cost(20_000, &mut rng);
+    let ratio = c4 / c1;
+    assert!(
+        (1.6..2.6).contains(&ratio),
+        "4x nodes should cost ≈2x (√N): ratio {ratio:.2} ({c1:.0} → {c4:.0})"
+    );
+}
+
+#[test]
+fn sample_collide_paper_scale_overhead_projection() {
+    // The paper reports ≈480k messages for l=200 on 100k nodes. Check the
+    // measured cost at 20k extrapolates to that figure under the √N law:
+    // cost(100k) ≈ cost(20k) · √5 ≈ 480k → cost(20k) ≈ 215k.
+    let mut rng = small_rng(4);
+    let g = HeterogeneousRandom::paper(20_000).build(&mut rng);
+    let mut msgs = MessageCounter::new();
+    let mut sc = SampleCollide::paper();
+    for _ in 0..5 {
+        sc.estimate(&g, &mut rng, &mut msgs).unwrap();
+    }
+    let per_run = msgs.total() as f64 / 5.0;
+    let projected_100k = per_run * (100_000.0f64 / 20_000.0).sqrt();
+    assert!(
+        (330_000.0..650_000.0).contains(&projected_100k),
+        "projected 100k-node cost {projected_100k:.0}, paper ≈ 480k"
+    );
+}
+
+#[test]
+fn walk_length_matches_t_times_mean_degree() {
+    // E[walk steps per sample] ≈ T · d̄ ≈ 10 × 7.2 = 72 on the paper overlay.
+    let mut rng = small_rng(5);
+    let g = HeterogeneousRandom::paper(10_000).build(&mut rng);
+    let mut msgs = MessageCounter::new();
+    let mut sc = SampleCollide::paper();
+    sc.estimate(&g, &mut rng, &mut msgs).unwrap();
+    let steps = msgs.get(MessageKind::WalkStep) as f64;
+    let samples = msgs.get(MessageKind::SampleReply) as f64;
+    let per_sample = steps / samples;
+    assert!(
+        (55.0..90.0).contains(&per_sample),
+        "walk steps per sample {per_sample}, expected ≈ 72"
+    );
+}
+
+#[test]
+fn table1_shape_holds_above_the_crossover() {
+    // The four Table I orderings, measured at 30k (above the S&C-vs-HS
+    // overhead crossover; see EXPERIMENTS.md).
+    let t = table1(30_000, 6, 11);
+    let ov: Vec<f64> = t.rows.iter().map(|r| r.overhead_messages).collect();
+    assert!(ov[0] < ov[1] && ov[1] < ov[2] && ov[2] < ov[3], "{ov:?}");
+    // Aggregation's overhead is the closed form.
+    assert_eq!(ov[3], (30_000 * 50 * 2) as f64);
+    // Rough magnitude relations from the paper: S&C last10 ≈ 10× oneShot;
+    // Aggregation ≈ 2× S&C last10 (paper: 10M vs 5M).
+    assert!((8.0..12.0).contains(&(ov[2] / ov[0])), "last10/oneShot {}", ov[2] / ov[0]);
+    assert!((1.0..4.0).contains(&(ov[3] / ov[2])), "agg/sc-last10 {}", ov[3] / ov[2]);
+}
+
+#[test]
+fn failed_estimations_charge_nothing() {
+    let g = p2p_size_estimation::overlay::Graph::with_capacity(0);
+    let mut rng = small_rng(6);
+    let mut msgs = MessageCounter::new();
+    assert!(SampleCollide::paper().estimate(&g, &mut rng, &mut msgs).is_none());
+    assert!(HopsSampling::paper().estimate(&g, &mut rng, &mut msgs).is_none());
+    assert!(Aggregation::paper().estimate(&g, &mut rng, &mut msgs).is_none());
+    assert_eq!(msgs.total(), 0);
+}

@@ -1,0 +1,137 @@
+//! Cross-crate integration: the three candidates on one static overlay,
+//! exercised through the umbrella crate exactly as a downstream user would.
+
+use p2p_size_estimation::estimation::aggregation::Aggregation;
+use p2p_size_estimation::estimation::{Heuristic, HopsSampling, SampleCollide, SizeEstimator, Smoother};
+use p2p_size_estimation::overlay::builder::{GraphBuilder, HeterogeneousRandom};
+use p2p_size_estimation::overlay::{connectivity, metrics};
+use p2p_size_estimation::sim::rng::small_rng;
+use p2p_size_estimation::sim::{MessageCounter, MessageKind};
+use p2p_size_estimation::stats::summary::within_band;
+
+const N: usize = 10_000;
+const SEED: u64 = 0xC0FFEE;
+
+fn overlay() -> (p2p_size_estimation::overlay::Graph, rand::rngs::SmallRng) {
+    let mut rng = small_rng(SEED);
+    let g = HeterogeneousRandom::paper(N).build(&mut rng);
+    (g, rng)
+}
+
+#[test]
+fn overlay_matches_paper_construction_claims() {
+    let (g, _) = overlay();
+    // §IV-A: max 10 neighbors → average ≈ 7.2; connected (avg deg > log N).
+    let stats = metrics::degree_stats(&g);
+    assert!(stats.max <= 10);
+    assert!((6.8..7.7).contains(&stats.mean), "avg degree {}", stats.mean);
+    assert!(connectivity::is_connected(&g));
+}
+
+#[test]
+fn sample_collide_one_shot_quality_band() {
+    let (g, mut rng) = overlay();
+    let mut sc = SampleCollide::paper();
+    let mut msgs = MessageCounter::new();
+    let qualities: Vec<f64> = (0..20)
+        .map(|_| 100.0 * sc.estimate(&g, &mut rng, &mut msgs).unwrap() / N as f64)
+        .collect();
+    // Paper Fig 1: "most of the time in a 10% precision window, with some
+    // peaks between 10 and 20%".
+    assert!(within_band(&qualities, 10.0) >= 0.6, "{qualities:?}");
+    assert!(within_band(&qualities, 25.0) == 1.0, "{qualities:?}");
+}
+
+#[test]
+fn sample_collide_last10_is_within_a_few_percent() {
+    let (g, mut rng) = overlay();
+    let mut sc = SampleCollide::paper();
+    let mut msgs = MessageCounter::new();
+    let mut smoother = Smoother::new(Heuristic::last10());
+    let mut last = 0.0;
+    for _ in 0..20 {
+        last = smoother.apply(sc.estimate(&g, &mut rng, &mut msgs).unwrap());
+    }
+    let q = 100.0 * last / N as f64;
+    // Paper Fig 1: last10runs "remains within 3 or 4% of the exact value".
+    assert!((94.0..106.0).contains(&q), "smoothed quality {q}");
+}
+
+#[test]
+fn hops_sampling_underestimates_consistently() {
+    let (g, mut rng) = overlay();
+    let mut hs = HopsSampling::paper();
+    let mut msgs = MessageCounter::new();
+    let estimates: Vec<f64> = (0..15)
+        .filter_map(|_| hs.estimate(&g, &mut rng, &mut msgs))
+        .collect();
+    let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
+    // Paper: "Both have a consistent tendency for under estimation", with
+    // last10runs inside a 20% window.
+    assert!(mean < N as f64, "mean estimate {mean} should underestimate");
+    assert!(mean > 0.6 * N as f64, "mean estimate {mean} too low");
+}
+
+#[test]
+fn aggregation_is_near_exact_and_available_everywhere() {
+    let (g, mut rng) = overlay();
+    let mut msgs = MessageCounter::new();
+    let init = g.random_alive(&mut rng).unwrap();
+    let mut run = p2p_size_estimation::estimation::aggregation::AveragingRun::new(&g, init);
+    for _ in 0..50 {
+        run.run_round(&g, &mut rng, &mut msgs);
+    }
+    // §V(p): "eventually the size estimation is available at each node".
+    let mut worst: f64 = 0.0;
+    for node in g.alive_nodes() {
+        let est = run.estimate_at(node).expect("all nodes hold an estimate");
+        worst = worst.max((est / N as f64 - 1.0).abs());
+    }
+    assert!(worst < 0.02, "worst per-node error {worst}");
+}
+
+#[test]
+fn message_kinds_are_disjoint_per_algorithm() {
+    let (g, mut rng) = overlay();
+    let mut msgs = MessageCounter::new();
+    SampleCollide::paper().estimate(&g, &mut rng, &mut msgs).unwrap();
+    assert!(msgs.get(MessageKind::WalkStep) > 0);
+    assert!(msgs.get(MessageKind::GossipForward) == 0);
+    assert!(msgs.get(MessageKind::AggregationPush) == 0);
+
+    let mut msgs = MessageCounter::new();
+    HopsSampling::paper().estimate(&g, &mut rng, &mut msgs).unwrap();
+    assert!(msgs.get(MessageKind::GossipForward) > 0);
+    assert!(msgs.get(MessageKind::PollReply) > 0);
+    assert!(msgs.get(MessageKind::WalkStep) == 0);
+
+    let mut msgs = MessageCounter::new();
+    Aggregation::paper().estimate(&g, &mut rng, &mut msgs).unwrap();
+    assert_eq!(
+        msgs.get(MessageKind::AggregationPush),
+        msgs.get(MessageKind::AggregationPull)
+    );
+    assert!(msgs.get(MessageKind::PollReply) == 0);
+}
+
+#[test]
+fn accuracy_ranking_matches_the_paper() {
+    // §V(o): "Aggregation outperforms the other algorithms"; Sample&Collide
+    // beats HopsSampling (§IV-E).
+    let (g, mut rng) = overlay();
+    let mut msgs = MessageCounter::new();
+    let mean_abs_err = |est: &mut dyn SizeEstimator, rng: &mut rand::rngs::SmallRng, msgs: &mut MessageCounter| {
+        let runs = 8;
+        let mut e = 0.0;
+        for _ in 0..runs {
+            let v = est.estimate(&g, rng, msgs).unwrap();
+            e += (v - N as f64).abs() / N as f64;
+        }
+        e / runs as f64
+    };
+    let agg = mean_abs_err(&mut Aggregation::paper(), &mut rng, &mut msgs);
+    let sc = mean_abs_err(&mut SampleCollide::paper(), &mut rng, &mut msgs);
+    let hs = mean_abs_err(&mut HopsSampling::paper(), &mut rng, &mut msgs);
+    assert!(agg < sc, "Aggregation {agg} must beat Sample&Collide {sc}");
+    assert!(sc < hs, "Sample&Collide {sc} must beat HopsSampling {hs}");
+}

@@ -1,0 +1,321 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * graph bookkeeping survives arbitrary churn interleavings;
+//! * push-pull averaging conserves value mass on static overlays;
+//! * the collision estimators are monotone and self-consistent;
+//! * the sliding window matches a naive reference implementation;
+//! * the bit set behaves like `HashSet<usize>`.
+
+use p2p_size_estimation::estimation::aggregation::AveragingRun;
+use p2p_size_estimation::estimation::sample_collide::{
+    mle_size_estimate, moment_size_estimate, CollisionCounter,
+};
+use p2p_size_estimation::overlay::builder::{ErdosRenyi, GraphBuilder, HeterogeneousRandom};
+use p2p_size_estimation::overlay::{churn, BitSet, Graph, NodeId};
+use p2p_size_estimation::sim::rng::small_rng;
+use p2p_size_estimation::sim::MessageCounter;
+use p2p_size_estimation::stats::SlidingWindow;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// One churn action in a generated interleaving.
+#[derive(Clone, Debug)]
+enum Op {
+    Join(u8),
+    Leave(u8),
+    Catastrophe(u8), // percent 0..=50
+    AddEdge(u16, u16),
+    RemoveEdge(u16, u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u8..10).prop_map(Op::Join),
+        (1u8..10).prop_map(Op::Leave),
+        (0u8..=50).prop_map(Op::Catastrophe),
+        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::AddEdge(a, b)),
+        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::RemoveEdge(a, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn graph_invariants_survive_arbitrary_churn(
+        seed in any::<u64>(),
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        let mut rng = small_rng(seed);
+        let mut g = HeterogeneousRandom::new(60, 6).build(&mut rng);
+        for op in ops {
+            match op {
+                Op::Join(k) => churn::join_nodes(&mut g, k as usize, 6, &mut rng),
+                Op::Leave(k) => { churn::remove_random_nodes(&mut g, k as usize, &mut rng); }
+                Op::Catastrophe(pct) => {
+                    churn::catastrophic_failure(&mut g, pct as f64 / 100.0, &mut rng);
+                }
+                Op::AddEdge(a, b) => {
+                    let slots = g.num_slots() as u16;
+                    if slots > 0 {
+                        g.add_edge(NodeId((a % slots) as u32), NodeId((b % slots) as u32));
+                    }
+                }
+                Op::RemoveEdge(a, b) => {
+                    let slots = g.num_slots() as u16;
+                    if slots > 0 {
+                        g.remove_edge(NodeId((a % slots) as u32), NodeId((b % slots) as u32));
+                    }
+                }
+            }
+            g.check_invariants().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    #[test]
+    fn push_pull_mass_conservation(
+        seed in any::<u64>(),
+        n in 2usize..200,
+        rounds in 1u32..30,
+    ) {
+        let mut rng = small_rng(seed);
+        let edges = (n * 3).min(n * (n - 1) / 2);
+        let g = ErdosRenyi::new(n, edges).build(&mut rng);
+        let init = g.random_alive(&mut rng).unwrap();
+        let mut run = AveragingRun::new(&g, init);
+        let mut msgs = MessageCounter::new();
+        for _ in 0..rounds {
+            run.run_round(&g, &mut rng, &mut msgs);
+        }
+        let mass = run.mass(&g);
+        prop_assert!((mass - 1.0).abs() < 1e-6, "mass {mass}");
+        // Every value stays within [0, 1]: averaging is a convex combination.
+        for node in g.alive_nodes() {
+            let v = run.value_at(node);
+            prop_assert!((0.0..=1.0).contains(&v), "value {v} out of range");
+        }
+    }
+
+    #[test]
+    fn moment_estimator_monotonicity(c in 3u64..10_000, l in 1u64..100) {
+        prop_assume!(l < c / 2);
+        let base = moment_size_estimate(c, l);
+        // More samples for the same collisions → larger estimate.
+        prop_assert!(moment_size_estimate(c + 1, l) > base);
+        // More collisions for the same samples → smaller estimate.
+        prop_assert!(moment_size_estimate(c, l + 1) < base);
+        prop_assert!(base > 0.0);
+    }
+
+    #[test]
+    fn mle_estimator_brackets_truth(n_true in 50u64..50_000) {
+        // Feed the MLE the *expected* collision count for a known N and
+        // check it inverts back to ≈ N.
+        let n = n_true as f64;
+        let c = (2.0 * 64.0 * n).sqrt().round();
+        let expected_coll = c - n * (1.0 - (1.0 - 1.0 / n).powf(c));
+        let l = expected_coll.round().max(1.0);
+        let est = mle_size_estimate(c as u64, l as u64);
+        let rel = (est - n).abs() / n;
+        prop_assert!(rel < 0.25, "N={n}: estimate {est} (rel {rel:.3})");
+    }
+
+    #[test]
+    fn collision_counter_matches_hashset_model(
+        samples in prop::collection::vec(0u32..64, 1..200),
+    ) {
+        let mut counter = CollisionCounter::new(64);
+        let mut model: HashSet<u32> = HashSet::new();
+        let mut model_collisions = 0u64;
+        for &s in &samples {
+            let collided = counter.observe(NodeId(s));
+            if !model.insert(s) {
+                model_collisions += 1;
+                prop_assert!(collided);
+            } else {
+                prop_assert!(!collided);
+            }
+        }
+        prop_assert_eq!(counter.samples(), samples.len() as u64);
+        prop_assert_eq!(counter.collisions(), model_collisions);
+        prop_assert_eq!(counter.distinct(), model.len() as u64);
+    }
+
+    #[test]
+    fn sliding_window_matches_naive_mean(
+        values in prop::collection::vec(-1e6f64..1e6, 1..100),
+        k in 1usize..20,
+    ) {
+        let mut w = SlidingWindow::new(k);
+        for (i, &v) in values.iter().enumerate() {
+            let got = w.push(v);
+            let lo = (i + 1).saturating_sub(k);
+            let window = &values[lo..=i];
+            let want = window.iter().sum::<f64>() / window.len() as f64;
+            prop_assert!((got - want).abs() <= 1e-6 * want.abs().max(1.0),
+                "at {i}: got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn bitset_matches_hashset_model(
+        ops in prop::collection::vec((any::<bool>(), 0usize..500), 1..300),
+    ) {
+        let mut bs = BitSet::with_capacity(64);
+        let mut model: HashSet<usize> = HashSet::new();
+        for (insert, i) in ops {
+            if insert {
+                prop_assert_eq!(bs.insert(i), model.insert(i));
+            } else {
+                prop_assert_eq!(bs.remove(i), model.remove(&i));
+            }
+            prop_assert_eq!(bs.count_ones(), model.len());
+        }
+        let mut from_iter: Vec<usize> = bs.iter().collect();
+        let mut expected: Vec<usize> = model.into_iter().collect();
+        from_iter.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(from_iter, expected);
+    }
+
+    #[test]
+    fn removal_never_leaves_dangling_links(
+        seed in any::<u64>(),
+        kills in prop::collection::vec(0u32..80, 1..80),
+    ) {
+        let mut rng = small_rng(seed);
+        let mut g = HeterogeneousRandom::new(80, 8).build(&mut rng);
+        for k in kills {
+            g.remove_node(NodeId(k % 80));
+            for node in g.alive_nodes() {
+                for &nb in g.neighbors(node) {
+                    prop_assert!(g.is_alive(nb), "dangling link {node:?}→{nb:?}");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gossip_spread_structural_properties(
+        seed in any::<u64>(),
+        n in 10usize..400,
+        fanout in 1u32..5,
+        neighbor_mode in any::<bool>(),
+    ) {
+        use p2p_size_estimation::estimation::hops_sampling::{gossip_spread, HopsSamplingConfig};
+        let mut rng = small_rng(seed);
+        let g = HeterogeneousRandom::new(n, 8).build(&mut rng);
+        let mut cfg = HopsSamplingConfig::paper();
+        cfg.gossip_to = fanout;
+        if neighbor_mode {
+            cfg = cfg.with_neighbor_targets();
+        }
+        let init = g.random_alive(&mut rng).unwrap();
+        let mut msgs = MessageCounter::new();
+        let out = gossip_spread(&g, init, &cfg, &mut rng, &mut msgs);
+        // Reached count equals the number of finite believed distances.
+        let finite = out.min_hops.iter().filter(|&&d| d != u32::MAX).count();
+        prop_assert_eq!(finite, out.reached);
+        prop_assert!(out.reached >= 1 && out.reached <= g.alive_count());
+        prop_assert_eq!(out.min_hops[init.index()], 0);
+        // Each reached node forwards at most gossipFor turns of gossipTo.
+        let forwards = msgs.total();
+        prop_assert!(
+            forwards <= (out.reached as u64) * (fanout as u64) * (cfg.gossip_for as u64),
+            "forwards {forwards} exceed bound"
+        );
+        // Distances are wave-consistent: some node at every level 1..max.
+        let max_d = out.min_hops.iter().copied().filter(|&d| d != u32::MAX).max().unwrap();
+        for level in 0..=max_d {
+            prop_assert!(
+                out.min_hops.iter().any(|&d| d == level),
+                "no node at distance {level} (max {max_d})"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_collide_estimates_are_positive_and_seedwise_stable(
+        seed in any::<u64>(),
+        n in 20usize..400,
+        l in 1u32..32,
+    ) {
+        use p2p_size_estimation::estimation::sample_collide::{SampleCollide, SampleCollideConfig};
+        let mut rng_a = small_rng(seed);
+        let mut rng_b = small_rng(seed);
+        let ga = HeterogeneousRandom::new(n, 8).build(&mut rng_a);
+        let gb = HeterogeneousRandom::new(n, 8).build(&mut rng_b);
+        let sc = SampleCollide::with_config(SampleCollideConfig::paper().with_l(l));
+        let mut ma = MessageCounter::new();
+        let mut mb = MessageCounter::new();
+        let ia = ga.random_alive(&mut rng_a).unwrap();
+        let ib = gb.random_alive(&mut rng_b).unwrap();
+        let ea = sc.estimate_from(&ga, ia, &mut rng_a, &mut ma);
+        let eb = sc.estimate_from(&gb, ib, &mut rng_b, &mut mb);
+        prop_assert_eq!(ea, eb, "same seed must reproduce");
+        if let Some(e) = ea {
+            prop_assert!(e >= 1.0, "estimate {e} below 1");
+            prop_assert!(e.is_finite());
+        }
+    }
+
+    #[test]
+    fn membership_views_stay_valid_under_churn(
+        seed in any::<u64>(),
+        rounds in 1usize..20,
+        kill in 0usize..60,
+        join in 0usize..40,
+    ) {
+        use p2p_size_estimation::overlay::membership::PeerSamplingService;
+        let mut rng = small_rng(seed);
+        let mut g = HeterogeneousRandom::new(120, 8).build(&mut rng);
+        let mut svc = PeerSamplingService::bootstrap(&g, 10, 5, &mut rng);
+        for r in 0..rounds {
+            if r == rounds / 2 {
+                churn::remove_random_nodes(&mut g, kill, &mut rng);
+                churn::join_nodes(&mut g, join, 8, &mut rng);
+            }
+            svc.shuffle_round(&g, &mut rng);
+            svc.check_invariants().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    #[test]
+    fn epoched_aggregation_estimates_bounded_by_population(
+        seed in any::<u64>(),
+        n in 10usize..300,
+        rounds in 10u32..80,
+    ) {
+        use p2p_size_estimation::estimation::aggregation::{AggregationConfig, EpochedAggregation};
+        let mut rng = small_rng(seed);
+        let g = HeterogeneousRandom::new(n, 8).build(&mut rng);
+        let mut agg = EpochedAggregation::new(AggregationConfig { rounds_per_estimate: rounds });
+        agg.start_epoch(&g, &mut rng).unwrap();
+        let mut msgs = MessageCounter::new();
+        for _ in 0..rounds {
+            agg.run_round(&g, &mut rng, &mut msgs);
+        }
+        if let Some(est) = agg.current_estimate(&g, &mut rng) {
+            // 1/value with value ∈ (0,1] mass split over ≤ n participants:
+            // the estimate can overshoot population mid-convergence but must
+            // stay positive and finite; after convergence it approaches n.
+            prop_assert!(est >= 1.0 && est.is_finite(), "estimate {est}");
+        }
+        // Participants never exceed the population.
+        prop_assert!(agg.participants(&g) <= g.alive_count());
+    }
+}
+
+#[test]
+fn empty_graph_edge_cases_do_not_panic() {
+    // Deterministic companion to the generated cases.
+    let mut g = Graph::with_capacity(0);
+    let mut rng = small_rng(0);
+    assert_eq!(churn::remove_random_nodes(&mut g, 10, &mut rng), 0);
+    assert_eq!(churn::catastrophic_failure(&mut g, 0.5, &mut rng), 0);
+    g.check_invariants().unwrap();
+}
