@@ -26,13 +26,12 @@ fn mean_abs_err_and_cost<E: SizeEstimator>(
     let truth = graph.alive_count() as f64;
     let mut err = 0.0;
     for _ in 0..runs {
-        let e = est.estimate(graph, &mut rng, &mut msgs).expect("static overlay");
+        let e = est
+            .estimate(graph, &mut rng, &mut msgs)
+            .expect("static overlay");
         err += (e - truth).abs() / truth;
     }
-    (
-        100.0 * err / runs as f64,
-        msgs.total() as f64 / runs as f64,
-    )
+    (100.0 * err / runs as f64, msgs.total() as f64 / runs as f64)
 }
 
 /// §IV-E / §V(m): the accuracy-vs-cost knob `l`. The paper reports cost
@@ -41,12 +40,15 @@ fn l_sweep(c: &mut Criterion) {
     let mut rng = small_rng(BENCH_SEED);
     let graph = HeterogeneousRandom::paper(20_000).build(&mut rng);
     println!("\n[ablation] Sample&Collide l sweep on 20k nodes (15 runs each)");
-    println!("{:>6} {:>10} {:>14} {:>12}", "l", "|err| %", "msgs/est", "ratio");
+    println!(
+        "{:>6} {:>10} {:>14} {:>12}",
+        "l", "|err| %", "msgs/est", "ratio"
+    );
     let mut prev_cost = None;
     for l in [10u32, 50, 100, 200] {
-        let mut sc =
-            SampleCollide::with_config(SampleCollideConfig::paper().with_l(l));
-        let (err, cost) = mean_abs_err_and_cost(&mut sc, &graph, 15, derive_seed(BENCH_SEED, l as u64));
+        let mut sc = SampleCollide::with_config(SampleCollideConfig::paper().with_l(l));
+        let (err, cost) =
+            mean_abs_err_and_cost(&mut sc, &graph, 15, derive_seed(BENCH_SEED, l as u64));
         let ratio = prev_cost.map(|p: f64| cost / p).unwrap_or(f64::NAN);
         println!("{l:>6} {err:>10.2} {cost:>14.0} {ratio:>12.2}");
         prev_cost = Some(cost);
@@ -78,11 +80,7 @@ fn t_bias(c: &mut Criterion) {
             counts[s.index()] += 1;
         }
         let unif = draws as f64 / graph.alive_count() as f64;
-        0.5 * counts
-            .iter()
-            .map(|&c| (c as f64 - unif).abs())
-            .sum::<f64>()
-            / draws as f64
+        0.5 * counts.iter().map(|&c| (c as f64 - unif).abs()).sum::<f64>() / draws as f64
     };
     println!("\n[ablation] CTRW sampling bias vs walk budget T (500 nodes, 100k draws)");
     println!("{:>8} {:>10}", "T", "TV dist");
@@ -114,7 +112,10 @@ fn topology(c: &mut Criterion) {
     let hetero = HeterogeneousRandom::paper(10_000).build(&mut rng);
     let homo = HomogeneousRandom::new(10_000, 7).build(&mut rng);
     println!("\n[ablation] topology: heterogeneous (max 10) vs homogeneous (k=7), 10k nodes");
-    println!("{:<24} {:>14} {:>12}", "algorithm", "hetero |err|%", "homo |err|%");
+    println!(
+        "{:<24} {:>14} {:>12}",
+        "algorithm", "hetero |err|%", "homo |err|%"
+    );
     let mut sc = SampleCollide::paper();
     let (e_het, _) = mean_abs_err_and_cost(&mut sc, &hetero, 12, derive_seed(BENCH_SEED, 31));
     let (e_hom, _) = mean_abs_err_and_cost(&mut sc, &homo, 12, derive_seed(BENCH_SEED, 32));
@@ -124,7 +125,10 @@ fn topology(c: &mut Criterion) {
     };
     let (e_het, _) = mean_abs_err_and_cost(&mut hs, &hetero, 12, derive_seed(BENCH_SEED, 33));
     let (e_hom, _) = mean_abs_err_and_cost(&mut hs, &homo, 12, derive_seed(BENCH_SEED, 34));
-    println!("{:<24} {e_het:>14.2} {e_hom:>12.2}", "HopsSampling (neighbor)");
+    println!(
+        "{:<24} {e_het:>14.2} {e_hom:>12.2}",
+        "HopsSampling (neighbor)"
+    );
 
     c.bench_function("ablation_topology/sc_estimate_homogeneous_10k", |b| {
         let mut sc = SampleCollide::paper();
@@ -178,7 +182,8 @@ fn min_hops(c: &mut Criterion) {
         let mut hs = HopsSampling {
             config: HopsSamplingConfig::paper().with_min_hops(m),
         };
-        let (err, cost) = mean_abs_err_and_cost(&mut hs, &graph, 12, derive_seed(BENCH_SEED, 60 + m as u64));
+        let (err, cost) =
+            mean_abs_err_and_cost(&mut hs, &graph, 12, derive_seed(BENCH_SEED, 60 + m as u64));
         println!("{m:>6} {err:>10.2} {cost:>14.0}");
     }
     c.bench_function("ablation_min_hops/hs_estimate_m2_20k", |b| {
@@ -199,7 +204,10 @@ fn hs_target_mode(c: &mut Criterion) {
     println!("{:<12} {:>10} {:>12}", "mode", "reach", "max dist");
     for (name, cfg) in [
         ("membership", HopsSamplingConfig::paper()),
-        ("neighbors", HopsSamplingConfig::paper().with_neighbor_targets()),
+        (
+            "neighbors",
+            HopsSamplingConfig::paper().with_neighbor_targets(),
+        ),
     ] {
         let mut msgs = MessageCounter::new();
         let (mut reach, mut maxd) = (0.0, 0u32);

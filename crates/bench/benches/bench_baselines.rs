@@ -43,13 +43,19 @@ fn random_tour(c: &mut Criterion) {
     let mut rng = small_rng(derive_seed(BENCH_SEED, 1));
     let graph = HeterogeneousRandom::paper(5_000).build(&mut rng);
     println!("\n[baseline] Random Tour vs Sample&Collide (5k nodes, 15 runs)");
-    println!("{:<18} {:>10} {:>10} {:>14}", "algorithm", "quality%", "|err|%", "msgs/est");
+    println!(
+        "{:<18} {:>10} {:>10} {:>14}",
+        "algorithm", "quality%", "|err|%", "msgs/est"
+    );
     let mut rt = RandomTour::default();
     let (q, e_rt, m_rt) = stats_of(&mut rt, &graph, 15, derive_seed(BENCH_SEED, 11));
     println!("{:<18} {q:>10.1} {e_rt:>10.1} {m_rt:>14.0}", "RandomTour");
     let mut sc = SampleCollide::paper();
     let (q, e_sc, m_sc) = stats_of(&mut sc, &graph, 15, derive_seed(BENCH_SEED, 12));
-    println!("{:<18} {q:>10.1} {e_sc:>10.1} {m_sc:>14.0}", "Sample&Collide");
+    println!(
+        "{:<18} {q:>10.1} {e_sc:>10.1} {m_sc:>14.0}",
+        "Sample&Collide"
+    );
     // A single tour is cheap but wildly noisy; the fair comparison is cost
     // at equal accuracy. Error averages down as 1/√runs, so Random Tour
     // needs (e_rt/e_sc)² tours to match one S&C estimation.

@@ -1,0 +1,78 @@
+//! Unified-driver benches — times the protocol-generic `run_scenario` for
+//! all three algorithm classes on the same dynamic scenario, and the
+//! parallel replication sweep, so regressions in the shared driver (not just
+//! in the per-algorithm primitives) show up in `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p2p_bench::{criterion_config, BENCH_SEED};
+use p2p_estimation::aggregation::{AggregationConfig, EpochedAggregation};
+use p2p_estimation::{Heuristic, HopsSampling, SampleCollide};
+use p2p_experiments::runner::{run_replications, run_scenario};
+use p2p_experiments::Scenario;
+use std::hint::black_box;
+
+fn scenario_driver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_scenario");
+    group.bench_function("sample_collide_catastrophic_2k_x20", |b| {
+        let scenario = Scenario::catastrophic(2_000, 20);
+        b.iter(|| {
+            let mut sc = SampleCollide::cheap();
+            black_box(run_scenario(
+                &mut sc,
+                &scenario,
+                Heuristic::OneShot,
+                BENCH_SEED,
+                "sc",
+            ))
+        });
+    });
+    group.bench_function("hops_sampling_catastrophic_2k_x20", |b| {
+        let scenario = Scenario::catastrophic(2_000, 20);
+        b.iter(|| {
+            let mut hs = HopsSampling::paper();
+            black_box(run_scenario(
+                &mut hs,
+                &scenario,
+                Heuristic::last10(),
+                BENCH_SEED,
+                "hs",
+            ))
+        });
+    });
+    group.bench_function("epoched_aggregation_catastrophic_2k_x100", |b| {
+        let scenario = Scenario::catastrophic(2_000, 100);
+        b.iter(|| {
+            let mut agg = EpochedAggregation::new(AggregationConfig::paper());
+            black_box(run_scenario(
+                &mut agg,
+                &scenario,
+                Heuristic::OneShot,
+                BENCH_SEED,
+                "agg",
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn replication_sweep(c: &mut Criterion) {
+    c.bench_function("run_replications/sample_collide_8x_static_2k", |b| {
+        let scenario = Scenario::static_network(2_000, 10);
+        b.iter(|| {
+            black_box(run_replications(
+                |_| SampleCollide::cheap(),
+                &scenario,
+                Heuristic::OneShot,
+                BENCH_SEED,
+                8,
+            ))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = scenario_driver, replication_sweep
+}
+criterion_main!(benches);

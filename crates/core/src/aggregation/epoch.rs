@@ -62,6 +62,24 @@ impl EpochedAggregation {
         self.epoch
     }
 
+    /// Rounds executed within the current epoch.
+    pub fn rounds_done(&self) -> u32 {
+        self.rounds_done
+    }
+
+    /// Forgets every epoch: values, tags and the running epoch counter all
+    /// return to the idle state. Call when the monitored overlay is replaced
+    /// wholesale — per-slot state must not leak onto an unrelated graph
+    /// whose slot indices happen to alias the old one's.
+    pub fn reset(&mut self) {
+        self.values.clear();
+        self.epoch_of.clear();
+        self.joined_at.clear();
+        self.epoch = 0;
+        self.rounds_done = 0;
+        self.initiator = None;
+    }
+
     /// The current epoch's initiator, if an epoch is running.
     pub fn initiator(&self) -> Option<NodeId> {
         self.initiator
@@ -284,7 +302,10 @@ mod tests {
         }
         graph.remove_node(init);
         let est = agg.current_estimate(&graph, &mut rng);
-        assert!(est.is_some(), "estimate must be readable at surviving nodes");
+        assert!(
+            est.is_some(),
+            "estimate must be readable at surviving nodes"
+        );
         let q = est.unwrap() / 1_000.0;
         assert!((0.9..1.1).contains(&q), "quality {q}");
     }

@@ -249,7 +249,12 @@ mod tests {
         let graph = HeterogeneousRandom::paper(2_000).build(&mut rng);
         let mut msgs = MessageCounter::new();
         Aggregation::paper()
-            .estimate_from(&graph, graph.random_alive(&mut rng).unwrap(), &mut rng, &mut msgs)
+            .estimate_from(
+                &graph,
+                graph.random_alive(&mut rng).unwrap(),
+                &mut rng,
+                &mut msgs,
+            )
             .unwrap();
         assert_eq!(msgs.total(), 2_000 * 50 * 2);
         assert_eq!(msgs.get(MessageKind::AggregationPush), 2_000 * 50);

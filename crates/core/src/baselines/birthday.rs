@@ -127,7 +127,9 @@ mod tests {
         let runs = 200;
         for _ in 0..runs {
             let init = graph.random_alive(&mut rng).unwrap();
-            let e = est.estimate_from(&graph, init, &mut rng, &mut msgs).unwrap();
+            let e = est
+                .estimate_from(&graph, init, &mut rng, &mut msgs)
+                .unwrap();
             if !(0.5..1.5).contains(&(e / 2_000.0)) {
                 outliers += 1;
             }
@@ -153,7 +155,11 @@ mod tests {
             m_biased < 0.8 * m_fair,
             "biased {m_biased:.0} should sit well below unbiased {m_fair:.0}"
         );
-        assert!((0.6..1.5).contains(&(m_fair / 2_000.0)), "fair quality {}", m_fair / 2_000.0);
+        assert!(
+            (0.6..1.5).contains(&(m_fair / 2_000.0)),
+            "fair quality {}",
+            m_fair / 2_000.0
+        );
     }
 
     #[test]

@@ -123,7 +123,9 @@ mod tests {
         let runs = 800;
         let mut mean = 0.0;
         for _ in 0..runs {
-            mean += rt.estimate_from(&graph, NodeId(0), &mut rng, &mut msgs).unwrap();
+            mean += rt
+                .estimate_from(&graph, NodeId(0), &mut rng, &mut msgs)
+                .unwrap();
         }
         mean /= runs as f64;
         assert!((24.0..36.0).contains(&mean), "mean estimate {mean}");
@@ -159,7 +161,9 @@ mod tests {
         let mut rng = small_rng(403);
         let mut msgs = MessageCounter::new();
         let rt = RandomTour::default();
-        assert!(rt.estimate_from(&graph, NodeId(0), &mut rng, &mut msgs).is_none());
+        assert!(rt
+            .estimate_from(&graph, NodeId(0), &mut rng, &mut msgs)
+            .is_none());
     }
 
     #[test]
@@ -171,10 +175,19 @@ mod tests {
         let mut none_count = 0;
         for _ in 0..20 {
             let init = graph.random_alive(&mut rng).unwrap();
-            if rt.estimate_from(&graph, init, &mut rng, &mut msgs).is_none() {
+            if rt
+                .estimate_from(&graph, init, &mut rng, &mut msgs)
+                .is_none()
+            {
                 none_count += 1;
             }
         }
-        assert!(none_count >= 19, "valve must trip on a 2000-node overlay");
+        // A tour escapes the valve only by returning within 5 steps, which
+        // happens with probability ≈ 1/d̄ ≈ 0.15 per tour — so the valve
+        // trips on the vast majority, but not necessarily 19 of 20.
+        assert!(
+            none_count >= 14,
+            "valve must trip on most tours on a 2000-node overlay, tripped {none_count}/20"
+        );
     }
 }

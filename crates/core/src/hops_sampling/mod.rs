@@ -154,7 +154,14 @@ impl HopsSampling {
             return None;
         }
         let dist = connectivity::bfs_distances(graph, initiator);
-        Some(poll_replies(graph, initiator, &dist, &self.config, rng, msgs))
+        Some(poll_replies(
+            graph,
+            initiator,
+            &dist,
+            &self.config,
+            rng,
+            msgs,
+        ))
     }
 }
 
@@ -337,7 +344,9 @@ mod tests {
         let mut rng = small_rng(205);
         let mut msgs = MessageCounter::new();
         let hs = HopsSampling::paper();
-        assert!(hs.estimate_from(&graph, NodeId(0), &mut rng, &mut msgs).is_none());
+        assert!(hs
+            .estimate_from(&graph, NodeId(0), &mut rng, &mut msgs)
+            .is_none());
     }
 
     #[test]
@@ -346,7 +355,9 @@ mod tests {
         let mut rng = small_rng(206);
         let mut msgs = MessageCounter::new();
         let hs = HopsSampling::paper();
-        let est = hs.estimate_from(&graph, NodeId(0), &mut rng, &mut msgs).unwrap();
+        let est = hs
+            .estimate_from(&graph, NodeId(0), &mut rng, &mut msgs)
+            .unwrap();
         assert_eq!(est, 1.0);
     }
 }

@@ -303,7 +303,12 @@ mod tests {
             m_reach += m.reach_fraction(&graph);
             n_reach += n.reach_fraction(&graph);
             let maxd = |o: &SpreadOutcome| {
-                o.min_hops.iter().copied().filter(|&d| d != u32::MAX).max().unwrap()
+                o.min_hops
+                    .iter()
+                    .copied()
+                    .filter(|&d| d != u32::MAX)
+                    .max()
+                    .unwrap()
             };
             m_maxd = m_maxd.max(maxd(&m));
             n_maxd = n_maxd.max(maxd(&n));

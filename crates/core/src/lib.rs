@@ -21,8 +21,18 @@
 //! reply heuristic), so that each rejection can be re-validated as an
 //! ablation.
 //!
-//! All algorithms implement [`SizeEstimator`], charge every simulated message
-//! to a [`p2p_sim::MessageCounter`], and draw randomness only from the caller
+//! ## One API for all three classes
+//!
+//! The one-shot algorithms implement [`SizeEstimator`]; *every* algorithm —
+//! the epoched epidemic variant included — is driven through the
+//! round-based [`EstimationProtocol`] (see [`protocol`]): a protocol is
+//! stepped, and each step reports an estimate, stays pending, or fails.
+//! `p2p_experiments::runner::run_scenario` and [`SizeMonitor`] accept any
+//! `EstimationProtocol`, so static and dynamic scenarios, monitoring and
+//! Table I all share a single driver across the three classes.
+//!
+//! All algorithms charge every simulated message to a
+//! [`p2p_sim::MessageCounter`], and draw randomness only from the caller
 //! supplied RNG — simulations are deterministic per seed.
 //!
 //! ## Example
@@ -46,6 +56,7 @@ pub mod baselines;
 pub mod heuristics;
 pub mod hops_sampling;
 pub mod monitor;
+pub mod protocol;
 pub mod sample_collide;
 pub mod sampling;
 
@@ -53,6 +64,7 @@ pub use aggregation::Aggregation;
 pub use heuristics::{Heuristic, Smoother};
 pub use hops_sampling::HopsSampling;
 pub use monitor::SizeMonitor;
+pub use protocol::{estimate_once, EstimationProtocol, StepOutcome};
 pub use sample_collide::SampleCollide;
 
 use p2p_overlay::Graph;

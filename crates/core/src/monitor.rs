@@ -5,13 +5,16 @@
 //! order to track size variations; the monitoring process should sample
 //! continuously the system in order to provide periodical estimations."
 //!
-//! [`SizeMonitor`] packages that loop for library users: it owns an
-//! estimator, applies a reporting [`Heuristic`], keeps a bounded history,
-//! and tracks the cumulative message bill — everything an application needs
-//! to expose a "current network size" gauge.
+//! [`SizeMonitor`] packages that loop for library users around any
+//! [`EstimationProtocol`]: it steps the protocol once per tick, applies a
+//! reporting [`Heuristic`], keeps a bounded history, and tracks the
+//! cumulative message bill — everything an application needs to expose a
+//! "current network size" gauge. Because the epidemic class implements the
+//! protocol natively, the monitor covers epoched Aggregation too: ticks map
+//! to gossip rounds, and a reading appears at each epoch boundary.
 
 use crate::heuristics::{Heuristic, Smoother};
-use crate::SizeEstimator;
+use crate::protocol::{EstimationProtocol, StepOutcome};
 use p2p_overlay::Graph;
 use p2p_sim::MessageCounter;
 use rand::rngs::SmallRng;
@@ -20,73 +23,98 @@ use std::collections::VecDeque;
 /// One entry of the monitor's history.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Reading {
-    /// Monotone tick index of the estimation.
+    /// Monotone tick index of the step that reported this estimate.
     pub tick: u64,
-    /// Raw estimate of this tick's run.
+    /// Raw estimate of the reporting period.
     pub raw: f64,
     /// Heuristic-smoothed value actually reported.
     pub reported: f64,
-    /// Messages this tick's run cost.
+    /// Messages the reporting period cost — for one-shot estimators that is
+    /// one tick's traffic; for round-driven protocols it spans every pending
+    /// tick since the previous report.
     pub cost: u64,
 }
 
-/// A perpetual estimation loop around any [`SizeEstimator`].
+/// A perpetual estimation loop around any [`EstimationProtocol`].
 #[derive(Debug)]
-pub struct SizeMonitor<E: SizeEstimator> {
-    estimator: E,
+pub struct SizeMonitor<P: EstimationProtocol> {
+    protocol: P,
     smoother: Smoother,
     history: VecDeque<Reading>,
     history_cap: usize,
     tick: u64,
+    reports: u64,
     failures: u64,
+    started: bool,
+    /// Traffic accumulated since the last report, attributed to the next one.
+    pending_cost: u64,
     total_messages: MessageCounter,
 }
 
-impl<E: SizeEstimator> SizeMonitor<E> {
-    /// Wraps `estimator` with the given reporting heuristic, keeping up to
+impl<P: EstimationProtocol> SizeMonitor<P> {
+    /// Wraps `protocol` with the given reporting heuristic, keeping up to
     /// `history_cap` readings (must be ≥ 1).
-    pub fn new(estimator: E, heuristic: Heuristic, history_cap: usize) -> Self {
+    pub fn new(protocol: P, heuristic: Heuristic, history_cap: usize) -> Self {
         assert!(history_cap >= 1, "history capacity must be positive");
         SizeMonitor {
-            estimator,
+            protocol,
             smoother: Smoother::new(heuristic),
             history: VecDeque::with_capacity(history_cap),
             history_cap,
             tick: 0,
+            reports: 0,
             failures: 0,
+            started: false,
+            pending_cost: 0,
             total_messages: MessageCounter::new(),
         }
     }
 
-    /// Runs one estimation on the current overlay snapshot.
+    /// Advances the protocol by one step on the current overlay snapshot.
     ///
-    /// Returns the new reading, or `None` when the estimator could not
-    /// produce a value this tick (counted in [`failures`](Self::failures);
-    /// the history and smoothing state are untouched so one shattered tick
-    /// does not poison the report).
+    /// Returns the new reading when the step closed a reporting period with
+    /// an estimate. `None` means the step is still pending (round-driven
+    /// protocols mid-epoch) *or* the period failed — failures are counted in
+    /// [`failures`](Self::failures); the history and smoothing state are
+    /// untouched either way, so one shattered period does not poison the
+    /// report.
     pub fn tick(&mut self, graph: &Graph, rng: &mut SmallRng) -> Option<Reading> {
         self.tick += 1;
-        let mut msgs = MessageCounter::new();
-        let Some(raw) = self.estimator.estimate(graph, rng, &mut msgs) else {
-            self.failures += 1;
-            self.total_messages.merge(&msgs);
-            return None;
-        };
-        let reading = Reading {
-            tick: self.tick,
-            raw,
-            reported: self.smoother.apply(raw),
-            cost: msgs.total(),
-        };
-        self.total_messages.merge(&msgs);
-        if self.history.len() == self.history_cap {
-            self.history.pop_front();
+        if !self.started {
+            self.protocol.start(graph, rng);
+            self.started = true;
         }
-        self.history.push_back(reading);
-        Some(reading)
+        let mut msgs = MessageCounter::new();
+        let outcome = self.protocol.step(graph, rng, &mut msgs);
+        self.pending_cost += msgs.total();
+        self.total_messages.merge(&msgs);
+        match outcome {
+            StepOutcome::Pending => None,
+            StepOutcome::Failed => {
+                self.failures += 1;
+                // The failed period's traffic is spent; do not bill it to
+                // the next successful reading.
+                self.pending_cost = 0;
+                None
+            }
+            StepOutcome::Estimate(raw) => {
+                let reading = Reading {
+                    tick: self.tick,
+                    raw,
+                    reported: self.smoother.apply(raw),
+                    cost: std::mem::take(&mut self.pending_cost),
+                };
+                self.reports += 1;
+                if self.history.len() == self.history_cap {
+                    self.history.pop_front();
+                }
+                self.history.push_back(reading);
+                Some(reading)
+            }
+        }
     }
 
-    /// The most recent reported value, if any tick has succeeded.
+    /// The most recent reported value, if any period has succeeded.
     pub fn current(&self) -> Option<f64> {
         self.history.back().map(|r| r.reported)
     }
@@ -96,12 +124,17 @@ impl<E: SizeEstimator> SizeMonitor<E> {
         self.history.iter()
     }
 
-    /// Total ticks attempted.
+    /// Total ticks (protocol steps) attempted.
     pub fn ticks(&self) -> u64 {
         self.tick
     }
 
-    /// Ticks whose estimation failed (e.g. initiator isolated by churn).
+    /// Reporting periods that produced an estimate.
+    pub fn reports(&self) -> u64 {
+        self.reports
+    }
+
+    /// Reporting periods that failed (e.g. initiator isolated by churn).
     pub fn failures(&self) -> u64 {
         self.failures
     }
@@ -113,24 +146,28 @@ impl<E: SizeEstimator> SizeMonitor<E> {
 
     /// Mean cost (messages) per successful estimation so far.
     pub fn mean_cost(&self) -> Option<f64> {
-        let succeeded = self.tick - self.failures;
-        (succeeded > 0).then(|| {
+        (self.reports > 0).then(|| {
             // Failures may still have charged partial traffic; include it —
             // that traffic was really spent to obtain the current report.
-            self.total_messages.total() as f64 / succeeded as f64
+            self.total_messages.total() as f64 / self.reports as f64
         })
     }
 
-    /// The underlying estimator's name.
+    /// The underlying protocol's name.
     pub fn name(&self) -> &'static str {
-        self.estimator.name()
+        self.protocol.name()
     }
 
-    /// Drops smoothing state and history — call after a known network reset
-    /// (e.g. the application rejoined a different overlay).
+    /// Drops smoothing state, history, any pending-period cost *and* the
+    /// protocol's own accumulated state — call after a known network reset
+    /// (e.g. the application rejoined a different overlay). The protocol's
+    /// `start` hook runs again on the next tick.
     pub fn reset(&mut self) {
         self.smoother.reset();
         self.history.clear();
+        self.pending_cost = 0;
+        self.protocol.reset();
+        self.started = false;
     }
 }
 
@@ -149,9 +186,21 @@ pub fn smooth_monitor() -> SizeMonitor<crate::SampleCollide> {
     SizeMonitor::new(crate::SampleCollide::cheap(), Heuristic::last10(), 64)
 }
 
+/// Convenience constructor: the epidemic class as a perpetual gauge — each
+/// tick is one gossip round; a reading appears at each 50-round epoch
+/// boundary (§IV-D(k)). Impossible under the historic one-shot-only monitor.
+pub fn epidemic_monitor() -> SizeMonitor<crate::aggregation::EpochedAggregation> {
+    SizeMonitor::new(
+        crate::aggregation::EpochedAggregation::new(crate::aggregation::AggregationConfig::paper()),
+        Heuristic::OneShot,
+        64,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::aggregation::{AggregationConfig, EpochedAggregation};
     use crate::SampleCollide;
     use p2p_overlay::builder::{GraphBuilder, HeterogeneousRandom};
     use p2p_overlay::churn;
@@ -167,6 +216,7 @@ mod tests {
             mon.tick(&graph, &mut rng).expect("static overlay");
         }
         assert_eq!(mon.ticks(), 10);
+        assert_eq!(mon.reports(), 10);
         assert_eq!(mon.failures(), 0);
         let current = mon.current().unwrap();
         assert!((current / 3_000.0 - 1.0).abs() < 0.25, "estimate {current}");
@@ -213,7 +263,11 @@ mod tests {
         churn::remove_random_nodes(&mut graph, 50, &mut rng);
         assert!(mon.tick(&graph, &mut rng).is_none());
         assert_eq!(mon.failures(), 1);
-        assert_eq!(mon.current().map(|c| c > 0.0), Some(true), "last good reading kept");
+        assert_eq!(
+            mon.current().map(|c| c > 0.0),
+            Some(true),
+            "last good reading kept"
+        );
     }
 
     #[test]
@@ -249,5 +303,115 @@ mod tests {
         assert!(mon.current().is_none());
         assert_eq!(mon.ticks(), 5, "tick counter is cumulative");
         assert_eq!(mon.total_messages().total(), spent, "bill is cumulative");
+    }
+
+    #[test]
+    fn monitor_drives_epoched_aggregation() {
+        // The capability the historic monitor lacked: perpetual monitoring
+        // of the epidemic class. 3 epochs of 20 rounds → 3 readings.
+        let mut rng = small_rng(606);
+        let graph = HeterogeneousRandom::paper(1_000).build(&mut rng);
+        let mut mon = SizeMonitor::new(
+            EpochedAggregation::new(AggregationConfig {
+                rounds_per_estimate: 20,
+            }),
+            Heuristic::OneShot,
+            8,
+        );
+        let mut reading_ticks = Vec::new();
+        for _ in 0..60 {
+            if let Some(r) = mon.tick(&graph, &mut rng) {
+                reading_ticks.push(r.tick);
+                let q = r.raw / 1_000.0;
+                // 20-round epochs at N=1000 spend ~half the epoch on the
+                // participation ramp-up, so readings are loose (the paper's
+                // 50-round epochs converge; this test is about plumbing).
+                assert!((0.5..1.6).contains(&q), "epoch estimate quality {q}");
+                assert!(r.cost > 0, "epoch cost must cover its rounds");
+            }
+        }
+        assert_eq!(reading_ticks, vec![20, 40, 60]);
+        assert_eq!(mon.ticks(), 60);
+        assert_eq!(mon.reports(), 3);
+        assert_eq!(mon.failures(), 0);
+        assert_eq!(mon.name(), "Aggregation");
+    }
+
+    #[test]
+    fn epoch_reading_cost_spans_pending_ticks() {
+        // The reading's cost must equal all traffic since the last report —
+        // i.e. the whole epoch's messages, not the final round's.
+        let mut rng = small_rng(607);
+        let graph = HeterogeneousRandom::paper(300).build(&mut rng);
+        let mut mon = SizeMonitor::new(
+            EpochedAggregation::new(AggregationConfig {
+                rounds_per_estimate: 10,
+            }),
+            Heuristic::OneShot,
+            8,
+        );
+        let mut first = None;
+        for _ in 0..10 {
+            if let Some(r) = mon.tick(&graph, &mut rng) {
+                first = Some(r);
+            }
+        }
+        let first = first.expect("one epoch completed");
+        assert_eq!(first.cost, mon.total_messages().total());
+    }
+
+    #[test]
+    fn reset_discards_protocol_state_for_a_new_overlay() {
+        let mut rng = small_rng(609);
+        let graph_a = HeterogeneousRandom::paper(2_000).build(&mut rng);
+        let graph_b = HeterogeneousRandom::paper(400).build(&mut rng);
+        let mut mon = SizeMonitor::new(
+            EpochedAggregation::new(AggregationConfig {
+                rounds_per_estimate: 20,
+            }),
+            Heuristic::OneShot,
+            8,
+        );
+        // Half an epoch on overlay A...
+        for _ in 0..10 {
+            assert!(mon.tick(&graph_a, &mut rng).is_none());
+        }
+        // ...then the application rejoins a different overlay: reset must
+        // drop the protocol's per-slot state too, or overlay A's values
+        // would alias onto overlay B's slot indices.
+        mon.reset();
+        let mut readings = Vec::new();
+        for _ in 0..40 {
+            if let Some(r) = mon.tick(&graph_b, &mut rng) {
+                readings.push(r);
+            }
+        }
+        // A fresh epoch started on B: readings land on B's epoch grid and
+        // estimate B's size, not a blend with A's stale mass.
+        assert_eq!(readings.len(), 2);
+        for r in &readings {
+            let q = r.raw / 400.0;
+            assert!((0.5..1.6).contains(&q), "post-reset quality {q}");
+        }
+    }
+
+    #[test]
+    fn epidemic_monitor_follows_growth_across_epochs() {
+        let mut rng = small_rng(608);
+        let mut graph = HeterogeneousRandom::paper(1_000).build(&mut rng);
+        let mut mon = epidemic_monitor();
+        for _ in 0..50 {
+            mon.tick(&graph, &mut rng);
+        }
+        let before = mon.current().expect("first epoch reported");
+        churn::join_nodes(&mut graph, 1_000, 10, &mut rng);
+        for _ in 0..100 {
+            mon.tick(&graph, &mut rng);
+        }
+        let after = mon.current().unwrap();
+        assert!(
+            after > 1.5 * before,
+            "gauge must see the doubling: {before} → {after}"
+        );
     }
 }

@@ -208,10 +208,8 @@ mod tests {
         let mut rng = small_rng(101);
         let graph = HeterogeneousRandom::paper(2_000).build(&mut rng);
         let spread = |l: u32, rng: &mut SmallRng| {
-            let sc = SampleCollide::with_sampler(
-                SampleCollideConfig::paper().with_l(l),
-                OracleSampler,
-            );
+            let sc =
+                SampleCollide::with_sampler(SampleCollideConfig::paper().with_l(l), OracleSampler);
             let mut msgs = MessageCounter::new();
             let runs = 40;
             let mut errs = 0.0;
@@ -247,7 +245,10 @@ mod tests {
             "walk messages {walk}, expected ≈ 145k"
         );
         let replies = msgs.get(MessageKind::SampleReply) as f64;
-        assert!((1_400.0..2_900.0).contains(&replies), "samples {replies} vs ≈2000");
+        assert!(
+            (1_400.0..2_900.0).contains(&replies),
+            "samples {replies} vs ≈2000"
+        );
     }
 
     #[test]
@@ -277,7 +278,9 @@ mod tests {
         let graph = Graph::with_capacity(0);
         let mut rng = small_rng(104);
         let mut msgs = MessageCounter::new();
-        assert!(SampleCollide::paper().estimate(&graph, &mut rng, &mut msgs).is_none());
+        assert!(SampleCollide::paper()
+            .estimate(&graph, &mut rng, &mut msgs)
+            .is_none());
     }
 
     #[test]

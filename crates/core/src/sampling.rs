@@ -186,13 +186,20 @@ mod tests {
 
     /// Chi-square-ish uniformity check: sample many times from a fixed
     /// initiator and verify per-node frequencies stay near 1/N.
-    fn sampling_spread(graph: &Graph, sampler: &impl PeerSampler, draws: usize, seed: u64) -> Vec<f64> {
+    fn sampling_spread(
+        graph: &Graph,
+        sampler: &impl PeerSampler,
+        draws: usize,
+        seed: u64,
+    ) -> Vec<f64> {
         let mut rng = small_rng(seed);
         let mut msgs = MessageCounter::new();
         let initiator = graph.random_alive(&mut rng).unwrap();
         let mut counts = vec![0u32; graph.num_slots()];
         for _ in 0..draws {
-            let s = sampler.sample(graph, initiator, &mut rng, &mut msgs).unwrap();
+            let s = sampler
+                .sample(graph, initiator, &mut rng, &mut msgs)
+                .unwrap();
             counts[s.index()] += 1;
         }
         let expect = draws as f64 / graph.alive_count() as f64;
@@ -258,7 +265,9 @@ mod tests {
         let sampler = RandomWalkSampler::paper();
         let draws = 2_000;
         for _ in 0..draws {
-            sampler.sample(&graph, initiator, &mut rng, &mut msgs).unwrap();
+            sampler
+                .sample(&graph, initiator, &mut rng, &mut msgs)
+                .unwrap();
         }
         let steps_per_sample = msgs.get(MessageKind::WalkStep) as f64 / draws as f64;
         assert!(
@@ -291,7 +300,10 @@ mod tests {
         let initiator = NodeId(0);
         let mut counts = vec![0u32; graph.num_slots()];
         for _ in 0..50_000 {
-            counts[s.sample(&graph, initiator, &mut rng, &mut msgs).unwrap().index()] += 1;
+            counts[s
+                .sample(&graph, initiator, &mut rng, &mut msgs)
+                .unwrap()
+                .index()] += 1;
         }
         let expect = 50_000.0 / 100.0;
         for (i, &c) in counts.iter().enumerate() {
@@ -309,7 +321,9 @@ mod tests {
         let mut msgs = MessageCounter::new();
         let sampler = RandomWalkSampler::new(1.0);
         for _ in 0..100 {
-            let s = sampler.sample(&graph, NodeId(0), &mut rng, &mut msgs).unwrap();
+            let s = sampler
+                .sample(&graph, NodeId(0), &mut rng, &mut msgs)
+                .unwrap();
             assert!(s == NodeId(0) || s == NodeId(1));
         }
     }

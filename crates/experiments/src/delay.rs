@@ -188,7 +188,10 @@ mod tests {
         let sc_serial = by_name("Sample&Collide (serial)");
         assert!(hs < agg, "HS {hs} should beat Aggregation {agg}");
         assert!(hs < sc_serial, "HS {hs} should beat serial S&C {sc_serial}");
-        assert!(agg < sc_serial, "Agg {agg} should beat serial S&C {sc_serial}");
+        assert!(
+            agg < sc_serial,
+            "Agg {agg} should beat serial S&C {sc_serial}"
+        );
     }
 
     #[test]
@@ -196,8 +199,10 @@ mod tests {
         let graph = overlay(2_000, 3);
         let mut rng = small_rng(4);
         let cfg = SampleCollideConfig::paper();
-        let serial = sample_collide_delay(&graph, &cfg, HopLatency::Constant(10.0), 1, &mut rng).unwrap();
-        let wide = sample_collide_delay(&graph, &cfg, HopLatency::Constant(10.0), 32, &mut rng).unwrap();
+        let serial =
+            sample_collide_delay(&graph, &cfg, HopLatency::Constant(10.0), 1, &mut rng).unwrap();
+        let wide =
+            sample_collide_delay(&graph, &cfg, HopLatency::Constant(10.0), 32, &mut rng).unwrap();
         let ratio = serial / wide;
         assert!((20.0..50.0).contains(&ratio), "pipelining ratio {ratio}");
     }
@@ -206,8 +211,13 @@ mod tests {
     fn aggregation_delay_is_rounds_times_roundtrip() {
         let graph = overlay(500, 5);
         let mut rng = small_rng(6);
-        let d = aggregation_delay(&graph, &AggregationConfig::paper(), HopLatency::Constant(10.0), &mut rng)
-            .unwrap();
+        let d = aggregation_delay(
+            &graph,
+            &AggregationConfig::paper(),
+            HopLatency::Constant(10.0),
+            &mut rng,
+        )
+        .unwrap();
         // 50 rounds × (10 + 10) ms exactly under constant latency.
         assert_eq!(d, 1_000.0);
     }

@@ -4,13 +4,18 @@
 //! the figures is no longer normalized but represents the actual network
 //! size"); every figure carries a "Real network size" reference curve plus
 //! `replications` independent estimation runs.
+//!
+//! All nine figures — the two polling classes *and* the epidemic class —
+//! run through one generic builder on the unified
+//! [`run_replications`]/[`run_scenario`](crate::runner::run_scenario)
+//! driver; the only per-class differences left are the protocol constructor,
+//! the heuristic and the x-axis label.
 
-use crate::runner::{run_aggregation_scenario, run_polling_scenario, Trace};
+use crate::runner::{run_replications, Trace};
 use crate::scenario::Scenario;
 use crate::ExperimentScale;
-use p2p_estimation::aggregation::AggregationConfig;
-use p2p_estimation::{Heuristic, HopsSampling, SampleCollide, SizeEstimator};
-use p2p_sim::parallel::par_replications;
+use p2p_estimation::aggregation::{AggregationConfig, EpochedAggregation};
+use p2p_estimation::{EstimationProtocol, Heuristic, HopsSampling, SampleCollide};
 use p2p_sim::rng::derive_seed;
 use p2p_stats::series::Figure;
 
@@ -30,59 +35,41 @@ fn assemble(id: &str, title: String, x_label: &str, traces: Vec<Trace>) -> Figur
     fig
 }
 
-fn polling_dynamic_figure<E, F>(
+/// Shared builder for every dynamic figure: `replications` independent runs
+/// of one protocol over one scenario, fanned out across worker threads.
+#[allow(clippy::too_many_arguments)] // private helper mirroring the figure axes
+fn dynamic_figure<P, F>(
     make: F,
     id: &str,
     title: String,
+    x_label: &str,
     scenario: Scenario,
     heuristic: Heuristic,
     seed: u64,
     replications: usize,
 ) -> Figure
 where
-    E: SizeEstimator,
-    F: Fn() -> E + Sync,
+    P: EstimationProtocol,
+    F: Fn(usize) -> P + Sync,
 {
-    let traces = par_replications(seed, replications.max(1), |i, child_seed| {
-        let mut est = make();
-        run_polling_scenario(
-            &mut est,
-            &scenario,
-            heuristic,
-            child_seed,
-            format!("Estimation #{}", i + 1),
-        )
-    });
-    assemble(id, title, "Number of estimations", traces)
+    let traces = run_replications(make, &scenario, heuristic, seed, replications.max(1));
+    assemble(id, title, x_label, traces)
 }
 
-fn aggregation_dynamic_figure(
-    id: &str,
-    title: String,
-    scenario: Scenario,
-    seed: u64,
-    replications: usize,
-) -> Figure {
-    let traces = par_replications(seed, replications.max(1), |i, child_seed| {
-        run_aggregation_scenario(
-            AggregationConfig::paper(),
-            &scenario,
-            child_seed,
-            format!("Estimation #{}", i + 1),
-        )
-    });
-    assemble(id, title, "#Round", traces)
+fn epoched_paper(_replication: usize) -> EpochedAggregation {
+    EpochedAggregation::new(AggregationConfig::paper())
 }
 
 /// Fig 9 — Sample&Collide (oneShot) under catastrophic failures.
 pub fn fig09(scale: &ExperimentScale, seed: u64) -> Figure {
-    polling_dynamic_figure(
-        SampleCollide::paper,
+    dynamic_figure(
+        |_| SampleCollide::paper(),
         "fig09",
         format!(
             "Sample&Collide: oneShot heuristic, {} node network, catastrophic failures",
             scale.large
         ),
+        "Number of estimations",
         Scenario::catastrophic(scale.large, POLL_STEPS),
         Heuristic::OneShot,
         derive_seed(seed, 9),
@@ -92,13 +79,14 @@ pub fn fig09(scale: &ExperimentScale, seed: u64) -> Figure {
 
 /// Fig 10 — Sample&Collide (oneShot), growing network (+50%).
 pub fn fig10(scale: &ExperimentScale, seed: u64) -> Figure {
-    polling_dynamic_figure(
-        SampleCollide::paper,
+    dynamic_figure(
+        |_| SampleCollide::paper(),
         "fig10",
         format!(
             "Sample&Collide: oneShot, {} node network, growing network",
             scale.large
         ),
+        "Number of estimations",
         Scenario::growing(scale.large, POLL_STEPS, 0.5),
         Heuristic::OneShot,
         derive_seed(seed, 10),
@@ -108,13 +96,14 @@ pub fn fig10(scale: &ExperimentScale, seed: u64) -> Figure {
 
 /// Fig 11 — Sample&Collide (oneShot), shrinking network (−50%).
 pub fn fig11(scale: &ExperimentScale, seed: u64) -> Figure {
-    polling_dynamic_figure(
-        SampleCollide::paper,
+    dynamic_figure(
+        |_| SampleCollide::paper(),
         "fig11",
         format!(
             "Sample&Collide: oneShot, {} node network, shrinking network",
             scale.large
         ),
+        "Number of estimations",
         Scenario::shrinking(scale.large, POLL_STEPS, 0.5),
         Heuristic::OneShot,
         derive_seed(seed, 11),
@@ -124,13 +113,14 @@ pub fn fig11(scale: &ExperimentScale, seed: u64) -> Figure {
 
 /// Fig 12 — HopsSampling (last10runs) under catastrophic failures.
 pub fn fig12(scale: &ExperimentScale, seed: u64) -> Figure {
-    polling_dynamic_figure(
-        HopsSampling::paper,
+    dynamic_figure(
+        |_| HopsSampling::paper(),
         "fig12",
         format!(
             "HopsSampling: Last10runs heuristic, {} node network, catastrophic failures",
             scale.large
         ),
+        "Number of estimations",
         Scenario::catastrophic(scale.large, POLL_STEPS),
         Heuristic::last10(),
         derive_seed(seed, 12),
@@ -140,13 +130,14 @@ pub fn fig12(scale: &ExperimentScale, seed: u64) -> Figure {
 
 /// Fig 13 — HopsSampling (last10runs), growing network.
 pub fn fig13(scale: &ExperimentScale, seed: u64) -> Figure {
-    polling_dynamic_figure(
-        HopsSampling::paper,
+    dynamic_figure(
+        |_| HopsSampling::paper(),
         "fig13",
         format!(
             "HopsSampling: Last10runs heuristic, {} node network, growing network",
             scale.large
         ),
+        "Number of estimations",
         Scenario::growing(scale.large, POLL_STEPS, 0.5),
         Heuristic::last10(),
         derive_seed(seed, 13),
@@ -156,13 +147,14 @@ pub fn fig13(scale: &ExperimentScale, seed: u64) -> Figure {
 
 /// Fig 14 — HopsSampling (last10runs), shrinking network.
 pub fn fig14(scale: &ExperimentScale, seed: u64) -> Figure {
-    polling_dynamic_figure(
-        HopsSampling::paper,
+    dynamic_figure(
+        |_| HopsSampling::paper(),
         "fig14",
         format!(
             "HopsSampling: Last10runs heuristic, {} node network, shrinking network",
             scale.large
         ),
+        "Number of estimations",
         Scenario::shrinking(scale.large, POLL_STEPS, 0.5),
         Heuristic::last10(),
         derive_seed(seed, 14),
@@ -173,7 +165,8 @@ pub fn fig14(scale: &ExperimentScale, seed: u64) -> Figure {
 /// Fig 15 — Aggregation under failures: −25% at (scaled) rounds 100 and
 /// 500, +25% of the initial size at round 700.
 pub fn fig15(scale: &ExperimentScale, seed: u64) -> Figure {
-    aggregation_dynamic_figure(
+    dynamic_figure(
+        epoched_paper,
         "fig15",
         format!(
             "Aggregation: Reaction under failures, {} nodes at beginning, -25% at 100 and 500, +{} at 700 (x{} rounds)",
@@ -181,7 +174,9 @@ pub fn fig15(scale: &ExperimentScale, seed: u64) -> Figure {
             scale.large / 4,
             scale.agg_dynamic_rounds
         ),
+        "#Round",
         Scenario::catastrophic_fig15(scale.large, scale.agg_dynamic_rounds),
+        Heuristic::OneShot,
         derive_seed(seed, 15),
         scale.replications,
     )
@@ -189,10 +184,13 @@ pub fn fig15(scale: &ExperimentScale, seed: u64) -> Figure {
 
 /// Fig 16 — Aggregation, growing network.
 pub fn fig16(scale: &ExperimentScale, seed: u64) -> Figure {
-    aggregation_dynamic_figure(
+    dynamic_figure(
+        epoched_paper,
         "fig16",
         format!("Aggregation: Growing network, {} node network", scale.large),
+        "#Round",
         Scenario::growing(scale.large, scale.agg_dynamic_rounds, 0.5),
+        Heuristic::OneShot,
         derive_seed(seed, 16),
         scale.replications,
     )
@@ -201,10 +199,16 @@ pub fn fig16(scale: &ExperimentScale, seed: u64) -> Figure {
 /// Fig 17 — Aggregation, shrinking network (breaks down past ≈30%
 /// departures as connectivity degrades).
 pub fn fig17(scale: &ExperimentScale, seed: u64) -> Figure {
-    aggregation_dynamic_figure(
+    dynamic_figure(
+        epoched_paper,
         "fig17",
-        format!("Aggregation: Shrinking network, {} node network", scale.large),
+        format!(
+            "Aggregation: Shrinking network, {} node network",
+            scale.large
+        ),
+        "#Round",
         Scenario::shrinking(scale.large, scale.agg_dynamic_rounds, 0.5),
+        Heuristic::OneShot,
         derive_seed(seed, 17),
         scale.replications,
     )
@@ -250,7 +254,10 @@ mod tests {
         let real = &fig.series[0];
         let first = real.points.first().unwrap().1;
         let last = real.points.last().unwrap().1;
-        assert!(last > 1.4 * first, "truth should grow 50%: {first} → {last}");
+        assert!(
+            last > 1.4 * first,
+            "truth should grow 50%: {first} → {last}"
+        );
         assert!(tracking_error(&fig, 1) < 0.25);
     }
 
@@ -271,7 +278,10 @@ mod tests {
         let real_last = fig.series[0].points.last().unwrap().1;
         let est_last = fig.series[1].points.last().unwrap().1;
         let rel = (est_last - real_last).abs() / real_last;
-        assert!(rel < 0.2, "final epoch error {rel} ({est_last} vs {real_last})");
+        assert!(
+            rel < 0.2,
+            "final epoch error {rel} ({est_last} vs {real_last})"
+        );
     }
 
     #[test]
@@ -286,5 +296,17 @@ mod tests {
             e_shrink > e_grow,
             "shrinking error {e_shrink} should exceed growing error {e_grow}"
         );
+    }
+
+    #[test]
+    fn aggregation_figures_report_on_epoch_grid() {
+        // Epoch boundaries land at multiples of 50 rounds on the unified
+        // 1-based step axis.
+        let fig = fig16(&tiny(), 26);
+        for series in &fig.series {
+            for &(x, _) in &series.points {
+                assert_eq!(x as u64 % 50, 0, "{}: x = {x}", series.name);
+            }
+        }
     }
 }

@@ -17,7 +17,9 @@ use p2p_stats::series::Figure;
 use p2p_stats::{Series, SlidingWindow};
 
 /// All figure ids, in paper order.
-pub const ALL_FIGURES: [u32; 18] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18];
+pub const ALL_FIGURES: [u32; 18] = [
+    1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18,
+];
 
 /// Runs a figure by paper number.
 pub fn by_number(n: u32, scale: &ExperimentScale, seed: u64) -> Option<Figure> {

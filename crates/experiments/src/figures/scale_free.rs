@@ -1,7 +1,7 @@
 //! Scale-free topology figures: 7 and 8 (§IV-C(g)).
 
 use super::to_quality;
- 
+
 use crate::ExperimentScale;
 use p2p_estimation::aggregation::Aggregation;
 use p2p_estimation::{Heuristic, HopsSampling, SampleCollide, SizeEstimator, Smoother};
@@ -124,7 +124,10 @@ mod tests {
         let hs = mean("HopsSampling");
         assert!((97.0..103.0).contains(&agg), "Aggregation mean {agg}");
         assert!((88.0..112.0).contains(&sc), "Sample&Collide mean {sc}");
-        assert!(hs < sc, "HopsSampling ({hs}) should underestimate vs S&C ({sc})");
+        assert!(
+            hs < sc,
+            "HopsSampling ({hs}) should underestimate vs S&C ({sc})"
+        );
         assert!(hs < 95.0, "HopsSampling mean {hs} should sit below 95%");
     }
 }

@@ -1,10 +1,10 @@
 //! Static-context figures: 1–6 and 18 (§IV-C).
 
 use super::{smooth_last_k, to_quality};
-use crate::runner::{record_aggregation_convergence, run_polling_scenario};
+use crate::runner::{record_aggregation_convergence, run_scenario};
 use crate::scenario::Scenario;
 use crate::ExperimentScale;
-use p2p_estimation::{Heuristic, HopsSampling, SampleCollide, SizeEstimator};
+use p2p_estimation::{EstimationProtocol, Heuristic, HopsSampling, SampleCollide};
 use p2p_sim::parallel::par_replications;
 use p2p_sim::rng::derive_seed;
 use p2p_stats::series::Figure;
@@ -12,7 +12,7 @@ use p2p_stats::series::Figure;
 /// Shared runner for the S&C / HopsSampling static figures: run `count`
 /// one-shot estimations on a static overlay of `n` nodes and plot both the
 /// raw curve and its last-10-runs smoothing, on the quality-% axis.
-fn polling_static_figure<E, F>(
+fn polling_static_figure<P, F>(
     make: F,
     id: &str,
     title: String,
@@ -21,12 +21,12 @@ fn polling_static_figure<E, F>(
     seed: u64,
 ) -> Figure
 where
-    E: SizeEstimator,
-    F: Fn() -> E,
+    P: EstimationProtocol,
+    F: Fn() -> P,
 {
     let scenario = Scenario::static_network(n, count);
     let mut est = make();
-    let trace = run_polling_scenario(&mut est, &scenario, Heuristic::OneShot, seed, "raw");
+    let trace = run_scenario(&mut est, &scenario, Heuristic::OneShot, seed, "raw");
     let truth = n as f64;
     let one_shot = to_quality(&trace.estimates, truth, "one shot");
     let last10 = smooth_last_k(&one_shot, 10, "last 10 runs");
@@ -118,13 +118,23 @@ fn aggregation_convergence_figure(id: &str, n: usize, seed: u64, replications: u
 /// Fig 5 — Aggregation convergence, 100k-class network. The paper observes
 /// ≈100% quality around round 40.
 pub fn fig05(scale: &ExperimentScale, seed: u64) -> Figure {
-    aggregation_convergence_figure("fig05", scale.large, derive_seed(seed, 5), scale.replications)
+    aggregation_convergence_figure(
+        "fig05",
+        scale.large,
+        derive_seed(seed, 5),
+        scale.replications,
+    )
 }
 
 /// Fig 6 — Aggregation convergence, 1M-class network (≈100% around round
 /// 50; convergence rounds grow like log N).
 pub fn fig06(scale: &ExperimentScale, seed: u64) -> Figure {
-    aggregation_convergence_figure("fig06", scale.huge, derive_seed(seed, 6), scale.replications)
+    aggregation_convergence_figure(
+        "fig06",
+        scale.huge,
+        derive_seed(seed, 6),
+        scale.replications,
+    )
 }
 
 /// Fig 18 — Sample&Collide with the cheap configuration `l = 10`,
@@ -132,7 +142,7 @@ pub fn fig06(scale: &ExperimentScale, seed: u64) -> Figure {
 pub fn fig18(scale: &ExperimentScale, seed: u64) -> Figure {
     let scenario = Scenario::static_network(scale.large, 50);
     let mut est = SampleCollide::cheap();
-    let trace = run_polling_scenario(
+    let trace = run_scenario(
         &mut est,
         &scenario,
         Heuristic::OneShot,

@@ -29,5 +29,6 @@ pub mod scale;
 pub mod scenario;
 pub mod table;
 
+pub use runner::{run_replications, run_scenario, Trace};
 pub use scale::ExperimentScale;
 pub use scenario::Scenario;

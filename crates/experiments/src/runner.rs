@@ -1,10 +1,32 @@
 //! Scenario execution: interleaving churn with estimation on the DES.
+//!
+//! One generic driver, [`run_scenario`], runs *any*
+//! [`EstimationProtocol`] — Sample&Collide, HopsSampling, the baselines
+//! (via the one-shot adapter) and epoched Aggregation (natively) — over a
+//! [`Scenario`]'s churn timeline. The historic split into
+//! `run_polling_scenario`/`run_aggregation_scenario` duplicated this loop
+//! with subtly different semantics; the unified driver gives every class the
+//! same timeline contract:
+//!
+//! * protocol steps execute at engine ticks `1..=scenario.steps`;
+//! * a churn op scheduled at step `s` executes *before* that step's protocol
+//!   step (FIFO order among same-tick events), and **every** scheduled op
+//!   executes — including ops at or beyond the final step, which the old
+//!   aggregation loop silently dropped;
+//! * estimates and the ground-truth size are recorded at the steps where the
+//!   protocol closes a reporting period (every step for one-shot estimators,
+//!   each epoch boundary for round-driven protocols).
+//!
+//! [`run_replications`] fans independent replications of a scenario out over
+//! worker threads with per-replication derived seeds, so figure/table sweeps
+//! use every core while staying bit-reproducible.
 
 use crate::scenario::Scenario;
-use p2p_estimation::aggregation::{AggregationConfig, AveragingRun, EpochedAggregation};
-use p2p_estimation::{Heuristic, SizeEstimator, Smoother};
+use p2p_estimation::aggregation::AveragingRun;
+use p2p_estimation::{EstimationProtocol, Heuristic, Smoother};
 use p2p_overlay::churn::ChurnOp;
 use p2p_sim::engine::Engine;
+use p2p_sim::parallel::{default_threads, par_replications_on};
 use p2p_sim::rng::small_rng;
 use p2p_sim::{MessageCounter, SimTime};
 use p2p_stats::Series;
@@ -14,29 +36,32 @@ use p2p_stats::Series;
 pub struct Trace {
     /// `(step, reported estimate)` after the heuristic.
     pub estimates: Series,
-    /// `(step, true alive count)` at the same instants.
+    /// `(step, true alive count)` at the same reporting instants.
     pub real_size: Series,
     /// All traffic charged during the run.
     pub messages: MessageCounter,
-    /// Completed estimations (≤ scheduled steps; an estimator can fail on a
-    /// shattered overlay).
+    /// Reporting periods that produced an estimate (≤ scheduled reporting
+    /// instants; a protocol can fail on a shattered overlay).
     pub completed: usize,
 }
 
 /// Events on the scenario timeline.
 enum Event {
     Churn(ChurnOp),
-    Estimate { step: u64 },
+    Step { step: u64 },
 }
 
-/// Runs a polling-style estimator (Sample&Collide, HopsSampling, any
-/// [`SizeEstimator`]) over a scenario: one estimation per step, churn
-/// interleaved at its scheduled steps, estimates smoothed by `heuristic`.
+/// Runs any [`EstimationProtocol`] over a scenario: one protocol step per
+/// scenario step, churn interleaved at its scheduled steps, estimates
+/// smoothed by `heuristic`.
 ///
-/// Steps map to engine ticks; churn scheduled for step `s` executes before
-/// that step's estimation (FIFO order among same-tick events).
-pub fn run_polling_scenario<E: SizeEstimator>(
-    estimator: &mut E,
+/// For one-shot estimators every step reports, reproducing the historic
+/// polling runner bit for bit. For epoched Aggregation each step is one
+/// gossip round and estimates appear at epoch boundaries; pass
+/// [`Heuristic::OneShot`] to record the raw epoch estimates as the paper
+/// does.
+pub fn run_scenario<P: EstimationProtocol>(
+    protocol: &mut P,
     scenario: &Scenario,
     heuristic: Heuristic,
     seed: u64,
@@ -52,8 +77,10 @@ pub fn run_polling_scenario<E: SizeEstimator>(
         engine.schedule_at(SimTime(step), Event::Churn(op));
     }
     for step in 1..=scenario.steps {
-        engine.schedule_at(SimTime(step), Event::Estimate { step });
+        engine.schedule_at(SimTime(step), Event::Step { step });
     }
+
+    protocol.start(&graph, &mut rng);
 
     let mut estimates = Series::new(series_name);
     let mut real_size = Series::new("real size");
@@ -62,12 +89,15 @@ pub fn run_polling_scenario<E: SizeEstimator>(
         Event::Churn(op) => {
             op.apply(&mut graph, &mut rng);
         }
-        Event::Estimate { step } => {
-            if let Some(raw) = estimator.estimate(&graph, &mut rng, &mut msgs) {
+        Event::Step { step } => {
+            let outcome = protocol.step(&graph, &mut rng, &mut msgs);
+            if let Some(raw) = outcome.estimate() {
                 estimates.push(step as f64, smoother.apply(raw));
                 completed += 1;
             }
-            real_size.push(step as f64, graph.alive_count() as f64);
+            if outcome.is_report() {
+                real_size.push(step as f64, graph.alive_count() as f64);
+            }
         }
     });
 
@@ -79,49 +109,48 @@ pub fn run_polling_scenario<E: SizeEstimator>(
     }
 }
 
-/// Runs the epoched Aggregation protocol over a scenario whose steps are
-/// gossip *rounds*: a new epoch starts every `config.rounds_per_estimate`
-/// rounds, churn executes at its scheduled rounds, and the epoch's final
-/// estimate is recorded at its last round (§IV-D(k)).
-pub fn run_aggregation_scenario(
-    config: AggregationConfig,
+/// Worker-thread count for a replication sweep: all available cores, but at
+/// least two workers whenever there are two or more replications, so the
+/// parallel path is exercised even on single-core CI runners.
+pub fn replication_threads(replications: usize) -> usize {
+    let floor = 2.min(replications.max(1));
+    default_threads(replications).max(floor)
+}
+
+/// Runs `replications` independent replications of `scenario` in parallel,
+/// one protocol instance per replication (`make(replication_index)`), with
+/// seeds derived from `master_seed` per replication index.
+///
+/// Results come back in replication order and are bit-identical regardless
+/// of thread count or scheduling: each replication's RNG stream depends only
+/// on `(master_seed, index)`. Series are named `Estimation #1..#n` as in the
+/// paper's dynamic figures.
+pub fn run_replications<P, F>(
+    make: F,
     scenario: &Scenario,
-    seed: u64,
-    series_name: impl Into<String>,
-) -> Trace {
-    let mut rng = small_rng(seed);
-    let mut graph = scenario.build_overlay(&mut rng);
-    let mut msgs = MessageCounter::new();
-    let mut agg = EpochedAggregation::new(config);
-
-    let mut estimates = Series::new(series_name);
-    let mut real_size = Series::new("real size");
-    let mut completed = 0usize;
-    let epoch_len = config.rounds_per_estimate as u64;
-
-    for round in 0..scenario.steps {
-        for op in scenario.ops_at(round) {
-            op.apply(&mut graph, &mut rng);
-        }
-        if round % epoch_len == 0 {
-            agg.start_epoch(&graph, &mut rng);
-        }
-        agg.run_round(&graph, &mut rng, &mut msgs);
-        if round % epoch_len == epoch_len - 1 {
-            if let Some(est) = agg.current_estimate(&graph, &mut rng) {
-                estimates.push(round as f64, est);
-                completed += 1;
-            }
-            real_size.push(round as f64, graph.alive_count() as f64);
-        }
-    }
-
-    Trace {
-        estimates,
-        real_size,
-        messages: msgs,
-        completed,
-    }
+    heuristic: Heuristic,
+    master_seed: u64,
+    replications: usize,
+) -> Vec<Trace>
+where
+    P: EstimationProtocol,
+    F: Fn(usize) -> P + Sync,
+{
+    par_replications_on(
+        replication_threads(replications),
+        master_seed,
+        replications,
+        |i, seed| {
+            let mut protocol = make(i);
+            run_scenario(
+                &mut protocol,
+                scenario,
+                heuristic,
+                seed,
+                format!("Estimation #{}", i + 1),
+            )
+        },
+    )
 }
 
 /// Records one static-overlay [`AveragingRun`] round by round, as plotted in
@@ -151,7 +180,11 @@ pub fn record_aggregation_convergence(
         };
         // Early over-estimates (value ≪ 1/N) plot off-scale; Figs 5/6 rise
         // from below, so clip the display value to [0, 200].
-        let display = if quality.is_finite() { quality.min(200.0) } else { 0.0 };
+        let display = if quality.is_finite() {
+            quality.min(200.0)
+        } else {
+            0.0
+        };
         series.push(round as f64, display);
     }
     (series, msgs)
@@ -160,13 +193,14 @@ pub fn record_aggregation_convergence(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use p2p_estimation::aggregation::{AggregationConfig, EpochedAggregation};
     use p2p_estimation::SampleCollide;
 
     #[test]
-    fn polling_trace_covers_every_step_on_static_overlay() {
+    fn one_shot_trace_covers_every_step_on_static_overlay() {
         let scenario = Scenario::static_network(2_000, 20);
         let mut sc = SampleCollide::cheap();
-        let t = run_polling_scenario(&mut sc, &scenario, Heuristic::OneShot, 7, "one shot");
+        let t = run_scenario(&mut sc, &scenario, Heuristic::OneShot, 7, "one shot");
         assert_eq!(t.completed, 20);
         assert_eq!(t.estimates.len(), 20);
         assert_eq!(t.real_size.len(), 20);
@@ -184,7 +218,7 @@ mod tests {
             .schedule
             .push((5, ChurnOp::Catastrophe { fraction: 0.5 }));
         let mut sc = SampleCollide::cheap();
-        let t = run_polling_scenario(&mut sc, &scenario, Heuristic::OneShot, 8, "x");
+        let t = run_scenario(&mut sc, &scenario, Heuristic::OneShot, 8, "x");
         let at = |step: f64| {
             t.real_size
                 .points
@@ -201,7 +235,7 @@ mod tests {
     fn growing_scenario_truth_tracks_up() {
         let scenario = Scenario::growing(1_000, 20, 0.5);
         let mut sc = SampleCollide::cheap();
-        let t = run_polling_scenario(&mut sc, &scenario, Heuristic::last10(), 9, "x");
+        let t = run_scenario(&mut sc, &scenario, Heuristic::last10(), 9, "x");
         let first = t.real_size.points.first().unwrap().1;
         let last = t.real_size.points.last().unwrap().1;
         assert_eq!(first, 1_025.0); // one step of joins (500/20) already applied
@@ -211,8 +245,11 @@ mod tests {
     #[test]
     fn aggregation_scenario_records_epoch_estimates() {
         let scenario = Scenario::static_network(1_000, 200);
-        let t = run_aggregation_scenario(AggregationConfig::paper(), &scenario, 10, "agg");
+        let mut agg = EpochedAggregation::new(AggregationConfig::paper());
+        let t = run_scenario(&mut agg, &scenario, Heuristic::OneShot, 10, "agg");
         assert_eq!(t.completed, 4); // 200 rounds / 50-round epochs
+        let steps: Vec<f64> = t.estimates.points.iter().map(|&(x, _)| x).collect();
+        assert_eq!(steps, vec![50.0, 100.0, 150.0, 200.0]);
         for &(_, est) in &t.estimates.points {
             let q = est / 1_000.0;
             assert!((0.9..1.1).contains(&q), "epoch estimate quality {q}");
@@ -226,6 +263,34 @@ mod tests {
     }
 
     #[test]
+    fn final_step_churn_applies_to_both_classes() {
+        // Regression for the churn-scheduling asymmetry: the historic
+        // aggregation loop iterated `0..steps` and silently dropped ops
+        // scheduled at (or beyond) the final round, while the engine-based
+        // polling runner executed every scheduled op. The unified driver
+        // must give both classes identical semantics: an op at the final
+        // step executes *before* that step and is visible in the final
+        // ground truth.
+        let mut scenario = Scenario::static_network(1_000, 10);
+        scenario
+            .schedule
+            .push((10, ChurnOp::Catastrophe { fraction: 0.5 }));
+
+        let mut sc = SampleCollide::cheap();
+        let polling = run_scenario(&mut sc, &scenario, Heuristic::OneShot, 11, "sc");
+        assert_eq!(polling.real_size.points.last().unwrap(), &(10.0, 500.0));
+
+        // Epoch length 5 → reports at steps 5 and 10; the op at step 10
+        // lands before the final round of the second epoch.
+        let mut agg = EpochedAggregation::new(AggregationConfig {
+            rounds_per_estimate: 5,
+        });
+        let epidemic = run_scenario(&mut agg, &scenario, Heuristic::OneShot, 11, "agg");
+        assert_eq!(epidemic.real_size.points.last().unwrap(), &(10.0, 500.0));
+        assert_eq!(epidemic.real_size.points.first().unwrap(), &(5.0, 1_000.0));
+    }
+
+    #[test]
     fn convergence_recording_reaches_100_percent() {
         let (series, msgs) = record_aggregation_convergence(2_000, 60, 11, "est");
         assert_eq!(series.len(), 60);
@@ -233,7 +298,10 @@ mod tests {
         assert!((99.0..101.0).contains(&last), "final quality {last}");
         // The curve must start far from 100 (otherwise it shows nothing).
         let first = series.points[0].1;
-        assert!(!(95.0..105.0).contains(&first), "first-round quality {first}");
+        assert!(
+            !(95.0..105.0).contains(&first),
+            "first-round quality {first}"
+        );
         assert_eq!(msgs.total(), 2 * 2_000 * 60);
     }
 
@@ -242,9 +310,36 @@ mod tests {
         let scenario = Scenario::catastrophic(1_500, 12);
         let mut a = SampleCollide::cheap();
         let mut b = SampleCollide::cheap();
-        let ta = run_polling_scenario(&mut a, &scenario, Heuristic::OneShot, 42, "x");
-        let tb = run_polling_scenario(&mut b, &scenario, Heuristic::OneShot, 42, "x");
+        let ta = run_scenario(&mut a, &scenario, Heuristic::OneShot, 42, "x");
+        let tb = run_scenario(&mut b, &scenario, Heuristic::OneShot, 42, "x");
         assert_eq!(ta.estimates.points, tb.estimates.points);
         assert_eq!(ta.messages, tb.messages);
+    }
+
+    #[test]
+    fn replications_are_ordered_named_and_seed_stable() {
+        let scenario = Scenario::static_network(500, 4);
+        let make = |_: usize| SampleCollide::cheap();
+        let a = run_replications(make, &scenario, Heuristic::OneShot, 99, 4);
+        let b = run_replications(make, &scenario, Heuristic::OneShot, 99, 4);
+        assert_eq!(a.len(), 4);
+        for (i, t) in a.iter().enumerate() {
+            assert_eq!(t.estimates.name, format!("Estimation #{}", i + 1));
+            assert_eq!(t.completed, 4);
+        }
+        // Bit-identical across invocations (thread scheduling must not leak).
+        for (ta, tb) in a.iter().zip(&b) {
+            assert_eq!(ta.estimates.points, tb.estimates.points);
+            assert_eq!(ta.messages, tb.messages);
+        }
+        // Replications use distinct derived seeds → distinct streams.
+        assert_ne!(a[0].estimates.points, a[1].estimates.points);
+    }
+
+    #[test]
+    fn replication_thread_floor_is_two() {
+        assert_eq!(replication_threads(1), 1);
+        assert!(replication_threads(2) >= 2);
+        assert!(replication_threads(8) >= 2);
     }
 }

@@ -77,9 +77,18 @@ mod tests {
 
     #[test]
     fn named_scales_resolve() {
-        assert_eq!(ExperimentScale::by_name("paper"), Some(ExperimentScale::paper()));
-        assert_eq!(ExperimentScale::by_name("small"), Some(ExperimentScale::small()));
-        assert_eq!(ExperimentScale::by_name("tiny"), Some(ExperimentScale::tiny()));
+        assert_eq!(
+            ExperimentScale::by_name("paper"),
+            Some(ExperimentScale::paper())
+        );
+        assert_eq!(
+            ExperimentScale::by_name("small"),
+            Some(ExperimentScale::small())
+        );
+        assert_eq!(
+            ExperimentScale::by_name("tiny"),
+            Some(ExperimentScale::tiny())
+        );
         assert_eq!(ExperimentScale::by_name("bogus"), None);
     }
 

@@ -135,12 +135,7 @@ impl Scenario {
 
 /// Distributes `fraction · initial` joins or leaves over `steps` steps using
 /// cumulative rounding, so the total is exact regardless of divisibility.
-fn spread_evenly(
-    initial: usize,
-    steps: u64,
-    fraction: f64,
-    join: bool,
-) -> Vec<(u64, ChurnOp)> {
+fn spread_evenly(initial: usize, steps: u64, fraction: f64, join: bool) -> Vec<(u64, ChurnOp)> {
     assert!(steps > 0, "need at least one step");
     let total = (initial as f64 * fraction).round() as u64;
     let mut out = Vec::new();

@@ -2,10 +2,15 @@
 
 use crate::scenario::Scenario;
 use p2p_estimation::aggregation::Aggregation;
-use p2p_estimation::{Heuristic, HopsSampling, SampleCollide, SizeEstimator};
+use p2p_estimation::{estimate_once, EstimationProtocol, Heuristic, HopsSampling, SampleCollide};
 use p2p_sim::rng::{derive_seed, small_rng};
 use p2p_sim::MessageCounter;
 use std::fmt;
+
+/// Bound on protocol steps per estimation while measuring a table row (the
+/// epoched epidemic class needs `rounds_per_estimate` steps; one-shot
+/// estimators need one).
+const MAX_STEPS_PER_ESTIMATE: u64 = 100_000;
 
 /// One row of Table I.
 #[derive(Clone, Debug)]
@@ -56,7 +61,11 @@ impl fmt::Display for Table1 {
             writeln!(
                 f,
                 "{:<24} {:<12} {:>12.1} {:>12.1} {:>14.0}",
-                r.algorithm, r.parameters, r.mean_error_pct, r.mean_abs_error_pct, r.overhead_messages
+                r.algorithm,
+                r.parameters,
+                r.mean_error_pct,
+                r.mean_abs_error_pct,
+                r.overhead_messages
             )?;
         }
         Ok(())
@@ -66,11 +75,17 @@ impl fmt::Display for Table1 {
 impl Table1 {
     /// Renders CSV (one row per configuration).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("algorithm,parameters,mean_error_pct,mean_abs_error_pct,overhead_messages\n");
+        let mut out = String::from(
+            "algorithm,parameters,mean_error_pct,mean_abs_error_pct,overhead_messages\n",
+        );
         for r in &self.rows {
             out.push_str(&format!(
                 "{},{},{:.3},{:.3},{:.1}\n",
-                r.algorithm, r.parameters, r.mean_error_pct, r.mean_abs_error_pct, r.overhead_messages
+                r.algorithm,
+                r.parameters,
+                r.mean_error_pct,
+                r.mean_abs_error_pct,
+                r.overhead_messages
             ));
         }
         out
@@ -79,8 +94,12 @@ impl Table1 {
 
 /// Measures one configuration: `runs` estimations on a static overlay,
 /// returning (signed mean error %, mean |error| %, messages per run).
-fn measure<E: SizeEstimator>(
-    est: &mut E,
+///
+/// Generic over [`EstimationProtocol`], so the same loop measures one-shot
+/// estimators and round-driven protocols alike — one estimation is "step
+/// until the protocol closes a reporting period".
+fn measure<P: EstimationProtocol>(
+    est: &mut P,
     graph: &p2p_overlay::Graph,
     runs: usize,
     heuristic: Heuristic,
@@ -100,8 +119,7 @@ fn measure<E: SizeEstimator>(
     };
     let mut per_run_messages = 0.0;
     for i in 0..(runs + warmup) {
-        let raw = est
-            .estimate(graph, &mut rng, &mut msgs)
+        let raw = estimate_once(est, graph, &mut rng, &mut msgs, MAX_STEPS_PER_ESTIMATE)
             .expect("static overlay estimation cannot fail");
         let value = smoother.apply(raw);
         let run_msgs = msgs.take().total() as f64;
@@ -131,7 +149,13 @@ pub fn table1(n: usize, runs: usize, seed: u64) -> Table1 {
     let mut rows = Vec::new();
 
     let mut sc = SampleCollide::paper();
-    let (se, ae, ov) = measure(&mut sc, &graph, runs, Heuristic::OneShot, derive_seed(seed, 1001));
+    let (se, ae, ov) = measure(
+        &mut sc,
+        &graph,
+        runs,
+        Heuristic::OneShot,
+        derive_seed(seed, 1001),
+    );
     rows.push(Table1Row {
         algorithm: "Sample&Collide (l=200)",
         parameters: "oneShot".into(),
@@ -141,7 +165,13 @@ pub fn table1(n: usize, runs: usize, seed: u64) -> Table1 {
     });
 
     let mut hs = HopsSampling::paper();
-    let (se, ae, ov) = measure(&mut hs, &graph, runs, Heuristic::last10(), derive_seed(seed, 1002));
+    let (se, ae, ov) = measure(
+        &mut hs,
+        &graph,
+        runs,
+        Heuristic::last10(),
+        derive_seed(seed, 1002),
+    );
     rows.push(Table1Row {
         algorithm: "HopsSampling",
         parameters: "last10runs".into(),
@@ -151,7 +181,13 @@ pub fn table1(n: usize, runs: usize, seed: u64) -> Table1 {
     });
 
     let mut sc = SampleCollide::paper();
-    let (se, ae, ov) = measure(&mut sc, &graph, runs, Heuristic::last10(), derive_seed(seed, 1003));
+    let (se, ae, ov) = measure(
+        &mut sc,
+        &graph,
+        runs,
+        Heuristic::last10(),
+        derive_seed(seed, 1003),
+    );
     rows.push(Table1Row {
         algorithm: "Sample&Collide (l=200)",
         parameters: "last10runs".into(),
@@ -164,7 +200,13 @@ pub fn table1(n: usize, runs: usize, seed: u64) -> Table1 {
     // Aggregation is ~40x costlier per run; a few runs suffice (its noise
     // is tiny, which is the point of the row).
     let agg_runs = runs.clamp(1, 5);
-    let (se, ae, ov) = measure(&mut agg, &graph, agg_runs, Heuristic::OneShot, derive_seed(seed, 1004));
+    let (se, ae, ov) = measure(
+        &mut agg,
+        &graph,
+        agg_runs,
+        Heuristic::OneShot,
+        derive_seed(seed, 1004),
+    );
     rows.push(Table1Row {
         algorithm: "Aggregation",
         parameters: "50 rounds".into(),
@@ -200,10 +242,24 @@ mod tests {
         // Accuracy ordering: Agg ≈ exact; S&C last10 < S&C oneShot; HS worst.
         let abs: Vec<f64> = t.rows.iter().map(|r| r.mean_abs_error_pct).collect();
         assert!(abs[3] < 2.0, "Aggregation |err| {}", abs[3]);
-        assert!(abs[2] < abs[0], "smoothing must help S&C: {} vs {}", abs[2], abs[0]);
-        assert!(abs[1] > abs[2], "HS |err| {} should exceed S&C last10 {}", abs[1], abs[2]);
+        assert!(
+            abs[2] < abs[0],
+            "smoothing must help S&C: {} vs {}",
+            abs[2],
+            abs[0]
+        );
+        assert!(
+            abs[1] > abs[2],
+            "HS |err| {} should exceed S&C last10 {}",
+            abs[1],
+            abs[2]
+        );
         // HS underestimates (signed error clearly negative).
-        assert!(t.rows[1].mean_error_pct < -3.0, "HS signed error {}", t.rows[1].mean_error_pct);
+        assert!(
+            t.rows[1].mean_error_pct < -3.0,
+            "HS signed error {}",
+            t.rows[1].mean_error_pct
+        );
     }
 
     #[test]

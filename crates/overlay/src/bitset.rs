@@ -94,12 +94,13 @@ impl BitSet {
 
     /// Iterates over the indices of set bits in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
-            BlockOnes {
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(bi, &block)| BlockOnes {
                 block,
                 base: bi * BITS,
-            }
-        })
+            })
     }
 }
 
@@ -183,7 +184,10 @@ mod tests {
         for i in (0..256).step_by(6) {
             s.remove(i);
         }
-        assert_eq!(s.count_ones(), (0..256).step_by(3).count() - (0..256).step_by(6).count());
+        assert_eq!(
+            s.count_ones(),
+            (0..256).step_by(3).count() - (0..256).step_by(6).count()
+        );
     }
 
     #[test]

@@ -66,7 +66,11 @@ impl GraphBuilder for HeterogeneousRandom {
 /// Wires one *new* node into an existing overlay using the same rule as the
 /// construction: uniform target degree in `1..=max_degree`, partners chosen
 /// uniformly among below-max nodes. Used for arrivals under churn.
-pub fn wire_new_node<R: Rng + ?Sized>(g: &mut Graph, max_degree: usize, rng: &mut R) -> crate::NodeId {
+pub fn wire_new_node<R: Rng + ?Sized>(
+    g: &mut Graph,
+    max_degree: usize,
+    rng: &mut R,
+) -> crate::NodeId {
     let node = g.add_node();
     let target = rng.gen_range(1..=max_degree);
     while g.degree(node) < target {
@@ -111,7 +115,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let g = HeterogeneousRandom::paper(20_000).build(&mut rng);
         let avg = 2.0 * g.edge_count() as f64 / g.alive_count() as f64;
-        assert!((6.5..8.0).contains(&avg), "average degree {avg} outside paper range");
+        assert!(
+            (6.5..8.0).contains(&avg),
+            "average degree {avg} outside paper range"
+        );
     }
 
     #[test]

@@ -69,7 +69,11 @@ impl WattsStrogatz {
 
 impl GraphBuilder for WattsStrogatz {
     fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> Graph {
-        let mut g = RingLattice { n: self.n, k: self.k }.build(rng);
+        let mut g = RingLattice {
+            n: self.n,
+            k: self.k,
+        }
+        .build(rng);
         for i in 0..self.n {
             let a = NodeId::from_index(i);
             for d in 1..=(self.k / 2) {

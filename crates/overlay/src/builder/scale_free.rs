@@ -114,7 +114,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(23);
         let g = BarabasiAlbert::paper(10_000).build(&mut rng);
         let avg = degree_stats(&g).mean;
-        assert!((5.5..6.5).contains(&avg), "avg degree {avg}, paper reports ≈6");
+        assert!(
+            (5.5..6.5).contains(&avg),
+            "avg degree {avg}, paper reports ≈6"
+        );
     }
 
     #[test]

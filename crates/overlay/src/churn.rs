@@ -160,7 +160,14 @@ mod tests {
     #[test]
     fn churn_op_reports_net_change() {
         let (mut g, mut rng) = overlay(400, 55);
-        assert_eq!(ChurnOp::Join { count: 40, max_degree: 10 }.apply(&mut g, &mut rng), 40);
+        assert_eq!(
+            ChurnOp::Join {
+                count: 40,
+                max_degree: 10
+            }
+            .apply(&mut g, &mut rng),
+            40
+        );
         assert_eq!(ChurnOp::Leave { count: 140 }.apply(&mut g, &mut rng), -140);
         assert_eq!(
             ChurnOp::Catastrophe { fraction: 0.5 }.apply(&mut g, &mut rng),
@@ -190,7 +197,10 @@ mod tests {
     fn sample_rate_handles_integer_and_fractional() {
         let mut rng = SmallRng::seed_from_u64(57);
         assert_eq!(sample_rate(3.0, &mut rng), 3);
-        let mean: f64 = (0..10_000).map(|_| sample_rate(0.3, &mut rng) as f64).sum::<f64>() / 10_000.0;
+        let mean: f64 = (0..10_000)
+            .map(|_| sample_rate(0.3, &mut rng) as f64)
+            .sum::<f64>()
+            / 10_000.0;
         assert!((0.25..0.35).contains(&mean), "mean {mean}");
     }
 }

@@ -147,7 +147,10 @@ mod tests {
         let mut g = HeterogeneousRandom::paper(2_000).build(&mut rng);
         churn::remove_random_nodes(&mut g, 1_500, &mut rng);
         let frac = largest_component_fraction(&g);
-        assert!(frac < 1.0, "75% departures should fragment the overlay (frac={frac})");
+        assert!(
+            frac < 1.0,
+            "75% departures should fragment the overlay (frac={frac})"
+        );
     }
 
     #[test]

@@ -210,7 +210,10 @@ impl Graph {
         // O(1) removal from the dense alive list via swap-remove.
         let pos = self.alive_pos[node.index()];
         debug_assert_ne!(pos, NOT_ALIVE);
-        let last = *self.alive_list.last().expect("alive node implies non-empty list");
+        let last = *self
+            .alive_list
+            .last()
+            .expect("alive node implies non-empty list");
         self.alive_list.swap_remove(pos as usize);
         if last != node {
             self.alive_pos[last.index()] = pos;
@@ -230,7 +233,9 @@ impl Graph {
         }
         for (pos, &n) in self.alive_list.iter().enumerate() {
             if self.alive_pos[n.index()] as usize != pos {
-                return Err(format!("alive_pos[{n:?}] does not point back to list slot {pos}"));
+                return Err(format!(
+                    "alive_pos[{n:?}] does not point back to list slot {pos}"
+                ));
             }
             if !self.alive.get(n.index()) {
                 return Err(format!("{n:?} in alive list but bit unset"));
@@ -355,7 +360,10 @@ mod tests {
         }
         for i in (1..10).step_by(2) {
             // each odd node should get ~10_000 draws; allow generous slack
-            assert!(counts[i] > 8_500 && counts[i] < 11_500, "counts = {counts:?}");
+            assert!(
+                counts[i] > 8_500 && counts[i] < 11_500,
+                "counts = {counts:?}"
+            );
         }
     }
 

@@ -17,8 +17,8 @@
 
 use crate::graph::Graph;
 use crate::node::NodeId;
-use rand::seq::SliceRandom;
 use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
 use rand::Rng;
 
 /// A simulated gossip membership service over the overlay's node slots.
@@ -37,7 +37,12 @@ impl PeerSamplingService {
     ///
     /// `view_size` must be ≥ 2; `shuffle_len` (entries exchanged per round)
     /// is capped at `view_size`.
-    pub fn bootstrap(graph: &Graph, view_size: usize, shuffle_len: usize, rng: &mut SmallRng) -> Self {
+    pub fn bootstrap(
+        graph: &Graph,
+        view_size: usize,
+        shuffle_len: usize,
+        rng: &mut SmallRng,
+    ) -> Self {
         assert!(view_size >= 2, "view size must be at least 2");
         let shuffle_len = shuffle_len.clamp(1, view_size);
         let mut views = vec![Vec::new(); graph.num_slots()];
@@ -345,7 +350,10 @@ mod tests {
                 }
             }
         }
-        assert!(referenced >= 40, "only {referenced}/50 newcomers referenced");
+        assert!(
+            referenced >= 40,
+            "only {referenced}/50 newcomers referenced"
+        );
     }
 
     #[test]

@@ -96,7 +96,11 @@ impl<E> Engine<E> {
     /// Panics when scheduling in the past — that would silently corrupt
     /// causality.
     pub fn schedule_at(&mut self, time: SimTime, payload: E) {
-        assert!(time >= self.now, "cannot schedule into the past ({time} < {})", self.now);
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past ({time} < {})",
+            self.now
+        );
         self.queue.push(Scheduled {
             time,
             seq: self.seq,

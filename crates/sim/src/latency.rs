@@ -36,7 +36,10 @@ pub enum HopLatency {
 impl HopLatency {
     /// A typical wide-area profile: uniform 20–200 ms.
     pub fn wan() -> Self {
-        HopLatency::Uniform { lo: 20.0, hi: 200.0 }
+        HopLatency::Uniform {
+            lo: 20.0,
+            hi: 200.0,
+        }
     }
 
     /// Draws one hop latency.
@@ -113,7 +116,10 @@ mod tests {
         };
         let one = mean_of(1, &mut rng);
         let many = mean_of(32, &mut rng);
-        assert!(many > one, "max of 32 draws {many} must exceed single {one}");
+        assert!(
+            many > one,
+            "max of 32 draws {many} must exceed single {one}"
+        );
         assert!(many < 200.0);
     }
 

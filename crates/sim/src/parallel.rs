@@ -36,7 +36,11 @@ where
     }
     let threads = threads.clamp(1, n);
     if threads == 1 {
-        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
     }
 
     let (task_tx, task_rx) = channel::unbounded::<(usize, T)>();
@@ -81,10 +85,27 @@ where
     R: Send,
     F: Fn(usize, u64) -> R + Sync,
 {
+    par_replications_on(default_threads(replications), master_seed, replications, f)
+}
+
+/// [`par_replications`] with an explicit worker count — the single home of
+/// the per-replication seed-derivation convention, so callers that need a
+/// different thread policy (e.g. a floor of two workers) cannot diverge
+/// from it.
+pub fn par_replications_on<R, F>(
+    threads: usize,
+    master_seed: u64,
+    replications: usize,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, u64) -> R + Sync,
+{
     let seeds: Vec<u64> = (0..replications as u64)
         .map(|i| crate::rng::derive_seed(master_seed, i))
         .collect();
-    par_map(seeds, default_threads(replications), f)
+    par_map(seeds, threads, f)
 }
 
 #[cfg(test)]

@@ -113,7 +113,10 @@ mod tests {
     #[test]
     fn splitmix_bits_look_balanced() {
         // Cheap sanity: average popcount over many outputs should be ~32.
-        let total: u32 = SplitMix64::new(99).take(1_000).map(|v| v.count_ones()).sum();
+        let total: u32 = SplitMix64::new(99)
+            .take(1_000)
+            .map(|v| v.count_ones())
+            .sum();
         let mean = total as f64 / 1_000.0;
         assert!((30.0..34.0).contains(&mean), "mean popcount {mean}");
     }

@@ -60,11 +60,7 @@ impl<T> RoundSchedule<T> {
     /// Pops every action scheduled at or before `round`.
     pub fn due(&mut self, round: u64) -> Vec<T> {
         let mut out = Vec::new();
-        while self
-            .entries
-            .front()
-            .is_some_and(|&(r, _)| r <= round)
-        {
+        while self.entries.front().is_some_and(|&(r, _)| r <= round) {
             out.push(self.entries.pop_front().expect("front checked").1);
         }
         out

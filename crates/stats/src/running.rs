@@ -128,7 +128,9 @@ mod tests {
 
     #[test]
     fn known_moments() {
-        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.count(), 8);
         assert!(close(s.mean(), 5.0));
         assert!(close(s.variance(), 4.0));

@@ -49,12 +49,19 @@ fn main() {
     let torus = Torus { w: 70, h: 70 };
     let graph = torus.build(&mut rng);
     let n = graph.alive_count();
-    println!("custom overlay: {} ({} nodes, all degree 4)\n", torus.name(), n);
+    println!(
+        "custom overlay: {} ({} nodes, all degree 4)\n",
+        torus.name(),
+        n
+    );
 
     // Sweep the walk budget: the torus mixes in Θ(diameter²) walk time, so
     // small T leaves the sampler biased toward the initiator's neighborhood
     // and the birthday estimator overestimates collisions → underestimates N.
-    println!("{:>6} {:>12} {:>10} {:>14}", "T", "estimate", "quality%", "msgs/est");
+    println!(
+        "{:>6} {:>12} {:>10} {:>14}",
+        "T", "estimate", "quality%", "msgs/est"
+    );
     for timer in [2.0, 10.0, 50.0, 200.0] {
         let mut cfg = SampleCollideConfig::paper();
         cfg.timer = timer;
@@ -63,7 +70,9 @@ fn main() {
         let runs = 5;
         let mut mean = 0.0;
         for _ in 0..runs {
-            mean += sc.estimate(&graph, &mut rng, &mut msgs).expect("connected overlay");
+            mean += sc
+                .estimate(&graph, &mut rng, &mut msgs)
+                .expect("connected overlay");
         }
         mean /= runs as f64;
         println!(

@@ -10,8 +10,8 @@
 //! `l = 10` configuration (one estimate per tick).
 
 use p2p_size_estimation::estimation::{SampleCollide, SizeEstimator};
-use p2p_size_estimation::overlay::churn;
 use p2p_size_estimation::overlay::builder::{GraphBuilder, HeterogeneousRandom};
+use p2p_size_estimation::overlay::churn;
 use p2p_size_estimation::sim::rng::small_rng;
 use p2p_size_estimation::sim::MessageCounter;
 
@@ -21,7 +21,10 @@ fn main() {
     let mut sc = SampleCollide::cheap(); // l = 10: cheap, noisier (paper Fig 18)
     let mut msgs = MessageCounter::new();
 
-    println!("{:>5} {:>10} {:>10} {:>8} {:>12}", "tick", "true size", "estimate", "err %", "msgs so far");
+    println!(
+        "{:>5} {:>10} {:>10} {:>8} {:>12}",
+        "tick", "true size", "estimate", "err %", "msgs so far"
+    );
     for tick in 0..40 {
         // Churn script: catastrophe at tick 10, steady decline 15..25,
         // recovery burst at tick 30.

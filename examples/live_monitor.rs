@@ -10,9 +10,13 @@
 //! * `PeerSamplingService` — the membership substrate (§II's peer-sampling
 //!   references) keeping per-node partial views fresh under churn;
 //! * `SteadyChurn` — the paper's "constant nodes arrivals and departures";
-//! * `SizeMonitor` — the perpetual estimation loop of §IV-D, here around
-//!   Sample&Collide with last-5-runs smoothing.
+//! * `SizeMonitor` — the perpetual estimation loop of §IV-D, generic over
+//!   any `EstimationProtocol`. Two gauges run side by side: reactive
+//!   Sample&Collide (one reading per tick) and the round-driven epidemic
+//!   Aggregation (one tick = one gossip round; one reading per epoch) —
+//!   something the historic one-shot-only monitor could not express.
 
+use p2p_size_estimation::estimation::aggregation::{AggregationConfig, EpochedAggregation};
 use p2p_size_estimation::estimation::monitor::SizeMonitor;
 use p2p_size_estimation::estimation::{Heuristic, SampleCollide};
 use p2p_size_estimation::overlay::builder::{GraphBuilder, HeterogeneousRandom};
@@ -24,18 +28,34 @@ fn main() {
     let mut rng = small_rng(77);
     let mut graph = HeterogeneousRandom::paper(8_000).build(&mut rng);
     let mut membership = PeerSamplingService::bootstrap(&graph, 16, 8, &mut rng);
-    let mut monitor = SizeMonitor::new(SampleCollide::cheap(), Heuristic::LastKRuns(5), 32);
+    let mut walk_gauge = SizeMonitor::new(SampleCollide::cheap(), Heuristic::LastKRuns(5), 32);
+    // The epidemic gauge needs the paper's full 50-round epochs: shorter
+    // epochs cannot even reach all ~8000 nodes (participation alone takes
+    // ~log₂ N ≈ 13 rounds), let alone converge. One reading per 50 ticks.
+    let mut epidemic_gauge = SizeMonitor::new(
+        EpochedAggregation::new(AggregationConfig::paper()),
+        Heuristic::OneShot,
+        32,
+    );
 
     // Net drift: +8/tick for the first half (growth), then -16/tick (decline).
-    let growth = SteadyChurn { arrival_rate: 12.0, departure_rate: 4.0, max_degree: 10 };
-    let decline = SteadyChurn { arrival_rate: 4.0, departure_rate: 20.0, max_degree: 10 };
+    let growth = SteadyChurn {
+        arrival_rate: 12.0,
+        departure_rate: 4.0,
+        max_degree: 10,
+    };
+    let decline = SteadyChurn {
+        arrival_rate: 4.0,
+        departure_rate: 20.0,
+        max_degree: 10,
+    };
 
     println!(
-        "{:>5} {:>10} {:>10} {:>8} {:>10} {:>9}",
-        "tick", "true size", "gauge", "err %", "msgs/est", "views ok"
+        "{:>5} {:>10} {:>10} {:>8} {:>10} {:>10} {:>9}",
+        "tick", "true size", "walk gauge", "err %", "msgs/est", "epidemic", "views ok"
     );
-    for tick in 0..60u32 {
-        let churn = if tick < 30 { growth } else { decline };
+    for tick in 0..150u32 {
+        let churn = if tick < 75 { growth } else { decline };
         churn.step(&mut graph, &mut rng);
         // The membership service shuffles continuously (a few rounds per
         // monitoring tick), healing views around departed nodes.
@@ -43,8 +63,13 @@ fn main() {
             membership.shuffle_round(&graph, &mut rng);
         }
 
-        if let Some(reading) = monitor.tick(&graph, &mut rng) {
-            if tick % 5 == 4 {
+        // One tick each: a full estimation for the walk gauge, one gossip
+        // round for the epidemic gauge (its reading lands at epoch ends).
+        let walk_reading = walk_gauge.tick(&graph, &mut rng);
+        epidemic_gauge.tick(&graph, &mut rng);
+
+        if let Some(reading) = walk_reading {
+            if tick % 10 == 9 {
                 let truth = graph.alive_count() as f64;
                 let err = 100.0 * (reading.reported - truth) / truth;
                 // Fraction of membership-view entries pointing at live peers.
@@ -56,23 +81,41 @@ fn main() {
                     }
                 }
                 println!(
-                    "{tick:>5} {truth:>10.0} {:>10.0} {err:>8.1} {:>10.0} {:>8.1}%",
+                    "{tick:>5} {truth:>10.0} {:>10.0} {err:>8.1} {:>10.0} {:>10.0} {:>8.1}%",
                     reading.reported,
-                    monitor.mean_cost().unwrap_or(0.0),
+                    walk_gauge.mean_cost().unwrap_or(0.0),
+                    epidemic_gauge.current().unwrap_or(0.0),
                     100.0 * live as f64 / total.max(1) as f64
                 );
             }
         }
     }
 
+    for (label, gauge_ticks, reports, failures, messages) in [
+        (
+            "walk gauge",
+            walk_gauge.ticks(),
+            walk_gauge.reports(),
+            walk_gauge.failures(),
+            walk_gauge.total_messages().total(),
+        ),
+        (
+            "epidemic gauge",
+            epidemic_gauge.ticks(),
+            epidemic_gauge.reports(),
+            epidemic_gauge.failures(),
+            epidemic_gauge.total_messages().total(),
+        ),
+    ] {
+        println!(
+            "\n{label}: {gauge_ticks} ticks, {reports} readings, {failures} failed periods, \
+             {messages} total messages."
+        );
+    }
     println!(
-        "\n{} ticks, {} failed estimations, {} total messages spent.",
-        monitor.ticks(),
-        monitor.failures(),
-        monitor.total_messages().total()
-    );
-    println!(
-        "The gauge lags the truth by the smoothing window during the decline —\n\
-         trade Heuristic::LastKRuns(5) for OneShot to follow §IV-D's reactivity result."
+        "\nThe walk gauge lags the truth by its smoothing window during the decline —\n\
+         trade Heuristic::LastKRuns(5) for OneShot to follow §IV-D's reactivity result.\n\
+         The epidemic gauge updates only at epoch ends and keeps estimating the epoch's\n\
+         *starting* size — the conservative effect of §IV-D(k)."
     );
 }

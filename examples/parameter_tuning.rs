@@ -38,7 +38,9 @@ fn main() {
         let mut msgs = MessageCounter::new();
         let mut err = 0.0;
         for _ in 0..runs {
-            let est = sc.estimate(&graph, &mut rng, &mut msgs).expect("static overlay");
+            let est = sc
+                .estimate(&graph, &mut rng, &mut msgs)
+                .expect("static overlay");
             err += (est - n as f64).abs() / n as f64;
         }
         let point = SweepPoint {

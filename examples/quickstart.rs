@@ -1,15 +1,23 @@
-//! Quickstart: estimate the size of an unstructured overlay three ways.
+//! Quickstart: estimate the size of an unstructured overlay three ways —
+//! through the one unified `EstimationProtocol` API.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 //!
 //! Builds the paper's heterogeneous random overlay (10,000 nodes, max
-//! degree 10) and runs each candidate algorithm once, printing the estimate
-//! and what it cost in messages.
+//! degree 10) and runs each candidate algorithm class once, printing the
+//! estimate and what it cost in messages. All three classes — including the
+//! round-driven epidemic Aggregation — go through the same trait: a
+//! protocol is *stepped*, and each step reports an estimate, stays pending,
+//! or fails. The same protocols then run through the scenario driver
+//! `run_scenario` on a dynamic (growing) overlay.
 
-use p2p_size_estimation::estimation::aggregation::Aggregation;
-use p2p_size_estimation::estimation::{HopsSampling, SampleCollide, SizeEstimator};
+use p2p_size_estimation::estimation::aggregation::{AggregationConfig, EpochedAggregation};
+use p2p_size_estimation::estimation::{estimate_once, EstimationProtocol, Heuristic};
+use p2p_size_estimation::estimation::{HopsSampling, SampleCollide};
+use p2p_size_estimation::experiments::runner::run_scenario;
+use p2p_size_estimation::experiments::Scenario;
 use p2p_size_estimation::overlay::builder::{GraphBuilder, HeterogeneousRandom};
 use p2p_size_estimation::overlay::metrics::degree_stats;
 use p2p_size_estimation::sim::rng::small_rng;
@@ -23,30 +31,70 @@ fn main() {
     //    partners; links are bidirectional (paper §IV-A).
     let graph = HeterogeneousRandom::paper(n).build(&mut rng);
     let stats = degree_stats(&graph);
-    println!("overlay: {} nodes, avg degree {:.2} (min {}, max {})", n, stats.mean, stats.min, stats.max);
-    println!("true size (hidden from the algorithms): {}\n", graph.alive_count());
+    println!(
+        "overlay: {} nodes, avg degree {:.2} (min {}, max {})",
+        n, stats.mean, stats.min, stats.max
+    );
+    println!(
+        "true size (hidden from the algorithms): {}\n",
+        graph.alive_count()
+    );
 
-    // 2. Run each estimator once. Each call picks a random initiator, runs
-    //    the full protocol, and charges every simulated message.
-    let mut estimators: Vec<Box<dyn SizeEstimator>> = vec![
+    // 2. One estimation per class, all through `EstimationProtocol`:
+    //    `estimate_once` steps a protocol until it closes one reporting
+    //    period — a single step for the one-shot classes, one 50-round
+    //    epoch for the epidemic class.
+    let mut protocols: Vec<Box<dyn EstimationProtocol>> = vec![
         Box::new(SampleCollide::paper()), // random walks, l = 200
         Box::new(HopsSampling::paper()),  // probabilistic polling
-        Box::new(Aggregation::paper()),   // push-pull averaging, 50 rounds
+        Box::new(EpochedAggregation::new(AggregationConfig::paper())), // push-pull averaging
     ];
 
-    println!("{:<16} {:>12} {:>10} {:>14}", "algorithm", "estimate", "quality%", "messages");
-    for est in &mut estimators {
+    println!(
+        "{:<16} {:>12} {:>10} {:>14}",
+        "algorithm", "estimate", "quality%", "messages"
+    );
+    for protocol in &mut protocols {
         let mut msgs = MessageCounter::new();
-        match est.estimate(&graph, &mut rng, &mut msgs) {
+        match estimate_once(protocol.as_mut(), &graph, &mut rng, &mut msgs, 1_000) {
             Some(size) => println!(
                 "{:<16} {:>12.0} {:>10.1} {:>14}",
-                est.name(),
+                protocol.name(),
                 size,
                 100.0 * size / n as f64,
                 msgs.total()
             ),
-            None => println!("{:<16} {:>12}", est.name(), "failed"),
+            None => println!("{:<16} {:>12}", protocol.name(), "failed"),
         }
+    }
+
+    // 3. The same protocols over a *dynamic* scenario, through the single
+    //    generic driver the figures use. The overlay grows by 50% while
+    //    each protocol keeps estimating; the trace records estimates and
+    //    ground truth at every reporting instant.
+    println!("\n--- growing overlay (+50% over the timeline), unified driver ---");
+    let polling_scenario = Scenario::growing(5_000, 30, 0.5);
+    let mut sc = SampleCollide::paper();
+    let sc_trace = run_scenario(&mut sc, &polling_scenario, Heuristic::OneShot, 7, "S&C");
+
+    let epidemic_scenario = Scenario::growing(5_000, 150, 0.5); // steps = gossip rounds
+    let mut agg = EpochedAggregation::new(AggregationConfig::paper());
+    let agg_trace = run_scenario(&mut agg, &epidemic_scenario, Heuristic::OneShot, 7, "Agg");
+
+    for (label, trace) in [("Sample&Collide", &sc_trace), ("Aggregation", &agg_trace)] {
+        let (step, last) = *trace
+            .estimates
+            .points
+            .last()
+            .expect("completed estimations");
+        let (_, truth) = *trace.real_size.points.last().unwrap();
+        println!(
+            "{label:<16} {:>3} reports, final estimate {last:>7.0} vs true {truth:>5.0} \
+             ({:>6} messages)",
+            trace.completed,
+            trace.messages.total(),
+        );
+        let _ = step;
     }
 
     println!(

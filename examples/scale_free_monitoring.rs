@@ -27,10 +27,16 @@ fn main() {
         stats.min, stats.max, stats.mean
     );
     let hist = degree_histogram(&graph);
-    println!("degree histogram head: {:?} ... (power-law tail, Fig 7)", &hist[..4.min(hist.len())]);
+    println!(
+        "degree histogram head: {:?} ... (power-law tail, Fig 7)",
+        &hist[..4.min(hist.len())]
+    );
 
     let runs = 10;
-    println!("\n{:<16} {:>12} {:>10}", "algorithm", "mean est.", "quality%");
+    println!(
+        "\n{:<16} {:>12} {:>10}",
+        "algorithm", "mean est.", "quality%"
+    );
     let mut report = |name: &str, est: &mut dyn SizeEstimator| {
         let mut msgs = MessageCounter::new();
         let mut acc = RunningStats::new();

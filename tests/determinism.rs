@@ -66,6 +66,65 @@ fn table1_is_deterministic() {
 }
 
 #[test]
+fn run_replications_sweeps_seeds_across_threads() {
+    use p2p_size_estimation::estimation::{Heuristic, SampleCollide};
+    use p2p_size_estimation::experiments::runner::run_replications;
+    use p2p_size_estimation::experiments::Scenario;
+    use std::collections::HashSet;
+    use std::sync::{Condvar, Mutex};
+    use std::time::Duration;
+
+    // Rendezvous: the first replication blocks until a second worker thread
+    // checks in, proving the ≥8-replication sweep really fans out over
+    // multiple OS threads (run_replications guarantees at least two workers
+    // whenever there are at least two replications, even on one core).
+    let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+    let both_seen = Condvar::new();
+
+    let scenario = Scenario::static_network(300, 2);
+    let traces = run_replications(
+        |_| {
+            let mut seen = ids.lock().unwrap();
+            seen.insert(std::thread::current().id());
+            both_seen.notify_all();
+            while seen.len() < 2 {
+                let (guard, timeout) = both_seen
+                    .wait_timeout(seen, Duration::from_secs(10))
+                    .unwrap();
+                seen = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            SampleCollide::cheap()
+        },
+        &scenario,
+        Heuristic::OneShot,
+        7,
+        8,
+    );
+    assert_eq!(traces.len(), 8);
+    let distinct = ids.lock().unwrap().len();
+    assert!(
+        distinct >= 2,
+        "an 8-replication sweep must spread over ≥2 threads, saw {distinct}"
+    );
+
+    // ... while staying bit-reproducible regardless of thread scheduling.
+    let again = run_replications(
+        |_| SampleCollide::cheap(),
+        &scenario,
+        Heuristic::OneShot,
+        7,
+        8,
+    );
+    for (a, b) in traces.iter().zip(&again) {
+        assert_eq!(a.estimates.points, b.estimates.points);
+        assert_eq!(a.messages, b.messages);
+    }
+}
+
+#[test]
 fn parallel_replications_independent_of_thread_count() {
     // The same work mapped over 1 thread and over 8 threads must agree:
     // seeds derive from the replication index, never from scheduling.
@@ -76,7 +135,9 @@ fn parallel_replications_independent_of_thread_count() {
         let est = SampleCollide::cheap().estimate(&g, &mut rng, &mut msgs);
         (est.map(|e| e.to_bits()), msgs.total())
     };
-    let seeds: Vec<u64> = (0..12).map(|i| p2p_size_estimation::sim::rng::derive_seed(9, i)).collect();
+    let seeds: Vec<u64> = (0..12)
+        .map(|i| p2p_size_estimation::sim::rng::derive_seed(9, i))
+        .collect();
     let serial = par_map(seeds.clone(), 1, work);
     let parallel = par_map(seeds, 8, work);
     assert_eq!(serial, parallel);

@@ -13,7 +13,9 @@ fn aggregation_overhead_is_exactly_2n_per_round() {
     let mut rng = small_rng(1);
     let g = HeterogeneousRandom::paper(3_000).build(&mut rng);
     let mut msgs = MessageCounter::new();
-    Aggregation::paper().estimate(&g, &mut rng, &mut msgs).unwrap();
+    Aggregation::paper()
+        .estimate(&g, &mut rng, &mut msgs)
+        .unwrap();
     assert_eq!(msgs.total(), 3_000 * 50 * 2);
 }
 
@@ -23,7 +25,9 @@ fn hops_sampling_overhead_is_order_2n() {
     let mut rng = small_rng(2);
     let g = HeterogeneousRandom::paper(20_000).build(&mut rng);
     let mut msgs = MessageCounter::new();
-    HopsSampling::paper().estimate(&g, &mut rng, &mut msgs).unwrap();
+    HopsSampling::paper()
+        .estimate(&g, &mut rng, &mut msgs)
+        .unwrap();
     let per_node = msgs.total() as f64 / 20_000.0;
     assert!(
         (1.0..3.0).contains(&per_node),
@@ -102,8 +106,16 @@ fn table1_shape_holds_above_the_crossover() {
     assert_eq!(ov[3], (30_000 * 50 * 2) as f64);
     // Rough magnitude relations from the paper: S&C last10 ≈ 10× oneShot;
     // Aggregation ≈ 2× S&C last10 (paper: 10M vs 5M).
-    assert!((8.0..12.0).contains(&(ov[2] / ov[0])), "last10/oneShot {}", ov[2] / ov[0]);
-    assert!((1.0..4.0).contains(&(ov[3] / ov[2])), "agg/sc-last10 {}", ov[3] / ov[2]);
+    assert!(
+        (8.0..12.0).contains(&(ov[2] / ov[0])),
+        "last10/oneShot {}",
+        ov[2] / ov[0]
+    );
+    assert!(
+        (1.0..4.0).contains(&(ov[3] / ov[2])),
+        "agg/sc-last10 {}",
+        ov[3] / ov[2]
+    );
 }
 
 #[test]
@@ -111,8 +123,14 @@ fn failed_estimations_charge_nothing() {
     let g = p2p_size_estimation::overlay::Graph::with_capacity(0);
     let mut rng = small_rng(6);
     let mut msgs = MessageCounter::new();
-    assert!(SampleCollide::paper().estimate(&g, &mut rng, &mut msgs).is_none());
-    assert!(HopsSampling::paper().estimate(&g, &mut rng, &mut msgs).is_none());
-    assert!(Aggregation::paper().estimate(&g, &mut rng, &mut msgs).is_none());
+    assert!(SampleCollide::paper()
+        .estimate(&g, &mut rng, &mut msgs)
+        .is_none());
+    assert!(HopsSampling::paper()
+        .estimate(&g, &mut rng, &mut msgs)
+        .is_none());
+    assert!(Aggregation::paper()
+        .estimate(&g, &mut rng, &mut msgs)
+        .is_none());
     assert_eq!(msgs.total(), 0);
 }

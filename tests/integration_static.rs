@@ -2,7 +2,9 @@
 //! exercised through the umbrella crate exactly as a downstream user would.
 
 use p2p_size_estimation::estimation::aggregation::Aggregation;
-use p2p_size_estimation::estimation::{Heuristic, HopsSampling, SampleCollide, SizeEstimator, Smoother};
+use p2p_size_estimation::estimation::{
+    Heuristic, HopsSampling, SampleCollide, SizeEstimator, Smoother,
+};
 use p2p_size_estimation::overlay::builder::{GraphBuilder, HeterogeneousRandom};
 use p2p_size_estimation::overlay::{connectivity, metrics};
 use p2p_size_estimation::sim::rng::small_rng;
@@ -24,7 +26,11 @@ fn overlay_matches_paper_construction_claims() {
     // §IV-A: max 10 neighbors → average ≈ 7.2; connected (avg deg > log N).
     let stats = metrics::degree_stats(&g);
     assert!(stats.max <= 10);
-    assert!((6.8..7.7).contains(&stats.mean), "avg degree {}", stats.mean);
+    assert!(
+        (6.8..7.7).contains(&stats.mean),
+        "avg degree {}",
+        stats.mean
+    );
     assert!(connectivity::is_connected(&g));
 }
 
@@ -94,19 +100,25 @@ fn aggregation_is_near_exact_and_available_everywhere() {
 fn message_kinds_are_disjoint_per_algorithm() {
     let (g, mut rng) = overlay();
     let mut msgs = MessageCounter::new();
-    SampleCollide::paper().estimate(&g, &mut rng, &mut msgs).unwrap();
+    SampleCollide::paper()
+        .estimate(&g, &mut rng, &mut msgs)
+        .unwrap();
     assert!(msgs.get(MessageKind::WalkStep) > 0);
     assert!(msgs.get(MessageKind::GossipForward) == 0);
     assert!(msgs.get(MessageKind::AggregationPush) == 0);
 
     let mut msgs = MessageCounter::new();
-    HopsSampling::paper().estimate(&g, &mut rng, &mut msgs).unwrap();
+    HopsSampling::paper()
+        .estimate(&g, &mut rng, &mut msgs)
+        .unwrap();
     assert!(msgs.get(MessageKind::GossipForward) > 0);
     assert!(msgs.get(MessageKind::PollReply) > 0);
     assert!(msgs.get(MessageKind::WalkStep) == 0);
 
     let mut msgs = MessageCounter::new();
-    Aggregation::paper().estimate(&g, &mut rng, &mut msgs).unwrap();
+    Aggregation::paper()
+        .estimate(&g, &mut rng, &mut msgs)
+        .unwrap();
     assert_eq!(
         msgs.get(MessageKind::AggregationPush),
         msgs.get(MessageKind::AggregationPull)
@@ -120,15 +132,16 @@ fn accuracy_ranking_matches_the_paper() {
     // beats HopsSampling (§IV-E).
     let (g, mut rng) = overlay();
     let mut msgs = MessageCounter::new();
-    let mean_abs_err = |est: &mut dyn SizeEstimator, rng: &mut rand::rngs::SmallRng, msgs: &mut MessageCounter| {
-        let runs = 8;
-        let mut e = 0.0;
-        for _ in 0..runs {
-            let v = est.estimate(&g, rng, msgs).unwrap();
-            e += (v - N as f64).abs() / N as f64;
-        }
-        e / runs as f64
-    };
+    let mean_abs_err =
+        |est: &mut dyn SizeEstimator, rng: &mut rand::rngs::SmallRng, msgs: &mut MessageCounter| {
+            let runs = 8;
+            let mut e = 0.0;
+            for _ in 0..runs {
+                let v = est.estimate(&g, rng, msgs).unwrap();
+                e += (v - N as f64).abs() / N as f64;
+            }
+            e / runs as f64
+        };
     let agg = mean_abs_err(&mut Aggregation::paper(), &mut rng, &mut msgs);
     let sc = mean_abs_err(&mut SampleCollide::paper(), &mut rng, &mut msgs);
     let hs = mean_abs_err(&mut HopsSampling::paper(), &mut rng, &mut msgs);

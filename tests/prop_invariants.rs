@@ -232,7 +232,7 @@ proptest! {
         let max_d = out.min_hops.iter().copied().filter(|&d| d != u32::MAX).max().unwrap();
         for level in 0..=max_d {
             prop_assert!(
-                out.min_hops.iter().any(|&d| d == level),
+                out.min_hops.contains(&level),
                 "no node at distance {level} (max {max_d})"
             );
         }
@@ -307,6 +307,63 @@ proptest! {
         }
         // Participants never exceed the population.
         prop_assert!(agg.participants(&g) <= g.alive_count());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn trace_invariants_hold_for_every_protocol_and_scenario(
+        seed in any::<u64>(),
+        scenario_kind in 0usize..4,
+        protocol_kind in 0usize..3,
+    ) {
+        use p2p_size_estimation::estimation::aggregation::{AggregationConfig, EpochedAggregation};
+        use p2p_size_estimation::estimation::{Heuristic, HopsSampling, SampleCollide};
+        use p2p_size_estimation::experiments::runner::run_scenario;
+        use p2p_size_estimation::experiments::Scenario;
+
+        let steps = 20u64;
+        let scenario = match scenario_kind {
+            0 => Scenario::static_network(300, steps),
+            1 => Scenario::growing(300, steps, 0.5),
+            2 => Scenario::shrinking(300, steps, 0.4),
+            _ => Scenario::catastrophic(300, steps),
+        };
+        let trace = match protocol_kind {
+            0 => run_scenario(
+                &mut SampleCollide::cheap(), &scenario, Heuristic::OneShot, seed, "t"),
+            1 => run_scenario(
+                &mut HopsSampling::paper(), &scenario, Heuristic::last10(), seed, "t"),
+            _ => run_scenario(
+                &mut EpochedAggregation::new(AggregationConfig { rounds_per_estimate: 5 }),
+                &scenario, Heuristic::OneShot, seed, "t"),
+        };
+
+        // Every recorded estimate counts as completed, and vice versa.
+        prop_assert_eq!(trace.completed, trace.estimates.len());
+        // Reporting instants advance strictly monotonically in the step axis.
+        for w in trace.real_size.points.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "real_size steps not monotone: {:?}", w);
+        }
+        for w in trace.estimates.points.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "estimate steps not monotone: {:?}", w);
+        }
+        // Estimates only appear at reporting instants (where truth is recorded).
+        for &(x, _) in &trace.estimates.points {
+            prop_assert!(
+                trace.real_size.points.iter().any(|&(rx, _)| rx == x),
+                "estimate at step {x} lacks a matching truth sample"
+            );
+        }
+        // All reporting instants lie on the scenario timeline.
+        for &(x, y) in &trace.real_size.points {
+            prop_assert!(x >= 1.0 && x <= steps as f64, "step {x} outside timeline");
+            prop_assert!(y >= 0.0, "negative population {y}");
+        }
+        // Someone paid for all this.
+        prop_assert!(trace.messages.total() > 0);
     }
 }
 

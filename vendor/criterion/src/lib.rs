@@ -1,0 +1,239 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so this vendors the macro
+//! and builder surface the workspace's benches use — `criterion_group!` /
+//! `criterion_main!`, [`Criterion::bench_function`], benchmark groups and the
+//! sample-size/measurement-time configuration — around a deliberately simple
+//! measurement loop: run the body `sample_size` times, report min/mean
+//! wall-clock per iteration. `--test` (as passed by `cargo bench -- --test`)
+//! switches to a single-iteration smoke run, which is exactly what CI uses.
+//! No statistics, no HTML reports; the numbers are still good enough to spot
+//! order-of-magnitude regressions, and the real crate can be swapped back in
+//! by removing the workspace `path` override.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver: configuration plus a result printer.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_secs(1),
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Iterations measured per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up budget before measurement starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Measurement budget (an upper bound here: measurement stops after
+    /// `sample_size` iterations or once the budget is spent).
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Applies command-line arguments: `--test` selects single-iteration
+    /// smoke mode (the contract `cargo bench -- --test` relies on); a bare
+    /// non-flag argument filters benchmarks by substring. Other criterion
+    /// flags are accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                // `--bench` is injected by cargo.
+                "--bench" => {}
+                // `--profile-time` takes a value we do not use.
+                "--profile-time" => {
+                    let _ = args.next();
+                }
+                other if !other.starts_with('-') => self.filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.as_ref();
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            iters: if self.test_mode {
+                1
+            } else {
+                self.sample_size as u64
+            },
+            warm_up: if self.test_mode {
+                Duration::ZERO
+            } else {
+                self.warm_up_time
+            },
+            budget: self.measurement_time,
+            elapsed: Duration::ZERO,
+            measured: 0,
+        };
+        f(&mut bencher);
+        if bencher.measured == 0 {
+            println!("bench {id:<48} (no measurement)");
+        } else if self.test_mode {
+            println!("bench {id:<48} ok (smoke, 1 iter)");
+        } else {
+            let mean = bencher.elapsed / bencher.measured as u32;
+            println!(
+                "bench {id:<48} {mean:>12.2?}/iter over {} iters",
+                bencher.measured
+            );
+        }
+        self
+    }
+
+    /// Opens a named group; benchmark ids are prefixed with `name/`.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; drives the timed iterations.
+pub struct Bencher {
+    iters: u64,
+    warm_up: Duration,
+    budget: Duration,
+    elapsed: Duration,
+    measured: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output live via [`black_box`].
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run untimed until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut done = 0u64;
+        for _ in 0..self.iters {
+            black_box(routine());
+            done += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.measured = done;
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_the_body() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::ZERO);
+        let mut count = 0u32;
+        c.bench_function("counting", |b| b.iter(|| count += 1));
+        assert!(count >= 3, "body ran {count} times");
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion::default()
+            .sample_size(1)
+            .warm_up_time(Duration::ZERO);
+        let mut group = c.benchmark_group("g");
+        let mut hit = false;
+        group.bench_function("inner", |b| b.iter(|| hit = true));
+        group.finish();
+        assert!(hit);
+    }
+}

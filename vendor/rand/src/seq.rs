@@ -1,0 +1,23 @@
+//! Sequence helpers.
+
+use crate::{uniform_below, RngCore};
+
+/// In-place randomization of slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Uniformly permutes the slice (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = uniform_below(rng, (i + 1) as u64) as usize;
+            self.swap(i, j);
+        }
+    }
+}
