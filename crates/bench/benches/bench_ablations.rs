@@ -298,9 +298,62 @@ fn delay(c: &mut Criterion) {
     });
 }
 
+/// Churn hot path: per-removal allocation (`remove_node` returning a fresh
+/// `Vec`) vs one reused scratch buffer (`remove_node_with`). The scratch
+/// variant is what `churn::remove_random_nodes` — and therefore every
+/// catastrophe and shrinking scenario — runs on.
+fn churn_removal(c: &mut Criterion) {
+    use p2p_overlay::churn;
+    use std::time::Instant;
+
+    let n = 50_000;
+    let victims = 40_000;
+    let mut rng = small_rng(derive_seed(BENCH_SEED, 10));
+    println!("\n[ablation] node removal on a {n}-node overlay ({victims} removals)");
+    println!("{:<28} {:>14}", "variant", "ns/removal");
+    let mut per_removal = [0.0f64; 2];
+    for (slot, (name, use_scratch)) in [
+        ("alloc (remove_node)", false),
+        ("scratch (remove_node_with)", true),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut g = HeterogeneousRandom::paper(n).build(&mut rng);
+        let mut scratch = Vec::new();
+        let t0 = Instant::now();
+        for _ in 0..victims {
+            let v = g.random_alive(&mut rng).expect("victims < n");
+            if use_scratch {
+                black_box(g.remove_node_with(v, &mut scratch));
+            } else {
+                black_box(g.remove_node(v));
+            }
+        }
+        per_removal[slot] = t0.elapsed().as_nanos() as f64 / victims as f64;
+        println!("{name:<28} {:>14.1}", per_removal[slot]);
+    }
+    println!(
+        "  scratch/alloc ratio: {:.2}",
+        per_removal[1] / per_removal[0]
+    );
+
+    c.bench_function("ablation_churn/steady_churn_500_of_20k", |b| {
+        let mut g = HeterogeneousRandom::paper(20_000).build(&mut rng);
+        b.iter(|| {
+            // Stable-size churn cycle on a persistent overlay: the removal
+            // half runs the scratch-buffer hot path.
+            churn::remove_random_nodes(&mut g, 500, &mut rng);
+            churn::join_nodes(&mut g, 500, 10, &mut rng);
+            black_box(g.alive_count())
+        });
+    });
+}
+
 criterion_group! {
     name = benches;
     config = criterion_config();
-    targets = l_sweep, t_bias, topology, estimator, min_hops, hs_target_mode, oracle_distances, delay
+    targets = l_sweep, t_bias, topology, estimator, min_hops, hs_target_mode, oracle_distances,
+        delay, churn_removal
 }
 criterion_main!(benches);

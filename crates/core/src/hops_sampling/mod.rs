@@ -24,6 +24,7 @@
 
 mod spread;
 
+pub(crate) use spread::pick_target;
 pub use spread::{gossip_spread, SpreadOutcome};
 
 use crate::SizeEstimator;

@@ -118,8 +118,9 @@ pub fn gossip_spread(
     }
 }
 
-/// Draws one gossip target for `sender` under the configured mode.
-fn pick_target(
+/// Draws one gossip target for `sender` under the configured mode. Also
+/// used by the event-driven HopsSampling variant (`net_protocol`).
+pub(crate) fn pick_target(
     graph: &Graph,
     sender: NodeId,
     mode: TargetMode,

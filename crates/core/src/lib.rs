@@ -21,6 +21,13 @@
 //! reply heuristic), so that each rejection can be re-validated as an
 //! ablation.
 //!
+//! The [`net_protocol`] module lifts all three classes onto the
+//! message-level network (`p2p_sim::Network`): event-driven
+//! [`NodeProtocol`] implementations whose every hop, gossip copy and reply
+//! is a simulated message subject to latency, per-link heterogeneity, loss
+//! and churn-in-flight — plus adapters in both directions
+//! ([`SyncStep`], [`Networked`]).
+//!
 //! ## One API for all three classes
 //!
 //! The one-shot algorithms implement [`SizeEstimator`]; *every* algorithm —
@@ -56,6 +63,7 @@ pub mod baselines;
 pub mod heuristics;
 pub mod hops_sampling;
 pub mod monitor;
+pub mod net_protocol;
 pub mod protocol;
 pub mod sample_collide;
 pub mod sampling;
@@ -64,6 +72,9 @@ pub use aggregation::Aggregation;
 pub use heuristics::{Heuristic, Smoother};
 pub use hops_sampling::HopsSampling;
 pub use monitor::SizeMonitor;
+pub use net_protocol::{
+    AsyncAggregation, AsyncHopsSampling, AsyncSampleCollide, Networked, NodeProtocol, SyncStep,
+};
 pub use protocol::{estimate_once, EstimationProtocol, StepOutcome};
 pub use sample_collide::SampleCollide;
 

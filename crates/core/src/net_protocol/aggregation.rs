@@ -1,0 +1,248 @@
+//! Epoched Aggregation as message-level events: two-phase push-pull.
+//!
+//! The synchronous [`EpochedAggregation`](crate::aggregation::EpochedAggregation)
+//! averages each pair atomically. Here an exchange is two messages with
+//! independent fates: the initiating node sends its value in an
+//! [`AggMsg::Push`]; the contacted node averages on delivery and answers
+//! with an [`AggMsg::Pull`] carrying the initiator's half of the exchange
+//! as a *delta* (`avg − pushed value`). Applying a delta rather than an
+//! absolute value keeps the pair's mass exactly conserved even when the
+//! initiator's value changed while the exchange was in flight (overlapping
+//! exchanges are the norm under latency) — on a lossless static network
+//! the epidemic invariant `Σ values = 1` therefore still holds. The
+//! conservation argument breaks only where it should:
+//!
+//! * a dropped `Pull` leaves the pair half-exchanged (the contacted node
+//!   updated, the initiator never applied its delta) — value mass drifts;
+//! * a node departing with messages addressed to it destroys the mass
+//!   those exchanges embodied;
+//! * exchanges of round `r` can land after round `r + 1` started when
+//!   latency exceeds the round cadence.
+//!
+//! Since the estimate is `1 / average`, destroyed mass inflates the
+//! estimate — the dynamic-network failure mode the paper attributes to
+//! "removed nodes no longer participating" (§IV-D), now arising from the
+//! network itself. Epoch restarts (§IV-D(k)) bound how long any corruption
+//! survives, exactly as they bound churn staleness.
+
+use super::{Cx, NodeProtocol};
+use crate::aggregation::AggregationConfig;
+use crate::protocol::StepOutcome;
+use p2p_overlay::NodeId;
+use p2p_sim::MessageKind;
+
+/// The wire format of the epidemic class.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AggMsg {
+    /// First half of an exchange: the initiating node's current value.
+    Push {
+        /// Epoch tag (stale-epoch messages are discarded).
+        epoch: u32,
+        /// The sender's value at send time.
+        value: f64,
+    },
+    /// Second half: the initiator's share of the exchange, back to it.
+    Pull {
+        /// Epoch tag.
+        epoch: u32,
+        /// `avg − pushed value`: what the initiator must add so the pair
+        /// sums to twice the average, however its value moved meanwhile.
+        delta: f64,
+    },
+}
+
+/// The event-driven epoched Aggregation protocol.
+///
+/// One `on_step` = one gossip round, as in the synchronous variant; a new
+/// epoch (fresh tag, fresh initiator holding value 1) starts every
+/// `rounds_per_estimate` rounds, and each epoch's estimate is read one step
+/// window after its final round, so that round's exchanges can land.
+pub struct AsyncAggregation {
+    /// Protocol parameters (rounds per epoch).
+    pub config: AggregationConfig,
+    values: Vec<f64>,
+    /// Epoch tag each slot last joined (0 = never participated).
+    epoch_of: Vec<u32>,
+    /// Round within the current epoch at which each slot joined; a node
+    /// initiates exchanges from the following round on.
+    joined_at: Vec<u32>,
+    epoch: u32,
+    rounds_done: u32,
+    reported: bool,
+    initiator: Option<NodeId>,
+}
+
+impl AsyncAggregation {
+    /// Event-driven instance with the given parameters.
+    pub fn new(config: AggregationConfig) -> Self {
+        AsyncAggregation {
+            config,
+            values: Vec::new(),
+            epoch_of: Vec::new(),
+            joined_at: Vec::new(),
+            epoch: 0,
+            rounds_done: 0,
+            reported: false,
+            initiator: None,
+        }
+    }
+
+    /// The paper's parameterization (50-round epochs).
+    pub fn paper() -> Self {
+        Self::new(AggregationConfig::paper())
+    }
+
+    fn ensure_capacity(&mut self, slots: usize) {
+        if self.values.len() < slots {
+            self.values.resize(slots, 0.0);
+            self.epoch_of.resize(slots, 0);
+            self.joined_at.resize(slots, 0);
+        }
+    }
+
+    /// Publishes the completed epoch's estimate (once), read at the
+    /// initiator or a surviving participant, as §V(p) prescribes.
+    fn finalize(&mut self, cx: &mut Cx<'_, AggMsg>) {
+        if self.epoch == 0 || self.reported || self.rounds_done < self.config.rounds_per_estimate {
+            return;
+        }
+        self.reported = true;
+        let read = self
+            .initiator
+            .filter(|&init| cx.graph.is_alive(init))
+            .and_then(|init| self.estimate_at(init))
+            .or_else(|| {
+                // Initiator gone (or value exhausted): read the first
+                // participating node among a few uniform probes.
+                for _ in 0..64 {
+                    let n = cx.graph.random_alive(cx.rng)?;
+                    if let Some(e) = self.estimate_at(n) {
+                        return Some(e);
+                    }
+                }
+                None
+            });
+        match read {
+            Some(estimate) => cx.report(StepOutcome::Estimate(estimate)),
+            None => cx.report(StepOutcome::Failed),
+        }
+    }
+
+    /// Local estimate at `node` — `1 / value` for current-epoch
+    /// participants with positive value.
+    fn estimate_at(&self, node: NodeId) -> Option<f64> {
+        if self.epoch_of.get(node.index()).copied() != Some(self.epoch) {
+            return None;
+        }
+        let v = self.values[node.index()];
+        (v > 0.0).then(|| 1.0 / v)
+    }
+}
+
+impl NodeProtocol for AsyncAggregation {
+    type Msg = AggMsg;
+
+    fn name(&self) -> &'static str {
+        "Aggregation"
+    }
+
+    fn reset(&mut self) {
+        self.values.clear();
+        self.epoch_of.clear();
+        self.joined_at.clear();
+        self.epoch = 0;
+        self.rounds_done = 0;
+        self.reported = false;
+        self.initiator = None;
+    }
+
+    fn on_step(&mut self, _step: u64, cx: &mut Cx<'_, AggMsg>) {
+        self.ensure_capacity(cx.graph.num_slots());
+        let epoch_len = self.config.rounds_per_estimate;
+        if self.epoch == 0 || self.rounds_done >= epoch_len {
+            self.finalize(cx); // in case the epoch's read timer has not fired yet
+            let Some(init) = cx.graph.random_alive(cx.rng) else {
+                cx.report(StepOutcome::Failed);
+                return;
+            };
+            self.epoch += 1;
+            self.rounds_done = 0;
+            self.reported = false;
+            self.initiator = Some(init);
+            self.values[init.index()] = 1.0;
+            self.epoch_of[init.index()] = self.epoch;
+            self.joined_at[init.index()] = 0;
+        }
+        // One gossip round: every node that joined in an earlier round
+        // initiates one push-pull exchange with a uniform random neighbor.
+        let round = self.rounds_done + 1;
+        for v in cx.graph.alive_nodes() {
+            if self.epoch_of[v.index()] != self.epoch || self.joined_at[v.index()] >= round {
+                continue;
+            }
+            let Some(w) = cx.graph.random_neighbor(v, cx.rng) else {
+                continue;
+            };
+            cx.send(
+                v,
+                w,
+                MessageKind::AggregationPush,
+                AggMsg::Push {
+                    epoch: self.epoch,
+                    value: self.values[v.index()],
+                },
+            );
+        }
+        self.rounds_done = round;
+        if round >= epoch_len {
+            // Read the epoch one collection window after its last round, so
+            // that round's exchanges can land first.
+            if let Some(init) = self.initiator {
+                cx.timer_in(cx.step_ticks(), init, self.epoch as u64);
+            }
+        }
+    }
+
+    fn on_message(&mut self, src: NodeId, dst: NodeId, msg: AggMsg, cx: &mut Cx<'_, AggMsg>) {
+        match msg {
+            AggMsg::Push { epoch, value } => {
+                if epoch != self.epoch {
+                    return; // exchange of a restarted process
+                }
+                self.ensure_capacity(dst.index() + 1);
+                if self.epoch_of[dst.index()] != epoch {
+                    // Reached by a new tag: join with value 0 (§IV-D(k));
+                    // exchanges start next round.
+                    self.epoch_of[dst.index()] = epoch;
+                    self.values[dst.index()] = 0.0;
+                    self.joined_at[dst.index()] = self.rounds_done;
+                }
+                let avg = 0.5 * (value + self.values[dst.index()]);
+                self.values[dst.index()] = avg;
+                cx.send(
+                    dst,
+                    src,
+                    MessageKind::AggregationPull,
+                    AggMsg::Pull {
+                        epoch,
+                        delta: avg - value,
+                    },
+                );
+            }
+            AggMsg::Pull { epoch, delta } => {
+                if epoch == self.epoch && self.epoch_of.get(dst.index()).copied() == Some(epoch) {
+                    self.values[dst.index()] += delta;
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _node: NodeId, tag: u64, cx: &mut Cx<'_, AggMsg>) {
+        if tag == self.epoch as u64 {
+            self.finalize(cx);
+        }
+    }
+    // Losses need no handler: a lost Push skips one exchange, a lost Pull
+    // half-averages one pair — the resulting mass drift *is* the modelled
+    // failure.
+}

@@ -82,6 +82,35 @@ impl SampleCollideConfig {
     pub fn with_l(self, l: u32) -> Self {
         SampleCollideConfig { l, ..self }
     }
+
+    /// Whether `(samples, collisions)` tallies satisfy this configuration's
+    /// stop rule (`l` collisions observed, or the `max_samples` valve hit).
+    pub fn is_done(&self, samples: u64, collisions: u64) -> bool {
+        collisions >= self.l as u64 || samples >= self.max_samples
+    }
+
+    /// Turns final `(samples, collisions)` tallies into the configured
+    /// estimate — shared by the synchronous estimator and the event-driven
+    /// [`AsyncSampleCollide`](crate::net_protocol::AsyncSampleCollide).
+    ///
+    /// Returns `None` when no collision was observed (the `max_samples`
+    /// valve fired first). Saturation guard: the moment formula assumes
+    /// collisions ≪ samples (the operating regime, `C ≈ √(2lN) ≫ l`); when
+    /// the overlay is so small that repeats dominate (`C < 2l`), the closed
+    /// form degenerates — e.g. a 2-node overlay would "measure" thousands of
+    /// peers — so fall back to the likelihood inversion, which stays exact
+    /// there.
+    pub fn finish_estimate(&self, samples: u64, collisions: u64) -> Option<f64> {
+        let (c, l) = (samples, collisions);
+        if l == 0 {
+            return None;
+        }
+        let n = match self.estimator {
+            CollisionEstimator::Moment if c >= 2 * l => moment_size_estimate(c, l),
+            _ => mle_size_estimate(c, l),
+        };
+        Some(n)
+    }
 }
 
 /// The Sample&Collide size estimator.
@@ -142,26 +171,12 @@ impl<S: PeerSampler> SampleCollide<S> {
         msgs: &mut MessageCounter,
     ) -> Option<f64> {
         let mut counter = CollisionCounter::new(graph.num_slots());
-        while counter.collisions() < self.config.l as u64
-            && counter.samples() < self.config.max_samples
-        {
+        while !self.config.is_done(counter.samples(), counter.collisions()) {
             let s = self.sampler.sample(graph, initiator, rng, msgs)?;
             counter.observe(s);
         }
-        let (c, l) = (counter.samples(), counter.collisions());
-        if l == 0 {
-            return None; // max_samples hit before any collision
-        }
-        // Saturation guard: the moment formula assumes collisions ≪ samples
-        // (the operating regime, C ≈ √(2lN) ≫ l). When the overlay is so
-        // small that repeats dominate (C < 2l), the closed form degenerates
-        // — e.g. a 2-node overlay would "measure" thousands of peers — so
-        // fall back to the likelihood inversion, which stays exact there.
-        let n = match self.config.estimator {
-            CollisionEstimator::Moment if c >= 2 * l => moment_size_estimate(c, l),
-            _ => mle_size_estimate(c, l),
-        };
-        Some(n)
+        self.config
+            .finish_estimate(counter.samples(), counter.collisions())
     }
 }
 

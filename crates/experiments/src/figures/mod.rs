@@ -5,10 +5,12 @@
 //! targets is tabulated in `DESIGN.md`.
 
 mod dynamic_figs;
+mod network_figs;
 mod scale_free;
 mod static_figs;
 
 pub use dynamic_figs::{fig09, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17};
+pub use network_figs::{fig19, fig20};
 pub use scale_free::{fig07, fig08};
 pub use static_figs::{fig01, fig02, fig03, fig04, fig05, fig06, fig18};
 
@@ -16,9 +18,10 @@ use crate::ExperimentScale;
 use p2p_stats::series::Figure;
 use p2p_stats::{Series, SlidingWindow};
 
-/// All figure ids, in paper order.
-pub const ALL_FIGURES: [u32; 18] = [
-    1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18,
+/// All figure ids: the paper's 1–18, plus the message-level network
+/// extensions 19 (delay variance) and 20 (loss).
+pub const ALL_FIGURES: [u32; 20] = [
+    1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20,
 ];
 
 /// Runs a figure by paper number.
@@ -42,6 +45,8 @@ pub fn by_number(n: u32, scale: &ExperimentScale, seed: u64) -> Option<Figure> {
         16 => fig16(scale, seed),
         17 => fig17(scale, seed),
         18 => fig18(scale, seed),
+        19 => fig19(scale, seed),
+        20 => fig20(scale, seed),
         _ => return None,
     };
     Some(f)
@@ -96,6 +101,6 @@ mod tests {
     fn unknown_figure_number_is_none() {
         let scale = ExperimentScale::tiny();
         assert!(by_number(0, &scale, 1).is_none());
-        assert!(by_number(19, &scale, 1).is_none());
+        assert!(by_number(21, &scale, 1).is_none());
     }
 }

@@ -1,0 +1,256 @@
+//! Message-level network figures: 19 and 20 — past the paper's §VI.
+//!
+//! The paper's simulator cannot answer its own §V(p) conjecture ("
+//! HopsSampling probably outperforms the other algorithms in terms of
+//! delay, which we haven't measured") because messages are instantaneous
+//! and lossless. With the three classes running natively on the
+//! discrete-event network these become measurable:
+//!
+//! * **Fig 19** — estimation quality under increasing one-hop delay
+//!   *variance* (uniform around a fixed 100 ms mean) on a growing overlay.
+//!   Sample&Collide's sequential walk is variance-insensitive (its duration
+//!   concentrates around the mean — it is just *slow*), while HopsSampling
+//!   collects replies inside a fixed window, so jitter pushes the straggler
+//!   tail past the deadline and deepens its underestimation; Aggregation's
+//!   round cadence absorbs jitter entirely.
+//! * **Fig 20** — completed estimations under increasing message loss
+//!   (instantaneous network, so loss is isolated). One lost hop kills a
+//!   whole Sample&Collide estimation, and an estimation is thousands of
+//!   sequential messages — availability collapses at per-mil loss rates.
+//!   HopsSampling and Aggregation keep reporting (their estimates absorb
+//!   the damage instead), which is the loss-domain face of the paper's
+//!   §IV-E overhead asymmetry.
+
+use crate::runner::{run_replications_des, Trace};
+use crate::scenario::Scenario;
+use crate::ExperimentScale;
+use p2p_estimation::net_protocol::NodeProtocol;
+use p2p_estimation::{AsyncAggregation, AsyncHopsSampling, AsyncSampleCollide, Heuristic};
+use p2p_sim::rng::derive_seed;
+use p2p_sim::{HopLatency, NetworkModel};
+use p2p_stats::series::Figure;
+use p2p_stats::Series;
+
+/// Estimations on the polling-class timelines of the network figures.
+const NET_STEPS: u64 = 24;
+/// Gossip rounds on the epidemic timeline (two 50-round epochs).
+const NET_AGG_ROUNDS: u64 = 100;
+/// Step cadence (ticks) under latency: wide enough for one gossip round,
+/// tight enough that jitter pushes HopsSampling stragglers past it.
+const LATENCY_STEP_TICKS: u64 = 2_000;
+
+/// Mean one-hop latency (ms) of the Fig 19 sweep.
+const DELAY_MEAN_MS: f64 = 100.0;
+/// Half-spreads (ms) of the uniform delay distribution swept in Fig 19.
+const DELAY_SPREADS_MS: [f64; 4] = [0.0, 40.0, 80.0, 99.0];
+/// Drop probabilities swept in Fig 20.
+const DROP_RATES: [f64; 5] = [0.0, 0.000_1, 0.001, 0.01, 0.1];
+
+/// Uniform latency around [`DELAY_MEAN_MS`] with half-spread `s`.
+fn jittered(s: f64) -> HopLatency {
+    if s == 0.0 {
+        HopLatency::Constant(DELAY_MEAN_MS)
+    } else {
+        HopLatency::Uniform {
+            lo: DELAY_MEAN_MS - s,
+            hi: DELAY_MEAN_MS + s,
+        }
+    }
+}
+
+/// Mean |estimate − truth| / truth over every completed reporting period of
+/// every trace, in percent. `None` when nothing completed.
+fn mean_abs_err_pct(traces: &[Trace]) -> Option<f64> {
+    let mut err = 0.0;
+    let mut n = 0usize;
+    for t in traces {
+        for &(x, est) in &t.estimates.points {
+            let truth = t
+                .real_size
+                .points
+                .iter()
+                .find(|&&(rx, _)| rx == x)
+                .map(|&(_, y)| y)?;
+            err += (est - truth).abs() / truth;
+            n += 1;
+        }
+    }
+    (n > 0).then(|| 100.0 * err / n as f64)
+}
+
+/// Total completed reporting periods as a percentage of those scheduled.
+fn completed_pct(traces: &[Trace], scheduled_per_trace: u64) -> f64 {
+    let done: usize = traces.iter().map(|t| t.completed).sum();
+    100.0 * done as f64 / (scheduled_per_trace * traces.len() as u64) as f64
+}
+
+/// The three classes' scenarios at one network model: `(name, scheduled
+/// reports per trace, traces)`.
+fn run_classes(
+    scale: &ExperimentScale,
+    model: NetworkModel,
+    seed: u64,
+) -> Vec<(&'static str, u64, Vec<Trace>)> {
+    let reps = scale.replications.max(1);
+    let poll = Scenario::growing(scale.net_nodes, NET_STEPS, 0.5).with_network(model);
+    let agg = Scenario::growing(scale.net_nodes, NET_AGG_ROUNDS, 0.5).with_network(model);
+    let epoch_len = p2p_estimation::aggregation::AggregationConfig::paper().rounds_per_estimate;
+    vec![
+        (
+            AsyncSampleCollide::cheap().name(),
+            NET_STEPS,
+            run_replications_des(
+                |_| AsyncSampleCollide::cheap().with_timeout(12),
+                &poll,
+                Heuristic::OneShot,
+                derive_seed(seed, 1),
+                reps,
+            ),
+        ),
+        (
+            AsyncHopsSampling::paper().name(),
+            NET_STEPS,
+            run_replications_des(
+                |_| AsyncHopsSampling::paper(),
+                &poll,
+                Heuristic::OneShot,
+                derive_seed(seed, 2),
+                reps,
+            ),
+        ),
+        (
+            AsyncAggregation::paper().name(),
+            NET_AGG_ROUNDS / epoch_len as u64,
+            run_replications_des(
+                |_| AsyncAggregation::paper(),
+                &agg,
+                Heuristic::OneShot,
+                derive_seed(seed, 3),
+                reps,
+            ),
+        ),
+    ]
+}
+
+/// Fig 19 — mean estimation error of the three classes as one-hop delay
+/// variance grows (uniform latency around a 100 ms mean), growing overlay.
+pub fn fig19(scale: &ExperimentScale, seed: u64) -> Figure {
+    let mut fig = Figure::new(
+        "fig19",
+        format!(
+            "Extension: error under one-hop delay variance (uniform around {DELAY_MEAN_MS} ms), \
+             {} node growing network",
+            scale.net_nodes
+        ),
+        "Delay half-spread (ms)",
+        "Mean |error| (%)",
+    );
+    let mut series: Vec<Series> = Vec::new();
+    for (li, &spread) in DELAY_SPREADS_MS.iter().enumerate() {
+        let model = NetworkModel::ideal()
+            .with_latency(jittered(spread))
+            .with_step_ticks(LATENCY_STEP_TICKS);
+        for (ci, (name, _, traces)) in run_classes(scale, model, derive_seed(seed, li as u64))
+            .into_iter()
+            .enumerate()
+        {
+            if series.len() <= ci {
+                series.push(Series::new(name));
+            }
+            if let Some(err) = mean_abs_err_pct(&traces) {
+                series[ci].push(spread, err);
+            }
+        }
+    }
+    for s in series {
+        fig.add(s);
+    }
+    fig
+}
+
+/// Fig 20 — completed estimations of the three classes as message loss
+/// grows (instantaneous network: loss isolated from delay), growing
+/// overlay.
+pub fn fig20(scale: &ExperimentScale, seed: u64) -> Figure {
+    let mut fig = Figure::new(
+        "fig20",
+        format!(
+            "Extension: completed estimations under message loss, {} node growing network",
+            scale.net_nodes
+        ),
+        "Message drop probability (%)",
+        "Completed reporting periods (%)",
+    );
+    let mut series: Vec<Series> = Vec::new();
+    for (li, &drop) in DROP_RATES.iter().enumerate() {
+        let model = NetworkModel::ideal().with_drop_rate(drop);
+        for (ci, (name, scheduled, traces)) in
+            run_classes(scale, model, derive_seed(seed, 100 + li as u64))
+                .into_iter()
+                .enumerate()
+        {
+            if series.len() <= ci {
+                series.push(Series::new(name));
+            }
+            series[ci].push(100.0 * drop, completed_pct(&traces, scheduled));
+        }
+    }
+    for s in series {
+        fig.add(s);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig19_reports_all_classes_at_every_spread() {
+        let fig = fig19(&ExperimentScale::tiny(), 31);
+        assert_eq!(fig.series.len(), 3);
+        let hs = &fig.series[1];
+        assert_eq!(hs.name, "HopsSampling");
+        assert_eq!(hs.points.len(), DELAY_SPREADS_MS.len());
+        for series in &fig.series {
+            assert!(
+                !series.points.is_empty(),
+                "{} produced nothing",
+                series.name
+            );
+            for &(_, err) in &series.points {
+                assert!(err.is_finite() && err >= 0.0, "{}: err {err}", series.name);
+            }
+        }
+        // The epidemic class's cadence absorbs jitter: it stays accurate.
+        let agg = &fig.series[2];
+        for &(spread, err) in &agg.points {
+            assert!(err < 25.0, "Aggregation at spread {spread}: {err}%");
+        }
+    }
+
+    #[test]
+    fn fig20_shows_sample_collide_availability_collapse() {
+        let fig = fig20(&ExperimentScale::tiny(), 32);
+        assert_eq!(fig.series.len(), 3);
+        let sc = &fig.series[0];
+        assert_eq!(sc.name, "Sample&Collide");
+        let at = |series: &Series, x: f64| {
+            series
+                .points
+                .iter()
+                .find(|&&(px, _)| px == x)
+                .map(|&(_, y)| y)
+                .unwrap()
+        };
+        // Lossless: everything completes.
+        assert_eq!(at(sc, 0.0), 100.0);
+        // At 10% loss a multi-thousand-message walk chain cannot survive.
+        assert!(at(sc, 10.0) < 20.0, "S&C at 10% loss: {}", at(sc, 10.0));
+        // Loss can only reduce availability.
+        assert!(at(sc, 10.0) <= at(sc, 0.01));
+        // The gossip classes keep reporting (damage lands in the estimate).
+        assert!(at(&fig.series[1], 10.0) > 80.0);
+        assert!(at(&fig.series[2], 10.0) > 80.0);
+    }
+}

@@ -1,34 +1,44 @@
 //! Scenario execution: interleaving churn with estimation on the DES.
 //!
-//! One generic driver, [`run_scenario`], runs *any*
-//! [`EstimationProtocol`] — Sample&Collide, HopsSampling, the baselines
-//! (via the one-shot adapter) and epoched Aggregation (natively) — over a
-//! [`Scenario`]'s churn timeline. The historic split into
-//! `run_polling_scenario`/`run_aggregation_scenario` duplicated this loop
-//! with subtly different semantics; the unified driver gives every class the
-//! same timeline contract:
+//! One generic message-level driver, [`run_scenario_des`], runs *any*
+//! [`NodeProtocol`] over a [`Scenario`]: the scenario's churn timeline and
+//! the protocol's step grid are control events on the scenario's
+//! [`p2p_sim::Network`], whose model injects latency, per-link
+//! heterogeneity and loss between the protocol's messages. The round-driven
+//! entry point, [`run_scenario`], is the same driver with the protocol
+//! wrapped in the synchronous [`SyncStep`] adapter — it executes each step
+//! atomically and sends nothing, so its traces are bit-for-bit those of the
+//! historic round-driven loop (the golden-trace tests pin this).
 //!
-//! * protocol steps execute at engine ticks `1..=scenario.steps`;
-//! * a churn op scheduled at step `s` executes *before* that step's protocol
-//!   step (FIFO order among same-tick events), and **every** scheduled op
-//!   executes — including ops at or beyond the final step, which the old
-//!   aggregation loop silently dropped;
-//! * estimates and the ground-truth size are recorded at the steps where the
-//!   protocol closes a reporting period (every step for one-shot estimators,
-//!   each epoch boundary for round-driven protocols).
+//! Timeline contract, identical for every class:
 //!
-//! [`run_replications`] fans independent replications of a scenario out over
-//! worker threads with per-replication derived seeds, so figure/table sweeps
-//! use every core while staying bit-reproducible.
+//! * protocol steps execute at ticks `step × step_ticks` for steps
+//!   `1..=scenario.steps`;
+//! * a churn op scheduled at step `s` executes *before* that step's
+//!   `on_step` (FIFO order among same-tick events), and **every** scheduled
+//!   op executes;
+//! * a message delivered to a node that departed while it was in flight is
+//!   lost ([`NodeProtocol::on_loss`]), never handled;
+//! * after the final step the queue drains: in-flight estimations may still
+//!   complete, recorded at the final step's x position;
+//! * estimates and the ground-truth size are recorded at the steps where
+//!   the protocol closes a reporting period.
+//!
+//! [`run_replications`] (and [`run_replications_des`] for event-driven
+//! protocols) fan independent replications out over worker threads with
+//! per-replication derived seeds, so figure/table sweeps use every core
+//! while staying bit-reproducible.
 
 use crate::scenario::Scenario;
 use p2p_estimation::aggregation::AveragingRun;
-use p2p_estimation::{EstimationProtocol, Heuristic, Smoother};
-use p2p_overlay::churn::ChurnOp;
-use p2p_sim::engine::Engine;
+use p2p_estimation::net_protocol::{dispatch, Cx};
+use p2p_estimation::{
+    EstimationProtocol, Heuristic, NodeProtocol, Smoother, StepOutcome, SyncStep,
+};
+use p2p_sim::network::NetEvent;
 use p2p_sim::parallel::{default_threads, par_replications_on};
-use p2p_sim::rng::small_rng;
-use p2p_sim::{MessageCounter, SimTime};
+use p2p_sim::rng::{derive_seed, small_rng};
+use p2p_sim::{MessageCounter, NetStats, Network, SimTime};
 use p2p_stats::Series;
 
 /// What one scenario run produced.
@@ -41,26 +51,31 @@ pub struct Trace {
     /// All traffic charged during the run.
     pub messages: MessageCounter,
     /// Reporting periods that produced an estimate (≤ scheduled reporting
-    /// instants; a protocol can fail on a shattered overlay).
+    /// instants; a protocol can fail on a shattered overlay, time out under
+    /// latency, or lose its state to a dropped message).
     pub completed: usize,
+    /// Network accounting: sent/delivered/dropped/churn-lost messages. All
+    /// zero for protocols driven through the synchronous adapter, which
+    /// does not route its traffic message-by-message.
+    pub net: NetStats,
 }
 
-/// Events on the scenario timeline.
-enum Event {
-    Churn(ChurnOp),
-    Step { step: u64 },
-}
+/// Control tag bit marking a protocol step (the rest is the step number);
+/// tags without it index into the scenario's churn schedule.
+const STEP_TAG: u64 = 1 << 63;
 
-/// Runs any [`EstimationProtocol`] over a scenario: one protocol step per
-/// scenario step, churn interleaved at its scheduled steps, estimates
-/// smoothed by `heuristic`.
+/// The stream id the per-run network seed derives from (the protocol
+/// stream is the run seed itself; the two must never collide).
+const NET_SEED_STREAM: u64 = 0x006E_6574_776F_726B; // "network"
+
+/// Runs any event-driven [`NodeProtocol`] over a scenario, message by
+/// message, under the scenario's [`NetworkModel`](p2p_sim::NetworkModel).
 ///
-/// For one-shot estimators every step reports, reproducing the historic
-/// polling runner bit for bit. For epoched Aggregation each step is one
-/// gossip round and estimates appear at epoch boundaries; pass
-/// [`Heuristic::OneShot`] to record the raw epoch estimates as the paper
-/// does.
-pub fn run_scenario<P: EstimationProtocol>(
+/// Determinism: the protocol draws from a stream seeded by `seed`, the
+/// network's latency/loss draws from a stream derived from it — one seed
+/// reproduces the run bit for bit, and with the ideal model the protocol's
+/// stream consumption is identical to the round-driven driver's.
+pub fn run_scenario_des<P: NodeProtocol>(
     protocol: &mut P,
     scenario: &Scenario,
     heuristic: Heuristic,
@@ -69,44 +84,92 @@ pub fn run_scenario<P: EstimationProtocol>(
 ) -> Trace {
     let mut rng = small_rng(seed);
     let mut graph = scenario.build_overlay(&mut rng);
-    let mut msgs = MessageCounter::new();
     let mut smoother = Smoother::new(heuristic);
+    let step_ticks = scenario.network.step_ticks;
+    let mut net: Network<P::Msg> =
+        Network::new(scenario.network, derive_seed(seed, NET_SEED_STREAM));
 
-    let mut engine: Engine<Event> = Engine::new();
-    for &(step, op) in &scenario.schedule {
-        engine.schedule_at(SimTime(step), Event::Churn(op));
+    // Churn first, then the step grid: FIFO tie-breaking puts an op
+    // scheduled at step `s` before that step's protocol step.
+    for (i, &(step, _)) in scenario.schedule.iter().enumerate() {
+        net.schedule_control_at(SimTime(step * step_ticks), i as u64);
     }
     for step in 1..=scenario.steps {
-        engine.schedule_at(SimTime(step), Event::Step { step });
+        net.schedule_control_at(SimTime(step * step_ticks), STEP_TAG | step);
     }
 
-    protocol.start(&graph, &mut rng);
+    let mut reports: Vec<StepOutcome> = Vec::new();
+    {
+        let mut cx = Cx::new(&graph, &mut net, &mut rng, &mut reports);
+        protocol.on_init(&mut cx);
+    }
 
     let mut estimates = Series::new(series_name);
     let mut real_size = Series::new("real size");
     let mut completed = 0usize;
-    engine.run(|_, _, event| match event {
-        Event::Churn(op) => {
-            op.apply(&mut graph, &mut rng);
+    let mut current_step = 0u64;
+    while let Some((_, event)) = net.pop() {
+        match event {
+            NetEvent::Control { tag } if tag & STEP_TAG != 0 => {
+                current_step = tag & !STEP_TAG;
+                let mut cx = Cx::new(&graph, &mut net, &mut rng, &mut reports);
+                protocol.on_step(current_step, &mut cx);
+            }
+            NetEvent::Control { tag } => {
+                let (_, op) = scenario.schedule[tag as usize];
+                op.apply(&mut graph, &mut rng);
+            }
+            other => dispatch(protocol, other, &graph, &mut net, &mut rng, &mut reports),
         }
-        Event::Step { step } => {
-            let outcome = protocol.step(&graph, &mut rng, &mut msgs);
+        for outcome in reports.drain(..) {
+            // Post-timeline completions (the queue drains after the last
+            // step) land at the final step's x position.
+            let x = current_step.max(1) as f64;
             if let Some(raw) = outcome.estimate() {
-                estimates.push(step as f64, smoother.apply(raw));
+                estimates.push(x, smoother.apply(raw));
                 completed += 1;
             }
             if outcome.is_report() {
-                real_size.push(step as f64, graph.alive_count() as f64);
+                real_size.push(x, graph.alive_count() as f64);
             }
         }
-    });
+    }
+    debug_assert!(graph.check_invariants().is_ok());
 
     Trace {
         estimates,
         real_size,
-        messages: msgs,
+        messages: net.take_counter(),
         completed,
+        net: *net.stats(),
     }
+}
+
+/// Runs any round-driven [`EstimationProtocol`] over a scenario: one
+/// protocol step per scenario step, churn interleaved at its scheduled
+/// steps, estimates smoothed by `heuristic`.
+///
+/// This is [`run_scenario_des`] with the [`SyncStep`] adapter: each step
+/// executes atomically between ticks, so the scenario's network model
+/// cannot touch it and the produced trace is bit-for-bit the historic
+/// round-driven one. For one-shot estimators every step reports. For
+/// epoched Aggregation each step is one gossip round and estimates appear
+/// at epoch boundaries; pass [`Heuristic::OneShot`] to record the raw epoch
+/// estimates as the paper does.
+pub fn run_scenario<P: EstimationProtocol + ?Sized>(
+    protocol: &mut P,
+    scenario: &Scenario,
+    heuristic: Heuristic,
+    seed: u64,
+    series_name: impl Into<String>,
+) -> Trace {
+    run_scenario_des(
+        &mut SyncStep::new(protocol),
+        scenario,
+        heuristic,
+        seed,
+        series_name,
+    )
 }
 
 /// Worker-thread count for a replication sweep: all available cores, but at
@@ -143,6 +206,37 @@ where
         |i, seed| {
             let mut protocol = make(i);
             run_scenario(
+                &mut protocol,
+                scenario,
+                heuristic,
+                seed,
+                format!("Estimation #{}", i + 1),
+            )
+        },
+    )
+}
+
+/// [`run_replications`] for event-driven protocols: `replications`
+/// independent [`run_scenario_des`] runs in parallel, one protocol instance
+/// per replication, seeds derived per replication index.
+pub fn run_replications_des<P, F>(
+    make: F,
+    scenario: &Scenario,
+    heuristic: Heuristic,
+    master_seed: u64,
+    replications: usize,
+) -> Vec<Trace>
+where
+    P: NodeProtocol,
+    F: Fn(usize) -> P + Sync,
+{
+    par_replications_on(
+        replication_threads(replications),
+        master_seed,
+        replications,
+        |i, seed| {
+            let mut protocol = make(i);
+            run_scenario_des(
                 &mut protocol,
                 scenario,
                 heuristic,
@@ -195,6 +289,7 @@ mod tests {
     use super::*;
     use p2p_estimation::aggregation::{AggregationConfig, EpochedAggregation};
     use p2p_estimation::SampleCollide;
+    use p2p_overlay::churn::ChurnOp;
 
     #[test]
     fn one_shot_trace_covers_every_step_on_static_overlay() {

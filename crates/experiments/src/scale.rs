@@ -16,6 +16,9 @@ pub struct ExperimentScale {
     pub agg_dynamic_rounds: u64,
     /// Replications ("Estimation #1..#3" curves) for dynamic figures.
     pub replications: usize,
+    /// Overlay size for the message-level network figures (19/20): every
+    /// hop is a simulated event there, so these run smaller than `large`.
+    pub net_nodes: usize,
 }
 
 impl ExperimentScale {
@@ -27,6 +30,7 @@ impl ExperimentScale {
             huge: 1_000_000,
             agg_dynamic_rounds: 10_000,
             replications: 3,
+            net_nodes: 20_000,
         }
     }
 
@@ -38,6 +42,7 @@ impl ExperimentScale {
             huge: 100_000,
             agg_dynamic_rounds: 4_000,
             replications: 3,
+            net_nodes: 5_000,
         }
     }
 
@@ -48,6 +53,7 @@ impl ExperimentScale {
             huge: 5_000,
             agg_dynamic_rounds: 400,
             replications: 2,
+            net_nodes: 1_200,
         }
     }
 
@@ -110,5 +116,6 @@ mod tests {
         );
         assert!(p.large > s.large && s.large > t.large);
         assert!(p.huge > s.huge && s.huge > t.huge);
+        assert!(p.net_nodes > s.net_nodes && s.net_nodes > t.net_nodes);
     }
 }

@@ -9,6 +9,7 @@
 use p2p_overlay::builder::{GraphBuilder, HeterogeneousRandom};
 use p2p_overlay::churn::ChurnOp;
 use p2p_overlay::Graph;
+use p2p_sim::NetworkModel;
 use rand::rngs::SmallRng;
 
 /// The degree cap used throughout the evaluation (paper: 10 → avg ≈ 7.2).
@@ -25,6 +26,13 @@ pub struct Scenario {
     pub steps: u64,
     /// `(step, op)` pairs; multiple ops may share a step.
     pub schedule: Vec<(u64, ChurnOp)>,
+    /// The network the protocols run over. [`NetworkModel::ideal`] (the
+    /// default of every constructor) reproduces the paper's instantaneous
+    /// lossless simulator; anything else only takes effect for protocols
+    /// routed message-by-message (`run_scenario_des` with a native
+    /// event-driven protocol) — the synchronous adapter executes steps
+    /// atomically and cannot feel latency or loss.
+    pub network: NetworkModel,
 }
 
 impl Scenario {
@@ -35,6 +43,7 @@ impl Scenario {
             initial_size,
             steps,
             schedule: Vec::new(),
+            network: NetworkModel::ideal(),
         }
     }
 
@@ -46,6 +55,7 @@ impl Scenario {
             initial_size,
             steps,
             schedule: spread_evenly(initial_size, steps, fraction, true),
+            network: NetworkModel::ideal(),
         }
     }
 
@@ -57,6 +67,7 @@ impl Scenario {
             initial_size,
             steps,
             schedule: spread_evenly(initial_size, steps, fraction, false),
+            network: NetworkModel::ideal(),
         }
     }
 
@@ -79,6 +90,7 @@ impl Scenario {
                     },
                 ),
             ],
+            network: NetworkModel::ideal(),
         }
     }
 
@@ -102,7 +114,15 @@ impl Scenario {
                     },
                 ),
             ],
+            network: NetworkModel::ideal(),
         }
+    }
+
+    /// Same scenario over a different network (latency distribution, drop
+    /// probability, per-link heterogeneity, step cadence).
+    pub fn with_network(mut self, network: NetworkModel) -> Self {
+        self.network = network;
+        self
     }
 
     /// Builds the initial overlay (the paper's heterogeneous random graph).

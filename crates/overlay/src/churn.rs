@@ -55,13 +55,18 @@ pub fn join_nodes<R: Rng + ?Sized>(g: &mut Graph, count: usize, max_degree: usiz
 
 /// Removes up to `count` uniformly chosen alive nodes. Returns how many were
 /// actually removed (bounded by the current population).
+///
+/// This is the churn hot path: one scratch buffer absorbs every victim's
+/// neighbor list ([`Graph::remove_node_with`]), so a catastrophe removing
+/// tens of thousands of nodes performs no per-removal allocation.
 pub fn remove_random_nodes<R: Rng + ?Sized>(g: &mut Graph, count: usize, rng: &mut R) -> usize {
     let count = count.min(g.alive_count());
+    let mut scratch = Vec::new();
     for _ in 0..count {
         let victim = g
             .random_alive(rng)
             .expect("count bounded by alive population");
-        g.remove_node(victim);
+        g.remove_node_with(victim, &mut scratch);
     }
     count
 }

@@ -196,16 +196,53 @@ impl Graph {
     /// new links with other nodes").
     ///
     /// Returns the node's former neighbors, or `None` if it was already dead.
+    ///
+    /// The returned `Vec` is a fresh allocation handed to the caller; on
+    /// churn hot paths that remove many nodes and discard the neighbor
+    /// lists, prefer [`remove_node_with`](Self::remove_node_with), which
+    /// reuses one caller-owned scratch buffer instead of allocating and
+    /// freeing per removal.
     pub fn remove_node(&mut self, node: NodeId) -> Option<Vec<NodeId>> {
         if !self.is_alive(node) {
             return None;
         }
         let neighbors = std::mem::take(&mut self.adj[node.index()]);
-        for &w in &neighbors {
+        self.detach_links(node, &neighbors);
+        self.mark_dead(node);
+        Some(neighbors)
+    }
+
+    /// [`remove_node`](Self::remove_node) without the per-removal
+    /// allocation: the victim's neighbor list is copied into `scratch`
+    /// (cleared first) and the victim's own adjacency allocation is kept in
+    /// place (dead slots never re-wire, so it is simply empty from then on).
+    ///
+    /// Returns `false` (leaving `scratch` untouched) if `node` was already
+    /// dead; on `true`, `scratch` holds the former neighbors.
+    pub fn remove_node_with(&mut self, node: NodeId, scratch: &mut Vec<NodeId>) -> bool {
+        if !self.is_alive(node) {
+            return false;
+        }
+        scratch.clear();
+        scratch.extend_from_slice(&self.adj[node.index()]);
+        self.adj[node.index()].clear();
+        self.detach_links(node, scratch);
+        self.mark_dead(node);
+        true
+    }
+
+    /// Removes the backlinks of `node`'s former `neighbors` and updates the
+    /// edge counter.
+    fn detach_links(&mut self, node: NodeId, neighbors: &[NodeId]) {
+        for &w in neighbors {
             let removed = Self::remove_from_list(&mut self.adj[w.index()], node);
             debug_assert!(removed, "adjacency lists out of sync");
         }
         self.edges -= neighbors.len();
+    }
+
+    /// Marks an alive, already-detached `node` dead in the alive bookkeeping.
+    fn mark_dead(&mut self, node: NodeId) {
         self.alive.set(node.index(), false);
         // O(1) removal from the dense alive list via swap-remove.
         let pos = self.alive_pos[node.index()];
@@ -219,7 +256,6 @@ impl Graph {
             self.alive_pos[last.index()] = pos;
         }
         self.alive_pos[node.index()] = NOT_ALIVE;
-        Some(neighbors)
     }
 
     /// Checks internal invariants. Used by tests and debug assertions; O(V+E).
@@ -334,6 +370,49 @@ mod tests {
         assert_eq!(g.degree(a), 1);
         assert_eq!(g.edge_count(), 1);
         assert!(g.remove_node(b).is_none(), "double removal must be a no-op");
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_node_with_matches_remove_node() {
+        let build = || {
+            let mut g = Graph::with_nodes(30);
+            for i in 0..30u32 {
+                g.add_edge(NodeId(i), NodeId((i + 1) % 30));
+                g.add_edge(NodeId(i), NodeId((i + 7) % 30));
+            }
+            g
+        };
+        let mut a = build();
+        let mut b = build();
+        let mut scratch = Vec::new();
+        for i in [3u32, 17, 3, 29, 0] {
+            let via_vec = a.remove_node(NodeId(i));
+            let ok = b.remove_node_with(NodeId(i), &mut scratch);
+            match via_vec {
+                Some(nbs) => {
+                    assert!(ok);
+                    assert_eq!(scratch, nbs, "neighbor lists must agree");
+                }
+                None => assert!(!ok, "double removal must be a no-op"),
+            }
+            assert_eq!(a.alive_count(), b.alive_count());
+            assert_eq!(a.edge_count(), b.edge_count());
+        }
+        a.check_invariants().unwrap();
+        b.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_node_with_keeps_scratch_on_dead_node() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        let mut scratch = Vec::new();
+        assert!(g.remove_node_with(NodeId(0), &mut scratch));
+        assert_eq!(scratch, vec![NodeId(1)]);
+        // Second removal: no-op, scratch untouched (still the old contents).
+        assert!(!g.remove_node_with(NodeId(0), &mut scratch));
+        assert_eq!(scratch, vec![NodeId(1)]);
         g.check_invariants().unwrap();
     }
 

@@ -151,6 +151,23 @@ impl<E> Engine<E> {
         self.now = self.now.max(horizon);
     }
 
+    /// Advances the clock to `t` without dispatching anything. Used by
+    /// drivers that process events up to a horizon and then need the clock
+    /// parked at that horizon (e.g. the network facade's step windows).
+    ///
+    /// # Panics
+    /// Panics if an event earlier than `t` is still pending — advancing past
+    /// it would silently reorder the timeline.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if let Some(next) = self.peek_time() {
+            assert!(
+                next >= t,
+                "cannot advance to {t} past a pending event at {next}"
+            );
+        }
+        self.now = self.now.max(t);
+    }
+
     /// Discards all pending events (the clock is unchanged).
     pub fn clear(&mut self) {
         self.queue.clear();

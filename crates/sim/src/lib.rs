@@ -1,17 +1,22 @@
 //! # p2p-sim
 //!
-//! The discrete-event, message-counting simulation substrate used by the
+//! The discrete-event, message-level simulation substrate used by the
 //! HPDC 2006 size-estimation study.
 //!
 //! The paper (§IV-A) describes its simulator as follows: *"we evaluated them
 //! using a discrete event simulator, able to simulate static and dynamic
 //! network configurations. The simulator counts the messages over the
 //! network. It does not model the physical network topology nor the queuing
-//! delays and packet losses."* This crate makes the same modelling choices:
+//! delays and packet losses."* This crate reproduces that simulator — and
+//! then goes where the paper's §VI points: a message-level [`Network`] with
+//! per-hop latency, loss and per-link heterogeneity, so asynchrony becomes
+//! representable.
 //!
-//! * [`engine::Engine`] — a generic discrete-event queue over virtual time
-//!   (used to interleave churn with estimation activity in the dynamic
-//!   scenarios);
+//! * [`engine::Engine`] — a generic discrete-event queue over virtual time;
+//! * [`network`] — the [`Network`] facade over the engine: it owns in-flight
+//!   messages, applies a pluggable [`NetworkModel`] (latency distribution +
+//!   drop probability + per-link heterogeneity built on [`HopLatency`]) and
+//!   dispatches deliveries, drops, timers and driver control events;
 //! * [`rounds`] — a synchronous round clock plus round-indexed schedules for
 //!   the gossip protocols, which the source papers define in rounds;
 //! * [`message`] — per-kind message counters backing every overhead number
@@ -21,10 +26,35 @@
 //!   thread scheduling;
 //! * [`parallel`] — a small scoped-thread fan-out for embarrassingly parallel
 //!   replications (independent seeds/parameter points).
+//!
+//! ## The determinism contract
+//!
+//! Every simulation in this workspace is bit-reproducible per master seed.
+//! Three rules make that hold even for message-level runs:
+//!
+//! 1. **Seeded latency/loss draws, on a private stream.** A [`Network`] is
+//!    constructed with its own derived seed; every latency and drop decision
+//!    is drawn from that stream, strictly in `send` order. Protocol RNG
+//!    streams never interleave with network draws, which is what lets the
+//!    zero-latency/zero-loss configuration reproduce the historic
+//!    round-driven traces bit for bit.
+//! 2. **FIFO tie-breaking.** The engine stamps every scheduled event with a
+//!    monotone sequence number; events with equal timestamps dispatch in
+//!    scheduling order. Zero-latency cascades, simultaneous churn and step
+//!    boundaries therefore replay identically on every run.
+//! 3. **Churn-vs-in-flight semantics.** The network does not track liveness
+//!    (overlays live one crate up); a driver popping a delivery for a node
+//!    that has departed must not dispatch it — it reclassifies the message
+//!    via [`Network::note_churn_loss`]. A message to a departed node is
+//!    simply lost, exactly the failure mode the paper attributes to dynamic
+//!    networks. Drops themselves surface at their would-be *delivery* time
+//!    ([`network::NetEvent::Drop`]), never at send time, so protocols cannot
+//!    peek at the future.
 
 pub mod engine;
 pub mod latency;
 pub mod message;
+pub mod network;
 pub mod parallel;
 pub mod rng;
 pub mod rounds;
@@ -33,5 +63,6 @@ pub mod time;
 pub use engine::Engine;
 pub use latency::HopLatency;
 pub use message::{MessageCounter, MessageKind};
+pub use network::{NetEvent, NetStats, Network, NetworkModel};
 pub use rounds::{RoundClock, RoundSchedule};
 pub use time::SimTime;

@@ -1,0 +1,522 @@
+//! The message-level network: latency, loss and deterministic delivery.
+//!
+//! The HPDC paper's simulator "does not model the physical network topology
+//! nor the queuing delays and packet losses" (§IV-A) and flags exactly that
+//! as future work (§VI). This module is that future work's substrate: a
+//! [`Network`] facade over the discrete-event [`Engine`] that owns every
+//! in-flight message, applies a pluggable [`NetworkModel`] (per-hop latency
+//! distribution, i.i.d. drop probability, deterministic per-link
+//! heterogeneity) and delivers events back to the caller in a fully
+//! deterministic order.
+//!
+//! # Determinism contract
+//!
+//! For a given `(NetworkModel, seed)` pair a run is bit-reproducible:
+//!
+//! * every latency and drop draw comes from one private [`SmallRng`] seeded
+//!   at construction and consumed strictly in [`send`](Network::send) call
+//!   order — protocol RNG streams are never touched;
+//! * simultaneous events dispatch in FIFO order of scheduling (the engine's
+//!   monotone sequence number breaks timestamp ties), so zero-latency
+//!   message cascades replay exactly;
+//! * per-link latency factors are a pure hash of `(seed, endpoint pair)` —
+//!   the same link is consistently fast or slow within a run, with no O(N²)
+//!   state.
+//!
+//! Changing any model knob (e.g. enabling loss) changes how many draws each
+//! `send` consumes, so traces are comparable *per configuration*, not across
+//! configurations.
+//!
+//! The network does not know which addresses are alive — overlays live in
+//! `p2p-overlay`, a crate this one does not depend on. Drivers check
+//! liveness at delivery time and reclassify deliveries to departed nodes via
+//! [`Network::note_churn_loss`]: a message addressed to a node that left
+//! while it was in flight is lost, the paper's real dynamic-network failure
+//! mode.
+
+use crate::engine::Engine;
+use crate::latency::HopLatency;
+use crate::message::{MessageCounter, MessageKind};
+use crate::rng::{small_rng, SplitMix64};
+use crate::time::SimTime;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The pluggable network model: what happens to a message between `send`
+/// and delivery.
+///
+/// One tick is one abstract millisecond, matching [`HopLatency`]'s unit.
+/// [`NetworkModel::ideal`] (zero latency, zero loss, no heterogeneity)
+/// reproduces the paper's original instantaneous-message simulator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkModel {
+    /// Base one-hop latency distribution (ms). Draws are rounded to whole
+    /// ticks after the per-link factor is applied.
+    pub latency: HopLatency,
+    /// Probability that any individual message is lost in flight.
+    pub drop_rate: f64,
+    /// Per-link heterogeneity: each unordered endpoint pair gets a fixed
+    /// latency multiplier drawn uniformly from `[1 − spread, 1 + spread]`,
+    /// derived deterministically from the network seed. `0.0` disables it.
+    pub link_spread: f64,
+    /// Ticks between consecutive protocol steps on the scenario timeline
+    /// (the cadence drivers schedule step/round boundaries at). With the
+    /// ideal model the value is irrelevant as long as it is ≥ 1.
+    pub step_ticks: u64,
+}
+
+impl NetworkModel {
+    /// The paper's original modelling choice: instantaneous, lossless
+    /// delivery. Running any protocol over this model reproduces the
+    /// round-driven traces bit for bit.
+    pub fn ideal() -> Self {
+        NetworkModel {
+            latency: HopLatency::Constant(0.0),
+            drop_rate: 0.0,
+            link_spread: 0.0,
+            step_ticks: 1,
+        }
+    }
+
+    /// A wide-area profile: uniform 20–200 ms hops, moderate per-link
+    /// heterogeneity, step cadence wide enough for one gossip round's
+    /// messages to land within the step.
+    pub fn wan() -> Self {
+        NetworkModel {
+            latency: HopLatency::wan(),
+            drop_rate: 0.0,
+            link_spread: 0.25,
+            step_ticks: 400,
+        }
+    }
+
+    /// Same model with a different latency distribution.
+    pub fn with_latency(self, latency: HopLatency) -> Self {
+        NetworkModel { latency, ..self }
+    }
+
+    /// Same model with a different drop probability.
+    ///
+    /// # Panics
+    /// Panics unless `rate` is in `[0, 1]`.
+    pub fn with_drop_rate(self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "drop rate must be in [0,1]");
+        NetworkModel {
+            drop_rate: rate,
+            ..self
+        }
+    }
+
+    /// Same model with a different per-link latency spread.
+    ///
+    /// # Panics
+    /// Panics unless `spread` is in `[0, 1]`.
+    pub fn with_link_spread(self, spread: f64) -> Self {
+        assert!((0.0..=1.0).contains(&spread), "spread must be in [0,1]");
+        NetworkModel {
+            link_spread: spread,
+            ..self
+        }
+    }
+
+    /// Same model with a different step cadence (must be ≥ 1 tick).
+    pub fn with_step_ticks(self, ticks: u64) -> Self {
+        assert!(ticks >= 1, "steps need a positive tick spacing");
+        NetworkModel {
+            step_ticks: ticks,
+            ..self
+        }
+    }
+
+    /// Whether this model is indistinguishable from the paper's
+    /// instantaneous-message simulator.
+    pub fn is_ideal(&self) -> bool {
+        self.drop_rate == 0.0 && self.latency == HopLatency::Constant(0.0)
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+/// Cumulative network accounting for one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to [`Network::send`].
+    pub sent: u64,
+    /// Messages delivered to their destination address.
+    pub delivered: u64,
+    /// Messages the model dropped in flight.
+    pub dropped: u64,
+    /// Messages whose destination departed while they were in flight
+    /// (reported by the driver via [`Network::note_churn_loss`]).
+    pub churn_lost: u64,
+}
+
+impl NetStats {
+    /// Messages sent but not yet resolved (still in flight).
+    pub fn in_flight(&self) -> u64 {
+        self.sent - self.delivered - self.dropped - self.churn_lost
+    }
+}
+
+/// An event dispatched by the [`Network`].
+///
+/// Addresses are raw `u32` node slots (this crate does not know the overlay
+/// crate's `NodeId`; drivers convert at the boundary).
+#[derive(Clone, Debug, PartialEq)]
+pub enum NetEvent<M> {
+    /// `msg` arrives at `dst`.
+    Deliver {
+        /// Sending node slot.
+        src: u32,
+        /// Receiving node slot.
+        dst: u32,
+        /// The payload.
+        msg: M,
+    },
+    /// `msg` was lost in flight (dispatched at its would-be delivery time,
+    /// so the sender cannot react before the loss "happened").
+    Drop {
+        /// Sending node slot.
+        src: u32,
+        /// Intended receiver slot.
+        dst: u32,
+        /// The lost payload.
+        msg: M,
+    },
+    /// A protocol timer at `node` fired.
+    Timer {
+        /// The node the timer belongs to.
+        node: u32,
+        /// Protocol-defined discriminator.
+        tag: u64,
+    },
+    /// A driver-level control event (churn ops, step boundaries).
+    Control {
+        /// Driver-defined discriminator.
+        tag: u64,
+    },
+}
+
+/// The network facade: owns the event queue (in-flight messages, timers,
+/// control events), applies the [`NetworkModel`] on every send, and counts
+/// all traffic on its internal [`MessageCounter`] — dropped messages were
+/// still sent, so the paper's overhead metric includes them.
+pub struct Network<M> {
+    engine: Engine<NetEvent<M>>,
+    model: NetworkModel,
+    rng: SmallRng,
+    link_salt: u64,
+    counter: MessageCounter,
+    stats: NetStats,
+}
+
+impl<M> Network<M> {
+    /// A network under `model`, with all latency/loss draws seeded by
+    /// `seed`. Use a derived stream (e.g. `derive_seed(master, NET)`), never
+    /// the protocol's own RNG, so protocol traces stay comparable across
+    /// network configurations.
+    pub fn new(model: NetworkModel, seed: u64) -> Self {
+        Network {
+            engine: Engine::new(),
+            model,
+            rng: small_rng(seed),
+            link_salt: seed,
+            counter: MessageCounter::new(),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// The model in effect.
+    pub fn model(&self) -> &NetworkModel {
+        &self.model
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Number of pending events (messages, timers and control events).
+    pub fn pending(&self) -> usize {
+        self.engine.len()
+    }
+
+    /// Cumulative traffic counts, per [`MessageKind`].
+    pub fn counter(&self) -> &MessageCounter {
+        &self.counter
+    }
+
+    /// Mutable access to the traffic counter, for protocols that charge
+    /// traffic they do not route message-by-message (the synchronous
+    /// adapter).
+    pub fn counter_mut(&mut self) -> &mut MessageCounter {
+        &mut self.counter
+    }
+
+    /// Takes the traffic counter, leaving zeros.
+    pub fn take_counter(&mut self) -> MessageCounter {
+        self.counter.take()
+    }
+
+    /// Delivery/loss accounting so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Reclassifies the delivery most recently popped as lost to churn:
+    /// drivers call this instead of handling a [`NetEvent::Deliver`] whose
+    /// destination has departed the overlay.
+    pub fn note_churn_loss(&mut self) {
+        self.stats.delivered -= 1;
+        self.stats.churn_lost += 1;
+    }
+
+    /// The deterministic latency multiplier of the unordered link `a — b`.
+    fn link_factor(&self, a: u32, b: u32) -> f64 {
+        if self.model.link_spread == 0.0 {
+            return 1.0;
+        }
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let key =
+            self.link_salt ^ (((lo as u64) << 32) | hi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let h = SplitMix64::new(key).next_u64();
+        // Top 53 bits → uniform in [0, 1).
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        1.0 + self.model.link_spread * (2.0 * u - 1.0)
+    }
+
+    /// Sends `msg` from `src` to `dst`, charging one message of `kind`.
+    ///
+    /// The model decides the message's fate *now* (draws consumed in send
+    /// order) but the outcome is dispatched at the delivery timestamp: a
+    /// [`NetEvent::Deliver`] after the drawn latency, or a
+    /// [`NetEvent::Drop`] at the same instant so the protocol's loss hook
+    /// observes the loss no earlier than an acknowledgement timeout could.
+    pub fn send(&mut self, src: u32, dst: u32, kind: MessageKind, msg: M) {
+        self.counter.count(kind);
+        self.stats.sent += 1;
+        let base = self.model.latency.sample(&mut self.rng);
+        let delay = (base * self.link_factor(src, dst)).round().max(0.0) as u64;
+        let dropped = self.model.drop_rate > 0.0 && self.rng.gen::<f64>() < self.model.drop_rate;
+        let event = if dropped {
+            NetEvent::Drop { src, dst, msg }
+        } else {
+            NetEvent::Deliver { src, dst, msg }
+        };
+        self.engine.schedule_in(delay, event);
+    }
+
+    /// Schedules a protocol timer at `node`, `delay` ticks from now.
+    pub fn schedule_timer_in(&mut self, delay: u64, node: u32, tag: u64) {
+        self.engine
+            .schedule_in(delay, NetEvent::Timer { node, tag });
+    }
+
+    /// Schedules a driver control event at absolute time `time`.
+    pub fn schedule_control_at(&mut self, time: SimTime, tag: u64) {
+        self.engine.schedule_at(time, NetEvent::Control { tag });
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, NetEvent<M>)> {
+        let (t, ev) = self.engine.pop()?;
+        match ev {
+            NetEvent::Deliver { .. } => self.stats.delivered += 1,
+            NetEvent::Drop { .. } => self.stats.dropped += 1,
+            _ => {}
+        }
+        Some((t, ev))
+    }
+
+    /// Pops the earliest event not later than `horizon`, or returns `None`
+    /// (leaving later events queued) and parks the clock at `horizon`.
+    pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, NetEvent<M>)> {
+        match self.engine.peek_time() {
+            Some(t) if t <= horizon => self.pop(),
+            _ => {
+                self.engine.advance_to(horizon);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<M>(net: &mut Network<M>) -> Vec<(u64, NetEvent<M>)> {
+        std::iter::from_fn(|| net.pop().map(|(t, e)| (t.ticks(), e))).collect()
+    }
+
+    #[test]
+    fn ideal_model_delivers_in_send_order_at_the_same_tick() {
+        let mut net: Network<u32> = Network::new(NetworkModel::ideal(), 1);
+        for i in 0..5 {
+            net.send(0, i, MessageKind::Control, i);
+        }
+        let got = drain(&mut net);
+        assert_eq!(got.len(), 5);
+        for (i, (t, ev)) in got.into_iter().enumerate() {
+            assert_eq!(t, 0);
+            assert_eq!(
+                ev,
+                NetEvent::Deliver {
+                    src: 0,
+                    dst: i as u32,
+                    msg: i as u32
+                }
+            );
+        }
+        assert_eq!(net.stats().delivered, 5);
+        assert_eq!(net.stats().in_flight(), 0);
+        assert_eq!(net.counter().get(MessageKind::Control), 5);
+    }
+
+    #[test]
+    fn latency_orders_deliveries_by_drawn_delay() {
+        let model = NetworkModel::ideal().with_latency(HopLatency::Uniform {
+            lo: 10.0,
+            hi: 200.0,
+        });
+        let mut net: Network<&str> = Network::new(model, 7);
+        net.send(0, 1, MessageKind::Control, "a");
+        net.send(0, 2, MessageKind::Control, "b");
+        net.send(0, 3, MessageKind::Control, "c");
+        let got = drain(&mut net);
+        let times: Vec<u64> = got.iter().map(|&(t, _)| t).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "deliveries must come out in time order");
+        assert!(times.iter().all(|&t| (10..=200).contains(&t)));
+    }
+
+    #[test]
+    fn runs_are_bit_reproducible_per_seed() {
+        let model = NetworkModel::wan().with_drop_rate(0.2);
+        let run = |seed: u64| {
+            let mut net: Network<u32> = Network::new(model, seed);
+            for i in 0..200 {
+                net.send(i % 7, (i + 1) % 7, MessageKind::GossipForward, i);
+            }
+            drain(&mut net)
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn drop_rate_loses_about_the_right_fraction() {
+        let model = NetworkModel::ideal().with_drop_rate(0.3);
+        let mut net: Network<()> = Network::new(model, 9);
+        for _ in 0..10_000 {
+            net.send(0, 1, MessageKind::WalkStep, ());
+        }
+        while net.pop().is_some() {}
+        let frac = net.stats().dropped as f64 / 10_000.0;
+        assert!((0.27..0.33).contains(&frac), "drop fraction {frac}");
+        // Dropped messages still count as overhead: they were sent.
+        assert_eq!(net.counter().get(MessageKind::WalkStep), 10_000);
+        assert_eq!(net.stats().delivered + net.stats().dropped, 10_000);
+    }
+
+    #[test]
+    fn drops_surface_at_delivery_time_not_send_time() {
+        let model = NetworkModel::ideal()
+            .with_latency(HopLatency::Constant(50.0))
+            .with_drop_rate(1.0);
+        let mut net: Network<&str> = Network::new(model, 4);
+        net.send(0, 1, MessageKind::Control, "doomed");
+        let (t, ev) = net.pop().unwrap();
+        assert_eq!(t.ticks(), 50);
+        assert!(matches!(ev, NetEvent::Drop { msg: "doomed", .. }));
+    }
+
+    #[test]
+    fn link_factors_are_stable_and_heterogeneous() {
+        let model = NetworkModel::ideal()
+            .with_latency(HopLatency::Constant(100.0))
+            .with_link_spread(0.5);
+        let mut net: Network<u32> = Network::new(model, 11);
+        // Same link twice → same latency; direction must not matter.
+        net.send(3, 8, MessageKind::Control, 0);
+        net.send(8, 3, MessageKind::Control, 1);
+        // A different link → (almost surely) a different latency.
+        net.send(3, 9, MessageKind::Control, 2);
+        let got = drain(&mut net);
+        let time_of = |msg: u32| {
+            got.iter()
+                .find(|(_, e)| matches!(e, NetEvent::Deliver { msg: m, .. } if *m == msg))
+                .map(|&(t, _)| t)
+                .unwrap()
+        };
+        assert_eq!(time_of(0), time_of(1), "a link has one latency");
+        assert_ne!(time_of(0), time_of(2), "links are heterogeneous");
+        let t = time_of(0);
+        assert!((50..=150).contains(&t), "factor within ±spread: {t}");
+    }
+
+    #[test]
+    fn timers_and_controls_interleave_with_messages() {
+        let mut net: Network<&str> = Network::new(
+            NetworkModel::ideal().with_latency(HopLatency::Constant(10.0)),
+            2,
+        );
+        net.schedule_control_at(SimTime(5), 77);
+        net.send(0, 1, MessageKind::Control, "m");
+        net.schedule_timer_in(20, 4, 9);
+        let got = drain(&mut net);
+        assert_eq!(
+            got,
+            vec![
+                (5, NetEvent::Control { tag: 77 }),
+                (
+                    10,
+                    NetEvent::Deliver {
+                        src: 0,
+                        dst: 1,
+                        msg: "m"
+                    }
+                ),
+                (20, NetEvent::Timer { node: 4, tag: 9 }),
+            ]
+        );
+    }
+
+    #[test]
+    fn pop_until_respects_the_horizon_and_parks_the_clock() {
+        let mut net: Network<()> = Network::new(
+            NetworkModel::ideal().with_latency(HopLatency::Constant(30.0)),
+            3,
+        );
+        net.send(0, 1, MessageKind::Control, ());
+        assert!(net.pop_until(SimTime(10)).is_none());
+        assert_eq!(net.now(), SimTime(10));
+        assert_eq!(net.pending(), 1);
+        assert!(net.pop_until(SimTime(30)).is_some());
+        assert!(net.pop_until(SimTime(40)).is_none());
+        assert_eq!(net.now(), SimTime(40));
+    }
+
+    #[test]
+    fn churn_loss_reclassifies_a_delivery() {
+        let mut net: Network<()> = Network::new(NetworkModel::ideal(), 5);
+        net.send(0, 1, MessageKind::Control, ());
+        net.pop().unwrap();
+        net.note_churn_loss();
+        assert_eq!(net.stats().delivered, 0);
+        assert_eq!(net.stats().churn_lost, 1);
+        assert_eq!(net.stats().in_flight(), 0);
+    }
+
+    #[test]
+    fn ideal_detection() {
+        assert!(NetworkModel::ideal().is_ideal());
+        assert!(!NetworkModel::wan().is_ideal());
+        assert!(!NetworkModel::ideal().with_drop_rate(0.1).is_ideal());
+    }
+}

@@ -102,9 +102,7 @@ where
     R: Send,
     F: Fn(usize, u64) -> R + Sync,
 {
-    let seeds: Vec<u64> = (0..replications as u64)
-        .map(|i| crate::rng::derive_seed(master_seed, i))
-        .collect();
+    let seeds: Vec<u64> = crate::rng::replication_seeds(master_seed, replications).collect();
     par_map(seeds, threads, f)
 }
 

@@ -52,6 +52,17 @@ pub fn derive_seed(master: u64, stream: u64) -> u64 {
     sm.next_u64()
 }
 
+/// The per-replication seed sequence of a sweep: replication `i` runs on
+/// `derive_seed(master, i)`.
+///
+/// This is *the* seed-derivation convention for replication sweeps — both
+/// `p2p_sim::parallel::par_replications` and the experiment runners go
+/// through it, so a figure's replication #3 can be reproduced in isolation
+/// from `(master_seed, 2)` no matter which driver originally ran it.
+pub fn replication_seeds(master: u64, replications: usize) -> impl Iterator<Item = u64> {
+    (0..replications as u64).map(move |i| derive_seed(master, i))
+}
+
 /// The workspace-standard simulation RNG, seeded deterministically.
 pub fn small_rng(seed: u64) -> SmallRng {
     SmallRng::seed_from_u64(seed)
@@ -99,6 +110,28 @@ mod tests {
         assert_eq!(derive_seed(1, 1), derive_seed(1, 1));
         assert_ne!(derive_seed(1, 1), derive_seed(2, 1));
         assert_ne!(derive_seed(1, 1), derive_seed(1, 2));
+    }
+
+    #[test]
+    fn replication_seed_sequence_is_pinned() {
+        // The exact derived-seed sequence is part of the reproducibility
+        // contract: published figure data is only re-derivable if these
+        // values never change. Pinned for master seed 42.
+        let seeds: Vec<u64> = replication_seeds(42, 4).collect();
+        assert_eq!(
+            seeds,
+            vec![
+                0x28EF_E333_B266_F103,
+                0x5F23_C636_D928_E9EE,
+                0x30FA_E571_8D04_8A30,
+                0x96EC_B2D8_F260_DD0C,
+            ]
+        );
+        // And the sequence is exactly the derive_seed convention.
+        for (i, &s) in seeds.iter().enumerate() {
+            assert_eq!(s, derive_seed(42, i as u64));
+        }
+        assert_eq!(replication_seeds(42, 0).count(), 0);
     }
 
     #[test]

@@ -28,8 +28,9 @@ use p2p_size_estimation::experiments::runner::{run_scenario, Trace};
 use p2p_size_estimation::experiments::Scenario;
 use p2p_size_estimation::overlay::churn::ChurnOp;
 use p2p_size_estimation::sim::engine::Engine;
+use p2p_size_estimation::sim::network::NetworkModel;
 use p2p_size_estimation::sim::rng::small_rng;
-use p2p_size_estimation::sim::{MessageCounter, SimTime};
+use p2p_size_estimation::sim::{MessageCounter, NetStats, SimTime};
 use p2p_size_estimation::stats::Series;
 
 enum Event {
@@ -79,6 +80,7 @@ fn reference_polling_scenario<E: SizeEstimator>(
         real_size,
         messages: msgs,
         completed,
+        net: NetStats::default(),
     }
 }
 
@@ -121,6 +123,7 @@ fn reference_aggregation_scenario(
         real_size,
         messages: msgs,
         completed,
+        net: NetStats::default(),
     }
 }
 
@@ -211,6 +214,7 @@ fn aggregation_golden_traces_match_reference() {
                 },
             ),
         ],
+        network: NetworkModel::ideal(),
     };
     // The same physical timeline in the unified convention: the historic
     // loop applied an op scheduled at `r` before 0-based round `r`; the
