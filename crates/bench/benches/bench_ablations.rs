@@ -350,10 +350,59 @@ fn churn_removal(c: &mut Criterion) {
     });
 }
 
+/// Schedule lookup: the historic `ops_at` filtered the whole churn
+/// schedule per query, so a growing/shrinking scenario (one entry per
+/// timeline step) paid O(steps) per step — O(steps²) per run. The sorted
+/// `partition_point` range lookup is what `Scenario::ops_at` ships now.
+fn ops_at_lookup(c: &mut Criterion) {
+    use p2p_experiments::Scenario;
+    use std::time::Instant;
+
+    let steps = 10_000u64;
+    let scenario = Scenario::growing(100_000, steps, 0.5);
+    println!(
+        "\n[ablation] ops_at over a {}-entry growing schedule, {steps} queries",
+        scenario.schedule.len()
+    );
+    println!("{:<28} {:>14}", "variant", "ns/query");
+    let mut per_query = [0.0f64; 2];
+    for (slot, name) in ["linear filter scan", "partition_point range"]
+        .into_iter()
+        .enumerate()
+    {
+        let t0 = Instant::now();
+        let mut hits = 0usize;
+        for step in 0..=steps {
+            if slot == 0 {
+                hits += scenario
+                    .schedule
+                    .iter()
+                    .filter(|&&(s, _)| s == step)
+                    .count();
+            } else {
+                hits += scenario.ops_at(step).count();
+            }
+        }
+        per_query[slot] = t0.elapsed().as_nanos() as f64 / (steps + 1) as f64;
+        println!("{name:<28} {:>14.1}   ({hits} ops seen)", per_query[slot]);
+    }
+    println!("  range/linear ratio: {:.4}", per_query[1] / per_query[0]);
+
+    c.bench_function("ablation_ops_at/range_lookup_10k_steps", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for step in 0..=steps {
+                hits += scenario.ops_at(black_box(step)).count();
+            }
+            black_box(hits)
+        });
+    });
+}
+
 criterion_group! {
     name = benches;
     config = criterion_config();
     targets = l_sweep, t_bias, topology, estimator, min_hops, hs_target_mode, oracle_distances,
-        delay, churn_removal
+        delay, churn_removal, ops_at_lookup
 }
 criterion_main!(benches);

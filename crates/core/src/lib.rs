@@ -67,6 +67,7 @@ pub mod net_protocol;
 pub mod protocol;
 pub mod sample_collide;
 pub mod sampling;
+pub mod spec;
 
 pub use aggregation::Aggregation;
 pub use heuristics::{Heuristic, Smoother};
@@ -77,6 +78,7 @@ pub use net_protocol::{
 };
 pub use protocol::{estimate_once, EstimationProtocol, StepOutcome};
 pub use sample_collide::SampleCollide;
+pub use spec::{AsyncProtocol, ProtocolSpec, SpecError};
 
 use p2p_overlay::Graph;
 use p2p_sim::MessageCounter;

@@ -1,88 +1,527 @@
-//! `repro` — regenerate any figure or table of the paper.
+//! `repro` — run any registered figure, Table I, or a free-form experiment
+//! the paper never drew.
 //!
 //! ```text
-//! repro --all                    # every figure + Table I, small scale
-//! repro --fig 5 --scale paper    # one figure at full paper scale
-//! repro --table 1                # Table I
-//! repro --all --out target/figs  # choose the CSV output directory
-//! repro --seed 7                 # change the master seed
+//! repro list                                  # the figure registry
+//! repro run --fig 5 --scale paper             # one figure, full scale
+//! repro run --all --out target/figs           # every figure + Table I
+//! repro run --protocol sample-collide:l=10 --scenario catastrophic \
+//!           --sweep drop=0,0.001,0.01 --jobs 2
+//! repro table                                 # Table I only
 //! ```
+//!
+//! Legacy flags (`repro --all`, `--fig N`, `--table 1`) keep working.
+//! `--format jsonl | csv-stream` streams rows to stdout as replications
+//! finish instead of writing figure files.
 
-use p2p_experiments::figures;
+use p2p_estimation::{Heuristic, ProtocolSpec};
+use p2p_experiments::engine::{run_experiment, EngineOptions};
+use p2p_experiments::figures::{spec_for, ALL_FIGURES};
+use p2p_experiments::sink::{CsvSink, FigureSink, JsonLinesSink, ResultSink, Row, TeeSink};
+use p2p_experiments::spec::{
+    ExperimentSpec, NetworkSpec, Presentation, ProtocolRun, ScenarioSpec, Sweep, SweepAxis,
+    SweepMetric,
+};
 use p2p_experiments::table::table1;
 use p2p_experiments::ExperimentScale;
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
+fn usage() -> &'static str {
+    "usage:
+  repro list [--scale paper|small|tiny]
+  repro run (--all | --fig N [--fig M ...]) [common options]
+  repro run --protocol SPEC [--protocol SPEC ...] [--mode async|sync]
+            [--scenario SC] [--network NET] [--size N] [--steps K]
+            [--reps R] [--heuristic one-shot|last10] [--sweep AXIS=V1,V2,...]
+            [--metric err|completed] [common options]
+  repro table [--scale ...] [--seed ...] [--out DIR]
+  repro (--all | --fig N | --table 1) [...]        (legacy form)
+
+common options:
+  --scale paper|small|tiny   experiment sizing          (default small)
+  --seed S                   master seed                (default 20060619)
+  --out DIR                  CSV output directory       (default target/figures)
+  --jobs J                   worker threads per replication batch
+  --format csv|csv-stream|jsonl   figure files, or streaming rows on stdout
+  --quiet                    no progress lines on stderr
+
+specs:
+  --protocol  sample-collide[:l=200,t=10,timeout=8] | hops-sampling[:to=2,for=1,until=1,min-hops=5]
+              | aggregation[:rounds=50,epoched=true]
+  --scenario  static | growing | shrinking | catastrophic | catastrophic-fig15
+              [:frac=0.5,topology=heterogeneous|scale-free]
+  --network   ideal | wan | drop=..,latency=..,jitter=..,link-spread=..,ticks=..
+  --sweep     drop=0,0.001,0.01 | spread=0,40,80   (spread: ms around a 100 ms mean)"
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Csv,
+    CsvStream,
+    JsonLines,
+}
+
 struct Args {
-    figs: Vec<u32>,
-    table: bool,
+    command: Command,
     scale: ExperimentScale,
     scale_name: String,
     seed: u64,
     out: PathBuf,
+    jobs: Option<usize>,
+    format: Format,
+    quiet: bool,
 }
 
-fn usage() -> &'static str {
-    "usage: repro [--all | --fig N [--fig M ...] | --table 1]\n             [--scale paper|small|tiny] [--seed S] [--out DIR]"
+enum Command {
+    List,
+    Figures { figs: Vec<u32>, table: bool },
+    Custom(Box<ExperimentSpec>),
+    Table,
+}
+
+/// Prints engine progress callbacks to stderr.
+struct ProgressPrinter {
+    id: String,
+    enabled: bool,
+}
+
+impl ResultSink for ProgressPrinter {
+    fn row(&mut self, _row: &Row<'_>) {}
+    fn progress(&mut self, done: usize, total: usize, label: &str) {
+        if self.enabled {
+            eprintln!("  [{done}/{total}] {} {label}", self.id);
+        }
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        return Err(usage().to_string());
+    }
+    let (subcommand, rest): (Option<&str>, &[String]) = match raw[0].as_str() {
+        "list" | "run" | "table" => (Some(raw[0].as_str()), &raw[1..]),
+        _ => (None, &raw[..]),
+    };
+
     let mut figs = Vec::new();
-    let mut table = false;
     let mut all = false;
+    let mut table = false;
+    let mut protocols: Vec<ProtocolSpec> = Vec::new();
+    let mut mode_sync = false;
+    let mut scenario = ScenarioSpec::parse("static").expect("static parses");
+    let mut network = NetworkSpec::parse("ideal").expect("ideal parses");
+    let mut size: Option<usize> = None;
+    let mut steps: Option<u64> = None;
+    let mut reps: Option<usize> = None;
+    let mut heuristic = Heuristic::OneShot;
+    let mut sweep: Option<(SweepAxis, Vec<f64>)> = None;
+    let mut metric: Option<SweepMetric> = None;
     let mut scale_name = "small".to_string();
     let mut seed = 20060619; // HPDC-15 opening day
     let mut out = PathBuf::from("target/figures");
+    let mut jobs = None;
+    let mut format = Format::Csv;
+    let mut quiet = false;
 
-    let mut it = std::env::args().skip(1);
+    // Flags that only make sense for a free-form --protocol run; remembered
+    // so combining them with --fig/--all/table errors instead of silently
+    // running the registered spec with the user's knobs discarded.
+    let mut custom_flags: Vec<&str> = Vec::new();
+    let mut it = rest.iter().map(String::as_str);
+    let next_value = |it: &mut dyn Iterator<Item = &str>, flag: &str| -> Result<String, String> {
+        it.next()
+            .map(str::to_string)
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
     while let Some(arg) = it.next() {
-        match arg.as_str() {
+        if matches!(
+            arg,
+            "--mode"
+                | "--scenario"
+                | "--network"
+                | "--size"
+                | "--steps"
+                | "--reps"
+                | "--heuristic"
+                | "--sweep"
+                | "--metric"
+        ) {
+            custom_flags.push(arg);
+        }
+        match arg {
             "--all" => all = true,
             "--fig" => {
-                let v = it.next().ok_or("--fig needs a number")?;
-                let n: u32 = v.parse().map_err(|_| format!("bad figure number {v}"))?;
-                figs.push(n);
+                let v = next_value(&mut it, "--fig")?;
+                figs.push(v.parse().map_err(|_| format!("bad figure number {v}"))?);
             }
             "--table" => {
-                let v = it.next().ok_or("--table needs a number")?;
-                if v != "1" {
-                    return Err(format!("unknown table {v} (the paper has only Table I)"));
+                // Legacy `--table 1`; under `run`/`table` the value is optional.
+                if subcommand.is_none() {
+                    let v = next_value(&mut it, "--table")?;
+                    if v != "1" {
+                        return Err(format!("unknown table {v} (the paper has only Table I)"));
+                    }
                 }
                 table = true;
             }
-            "--scale" => {
-                scale_name = it.next().ok_or("--scale needs a name")?;
+            "--protocol" => {
+                let v = next_value(&mut it, "--protocol")?;
+                protocols.push(ProtocolSpec::parse(&v).map_err(|e| e.to_string())?);
             }
+            "--mode" => {
+                mode_sync = match next_value(&mut it, "--mode")?.as_str() {
+                    "sync" => true,
+                    "async" => false,
+                    other => return Err(format!("unknown mode {other} (sync | async)")),
+                }
+            }
+            "--scenario" => {
+                scenario = ScenarioSpec::parse(&next_value(&mut it, "--scenario")?)
+                    .map_err(|e| e.to_string())?;
+            }
+            "--network" => {
+                network = NetworkSpec::parse(&next_value(&mut it, "--network")?)
+                    .map_err(|e| e.to_string())?;
+            }
+            "--size" => {
+                let v = next_value(&mut it, "--size")?;
+                size = Some(v.parse().map_err(|_| format!("bad size {v}"))?);
+            }
+            "--steps" => {
+                let v = next_value(&mut it, "--steps")?;
+                steps = Some(v.parse().map_err(|_| format!("bad steps {v}"))?);
+            }
+            "--reps" => {
+                let v = next_value(&mut it, "--reps")?;
+                reps = Some(v.parse().map_err(|_| format!("bad reps {v}"))?);
+            }
+            "--heuristic" => {
+                heuristic = match next_value(&mut it, "--heuristic")?.as_str() {
+                    "one-shot" | "oneshot" => Heuristic::OneShot,
+                    "last10" => Heuristic::last10(),
+                    other => match other.strip_prefix("last") {
+                        Some(k) => Heuristic::LastKRuns(
+                            k.parse().map_err(|_| format!("bad heuristic {other}"))?,
+                        ),
+                        None => return Err(format!("unknown heuristic {other}")),
+                    },
+                }
+            }
+            "--sweep" => {
+                let v = next_value(&mut it, "--sweep")?;
+                let (axis, values) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--sweep wants AXIS=V1,V2,..., got {v}"))?;
+                let axis = match axis {
+                    "drop" => SweepAxis::Drop,
+                    "spread" => SweepAxis::DelaySpread {
+                        mean_ms: 100.0,
+                        step_ticks: 2_000,
+                    },
+                    other => return Err(format!("unknown sweep axis {other} (drop | spread)")),
+                };
+                let values: Result<Vec<f64>, _> = values.split(',').map(str::parse).collect();
+                sweep = Some((
+                    axis,
+                    values.map_err(|_| format!("bad sweep values in {v}"))?,
+                ));
+            }
+            "--metric" => {
+                metric = Some(match next_value(&mut it, "--metric")?.as_str() {
+                    "err" | "error" => SweepMetric::MeanAbsErrPct,
+                    "completed" => SweepMetric::CompletedPct,
+                    other => return Err(format!("unknown metric {other} (err | completed)")),
+                })
+            }
+            "--scale" => scale_name = next_value(&mut it, "--scale")?,
             "--seed" => {
-                let v = it.next().ok_or("--seed needs a value")?;
+                let v = next_value(&mut it, "--seed")?;
                 seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
             }
-            "--out" => {
-                out = PathBuf::from(it.next().ok_or("--out needs a directory")?);
+            "--out" => out = PathBuf::from(next_value(&mut it, "--out")?),
+            "--jobs" => {
+                let v = next_value(&mut it, "--jobs")?;
+                let j: usize = v.parse().map_err(|_| format!("bad job count {v}"))?;
+                if j == 0 {
+                    return Err("--jobs must be ≥ 1".to_string());
+                }
+                jobs = Some(j);
             }
+            "--format" => {
+                format = match next_value(&mut it, "--format")?.as_str() {
+                    "csv" => Format::Csv,
+                    "csv-stream" => Format::CsvStream,
+                    "jsonl" => Format::JsonLines,
+                    other => {
+                        return Err(format!("unknown format {other} (csv | csv-stream | jsonl)"))
+                    }
+                }
+            }
+            "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown argument {other}\n{}", usage())),
         }
     }
-    if all {
-        figs = figures::ALL_FIGURES.to_vec();
-        table = true;
-    }
-    if figs.is_empty() && !table {
-        return Err(usage().to_string());
-    }
+
     let scale = ExperimentScale::by_name(&scale_name)
         .ok_or_else(|| format!("unknown scale {scale_name} (paper|small|tiny)"))?;
+
+    if protocols.is_empty() && !custom_flags.is_empty() {
+        return Err(format!(
+            "{} only apply to free-form --protocol runs; registered figures run their \
+             registered specs (see `repro list`)",
+            custom_flags.join("/")
+        ));
+    }
+
+    let command = match subcommand {
+        Some("list") => Command::List,
+        Some("table") => Command::Table,
+        _ if !protocols.is_empty() => {
+            if all || !figs.is_empty() {
+                return Err("--protocol and --fig/--all are mutually exclusive".to_string());
+            }
+            if metric.is_some() && sweep.is_none() {
+                return Err("--metric needs a --sweep (non-sweep runs plot traces)".to_string());
+            }
+            Command::Custom(Box::new(build_custom_spec(
+                protocols, mode_sync, scenario, network, size, steps, reps, heuristic, sweep,
+                metric, &scale,
+            )?))
+        }
+        _ => {
+            if all {
+                figs = ALL_FIGURES.to_vec();
+                table = true;
+            }
+            if figs.is_empty() && !table {
+                return Err(usage().to_string());
+            }
+            if table && figs.is_empty() {
+                Command::Table
+            } else {
+                Command::Figures { figs, table }
+            }
+        }
+    };
+
     Ok(Args {
-        figs,
-        table,
+        command,
         scale,
         scale_name,
         seed,
         out,
+        jobs,
+        format,
+        quiet,
     })
+}
+
+/// Assembles a free-form [`ExperimentSpec`] from the CLI's parsed pieces.
+#[allow(clippy::too_many_arguments)] // one call site, mirroring the flags
+fn build_custom_spec(
+    protocols: Vec<ProtocolSpec>,
+    mode_sync: bool,
+    scenario: ScenarioSpec,
+    network: NetworkSpec,
+    size: Option<usize>,
+    steps: Option<u64>,
+    reps: Option<usize>,
+    heuristic: Heuristic,
+    sweep: Option<(SweepAxis, Vec<f64>)>,
+    metric: Option<SweepMetric>,
+    scale: &ExperimentScale,
+) -> Result<ExperimentSpec, String> {
+    let size = size.unwrap_or(scale.net_nodes);
+    let steps = steps.unwrap_or(24);
+    let scenario = scenario.resolve(size, steps).with_network(network.0);
+    let runs: Vec<ProtocolRun> = protocols
+        .into_iter()
+        .map(|p| {
+            let run = if mode_sync {
+                ProtocolRun::sync(p)
+            } else {
+                ProtocolRun::async_(p)
+            };
+            run.heuristic(heuristic)
+        })
+        .collect();
+    let (sweep, presentation) = match sweep {
+        Some((axis, values)) => {
+            let metric = metric.unwrap_or(match axis {
+                SweepAxis::Drop => SweepMetric::CompletedPct,
+                SweepAxis::DelaySpread { .. } => SweepMetric::MeanAbsErrPct,
+            });
+            (
+                Some(Sweep {
+                    axis,
+                    values,
+                    seed_base: 0,
+                }),
+                Presentation::SweepSummary { metric },
+            )
+        }
+        None => (None, Presentation::Tracking),
+    };
+    let (x_label, y_label) = match &presentation {
+        Presentation::SweepSummary { metric } => (
+            match sweep.as_ref().map(|s| s.axis) {
+                Some(SweepAxis::Drop) => "Message drop probability (%)",
+                _ => "Delay half-spread (ms)",
+            },
+            match metric {
+                SweepMetric::MeanAbsErrPct => "Mean |error| (%)",
+                SweepMetric::CompletedPct => "Completed reporting periods (%)",
+            },
+        ),
+        _ => ("Step", "Estimated size"),
+    };
+    if matches!(
+        presentation,
+        Presentation::SweepSummary {
+            metric: SweepMetric::CompletedPct
+        }
+    ) {
+        for run in &runs {
+            if run.protocol.scheduled_reports(steps) == 0 {
+                return Err(format!(
+                    "`{}` schedules no reporting period in {steps} steps — the completed metric \
+                     needs --steps covering at least one epoch",
+                    run.protocol
+                ));
+            }
+        }
+    }
+    let mut spec = ExperimentSpec {
+        id: "custom".to_string(),
+        title: String::new(),
+        x_label: x_label.to_string(),
+        y_label: y_label.to_string(),
+        scenario,
+        protocols: runs,
+        replications: reps.unwrap_or(scale.replications),
+        seed_stream: None,
+        sweep,
+        presentation,
+    };
+    spec.title = format!("Custom experiment: {}", spec.summary());
+    Ok(spec)
+}
+
+/// Runs one spec under the chosen output format; returns the rendered
+/// figure (empty under pure streaming) for the summary printout.
+fn execute(spec: &ExperimentSpec, args: &Args) -> Result<(), String> {
+    let opts = EngineOptions { jobs: args.jobs };
+    let mut progress = ProgressPrinter {
+        id: spec.id.clone(),
+        enabled: !args.quiet,
+    };
+    let start = Instant::now();
+    match args.format {
+        Format::Csv => {
+            let mut fig_sink = FigureSink::new();
+            {
+                let mut tee = TeeSink {
+                    a: &mut fig_sink,
+                    b: &mut progress,
+                };
+                run_experiment(spec, args.seed, &opts, &mut tee);
+            }
+            let fig = fig_sink.into_figure();
+            let elapsed = start.elapsed();
+            let path = fig
+                .save_csv(&args.out)
+                .map_err(|e| format!("{}: failed to write CSV: {e}", spec.id))?;
+            println!("\n{} — {} [{elapsed:.1?}]", fig.id, fig.title);
+            println!("  -> {}", path.display());
+            for s in &fig.series {
+                let (lo, hi) = s.y_range().unwrap_or((f64::NAN, f64::NAN));
+                println!(
+                    "  {:<22} {:>4} points, y in [{:.1}, {:.1}]",
+                    s.name,
+                    s.len(),
+                    lo,
+                    hi
+                );
+            }
+        }
+        Format::CsvStream => {
+            let stdout = std::io::stdout();
+            let mut csv = CsvSink::new(stdout.lock());
+            {
+                let mut tee = TeeSink {
+                    a: &mut csv,
+                    b: &mut progress,
+                };
+                run_experiment(spec, args.seed, &opts, &mut tee);
+            }
+            if let Some(e) = csv.error() {
+                return Err(format!("{}: stdout write failed: {e}", spec.id));
+            }
+        }
+        Format::JsonLines => {
+            let stdout = std::io::stdout();
+            let mut jsonl = JsonLinesSink::new(stdout.lock());
+            {
+                let mut tee = TeeSink {
+                    a: &mut jsonl,
+                    b: &mut progress,
+                };
+                run_experiment(spec, args.seed, &opts, &mut tee);
+            }
+            if let Some(e) = jsonl.error() {
+                return Err(format!("{}: stdout write failed: {e}", spec.id));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run_table(args: &Args) -> Result<(), String> {
+    let start = Instant::now();
+    let runs = if args.scale.large >= 100_000 { 10 } else { 20 };
+    let t = table1(args.scale.large, runs, args.seed);
+    // The rendered table follows the banner convention: stdout for figure-
+    // file runs, stderr when rows stream on stdout (the CSV file is written
+    // either way).
+    banner(args, format!("\n[{:.1?}]", start.elapsed()));
+    banner(args, t.to_string());
+    std::fs::create_dir_all(&args.out)
+        .map_err(|e| format!("cannot create {}: {e}", args.out.display()))?;
+    let path = args.out.join("table1.csv");
+    std::fs::write(&path, t.to_csv())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    banner(args, format!("  -> {}", path.display()));
+    Ok(())
+}
+
+fn run_list(args: &Args) {
+    println!(
+        "# figure registry at scale={} (large={}, huge={}, net={})",
+        args.scale_name, args.scale.large, args.scale.huge, args.scale.net_nodes
+    );
+    println!("{:<6} spec", "fig");
+    for n in ALL_FIGURES {
+        let spec = spec_for(n, &args.scale).expect("registered figure");
+        println!("{:<6} {}", spec.id, spec.summary());
+    }
+    println!("table1 sample-collide + hops-sampling + aggregation:epoched=false · overhead/accuracy rows");
+    println!("\nFree-form runs: repro run --protocol ... --scenario ... (see repro --help)");
+    let _ = std::io::stdout().flush();
+}
+
+/// Run banners go to stdout for figure-file runs and to stderr when rows
+/// stream on stdout, so piped output stays machine-readable.
+fn banner(args: &Args, line: String) {
+    if args.format == Format::Csv {
+        println!("{line}");
+    } else if !args.quiet {
+        eprintln!("{line}");
+    }
 }
 
 fn main() -> ExitCode {
@@ -94,61 +533,65 @@ fn main() -> ExitCode {
         }
     };
 
-    println!(
-        "# repro: scale={} (large={}, huge={}), seed={}, out={}",
-        args.scale_name,
-        args.scale.large,
-        args.scale.huge,
-        args.seed,
-        args.out.display()
-    );
-
-    for n in &args.figs {
-        let start = Instant::now();
-        let Some(fig) = figures::by_number(*n, &args.scale, args.seed) else {
-            eprintln!("fig{n:02}: unknown figure number");
-            return ExitCode::FAILURE;
-        };
-        let elapsed = start.elapsed();
-        match fig.save_csv(&args.out) {
-            Ok(path) => {
-                println!("\n{} — {} [{:.1?}]", fig.id, fig.title, elapsed);
-                println!("  -> {}", path.display());
-            }
+    match &args.command {
+        Command::List => {
+            run_list(&args);
+            ExitCode::SUCCESS
+        }
+        Command::Table => match run_table(&args) {
+            Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
-                eprintln!("fig{n:02}: failed to write CSV: {e}");
-                return ExitCode::FAILURE;
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        Command::Custom(spec) => {
+            banner(
+                &args,
+                format!(
+                    "# repro: custom experiment, scale={}, seed={}, out={}",
+                    args.scale_name,
+                    args.seed,
+                    args.out.display()
+                ),
+            );
+            match execute(spec, &args) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
             }
         }
-        for s in &fig.series {
-            let (lo, hi) = s.y_range().unwrap_or((f64::NAN, f64::NAN));
-            println!(
-                "  {:<22} {:>4} points, y in [{:.1}, {:.1}]",
-                s.name,
-                s.len(),
-                lo,
-                hi
+        Command::Figures { figs, table } => {
+            banner(
+                &args,
+                format!(
+                    "# repro: scale={} (large={}, huge={}), seed={}, out={}",
+                    args.scale_name,
+                    args.scale.large,
+                    args.scale.huge,
+                    args.seed,
+                    args.out.display()
+                ),
             );
+            for n in figs {
+                let Some(spec) = spec_for(*n, &args.scale) else {
+                    eprintln!("fig{n:02}: unknown figure number");
+                    return ExitCode::FAILURE;
+                };
+                if let Err(e) = execute(&spec, &args) {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if *table {
+                if let Err(e) = run_table(&args) {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
         }
     }
-
-    if args.table {
-        let start = Instant::now();
-        let runs = if args.scale.large >= 100_000 { 10 } else { 20 };
-        let t = table1(args.scale.large, runs, args.seed);
-        println!("\n[{:.1?}]", start.elapsed());
-        println!("{t}");
-        if let Err(e) = std::fs::create_dir_all(&args.out) {
-            eprintln!("cannot create {}: {e}", args.out.display());
-            return ExitCode::FAILURE;
-        }
-        let path = args.out.join("table1.csv");
-        if let Err(e) = std::fs::write(&path, t.to_csv()) {
-            eprintln!("cannot write {}: {e}", path.display());
-            return ExitCode::FAILURE;
-        }
-        println!("  -> {}", path.display());
-    }
-
-    ExitCode::SUCCESS
 }

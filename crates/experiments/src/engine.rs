@@ -1,0 +1,626 @@
+//! The generic experiment engine: one executor for every
+//! [`ExperimentSpec`].
+//!
+//! This subsumes the drive loops the 20 `figNN` generators used to
+//! hand-roll. The engine resolves the spec's seed-derivation streams (the
+//! historic figures' conventions, pinned bit-for-bit by
+//! `tests/golden_figures.rs`), fans replications out over worker threads in
+//! chunks, and streams every finished curve point through a
+//! [`ResultSink`] — so CSV/JSON output materializes while a long sweep is
+//! still running, and a `--jobs` override changes wall-clock time but
+//! never results.
+//!
+//! Seed-derivation contract (all streams split off with
+//! [`derive_seed`]):
+//!
+//! * experiment seed = `derive_seed(master, spec.seed_stream)` (or the
+//!   master itself when `None`);
+//! * whole-experiment protocol entries derive from the *master* when they
+//!   set a stream (Fig 8's 81/82/83), else use the experiment seed;
+//! * sweep point `i` uses `derive_seed(master, seed_base + i)`, and each
+//!   protocol entry inside it derives its stream from that point seed
+//!   (Figs 19/20's per-class 1/2/3);
+//! * replication `r` of any batch uses the shared
+//!   [`replication_seeds`] convention.
+
+use crate::figures::{smooth_last_k, to_quality};
+use crate::runner::record_aggregation_convergence;
+use crate::runner::{replication_threads, run_scenario, run_scenario_des, Trace};
+use crate::scenario::Scenario;
+use crate::sink::{ExperimentMeta, ResultSink, Row};
+use crate::spec::{ExecMode, ExperimentSpec, Presentation, SweepMetric};
+use p2p_estimation::{AsyncProtocol, Heuristic, ProtocolSpec};
+use p2p_sim::parallel::{default_threads, par_map};
+use p2p_sim::rng::{derive_seed, replication_seeds, small_rng};
+use p2p_stats::series::Figure;
+use p2p_stats::Series;
+
+/// Execution knobs that change wall-clock behavior but never results.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineOptions {
+    /// Worker threads per replication batch; `None` keeps each
+    /// presentation's historic policy ([`replication_threads`] /
+    /// [`default_threads`]).
+    pub jobs: Option<usize>,
+}
+
+/// Runs a spec and assembles the result as an in-memory [`Figure`] — the
+/// path behind `figures::by_number`.
+pub fn run_figure_spec(spec: &ExperimentSpec, master_seed: u64) -> Figure {
+    let mut sink = crate::sink::FigureSink::new();
+    run_experiment(spec, master_seed, &EngineOptions::default(), &mut sink);
+    sink.into_figure()
+}
+
+/// Executes `spec`, streaming rows and progress into `sink`.
+pub fn run_experiment(
+    spec: &ExperimentSpec,
+    master_seed: u64,
+    opts: &EngineOptions,
+    sink: &mut dyn ResultSink,
+) {
+    let exp_seed = spec
+        .seed_stream
+        .map_or(master_seed, |s| derive_seed(master_seed, s));
+    match &spec.presentation {
+        Presentation::StaticQuality { smooth, raw_label } => {
+            begin(sink, spec, None);
+            static_quality(spec, exp_seed, *smooth, raw_label, sink);
+        }
+        Presentation::Tracking => {
+            begin(sink, spec, None);
+            tracking(spec, exp_seed, opts, sink);
+        }
+        Presentation::Convergence => {
+            begin(sink, spec, None);
+            convergence(spec, exp_seed, opts, sink);
+        }
+        Presentation::DegreeHistogram => degree_histogram(spec, exp_seed, sink),
+        Presentation::SharedOverlay { estimations } => {
+            begin(sink, spec, None);
+            shared_overlay(spec, master_seed, exp_seed, *estimations, sink);
+        }
+        Presentation::SweepSummary { metric } => {
+            begin(sink, spec, None);
+            sweep_summary(spec, master_seed, exp_seed, *metric, opts, sink);
+        }
+    }
+    sink.finish();
+}
+
+fn begin(sink: &mut dyn ResultSink, spec: &ExperimentSpec, title_override: Option<String>) {
+    sink.begin(&ExperimentMeta {
+        id: spec.id.clone(),
+        title: title_override.unwrap_or_else(|| spec.title.clone()),
+        x_label: spec.x_label.clone(),
+        y_label: spec.y_label.clone(),
+    });
+}
+
+fn emit_series(sink: &mut dyn ResultSink, series: &Series) {
+    for &(x, y) in &series.points {
+        sink.row(&Row {
+            series: &series.name,
+            x,
+            y,
+        });
+    }
+}
+
+/// One replication of a protocol entry over a scenario, in the entry's
+/// execution mode. Protocols are built fresh per replication from the spec.
+fn run_one(
+    entry_protocol: &ProtocolSpec,
+    mode: ExecMode,
+    scenario: &Scenario,
+    heuristic: Heuristic,
+    seed: u64,
+    series_name: String,
+) -> Trace {
+    match mode {
+        ExecMode::Sync => {
+            let mut p = entry_protocol.build_sync();
+            run_scenario(&mut *p, scenario, heuristic, seed, series_name)
+        }
+        ExecMode::Async => match entry_protocol.build_async() {
+            AsyncProtocol::SampleCollide(mut p) => {
+                run_scenario_des(&mut p, scenario, heuristic, seed, series_name)
+            }
+            AsyncProtocol::HopsSampling(mut p) => {
+                run_scenario_des(&mut p, scenario, heuristic, seed, series_name)
+            }
+            AsyncProtocol::Aggregation(mut p) => {
+                run_scenario_des(&mut p, scenario, heuristic, seed, series_name)
+            }
+        },
+    }
+}
+
+/// Chunked parallel replications: seeds follow the workspace-wide
+/// [`replication_seeds`] convention (so results are bit-identical to
+/// [`run_replications`](crate::runner::run_replications) at any thread
+/// count), but finished chunks reach `emit` in replication order while
+/// later chunks are still computing.
+fn replications_streamed<T: Send>(
+    threads: usize,
+    master_seed: u64,
+    replications: usize,
+    f: impl Fn(usize, u64) -> T + Sync,
+    mut emit: impl FnMut(usize, T),
+) {
+    let seeds: Vec<u64> = replication_seeds(master_seed, replications).collect();
+    let threads = threads.max(1);
+    for (c, chunk) in seeds.chunks(threads).enumerate() {
+        let base = c * threads;
+        let tasks: Vec<(usize, u64)> = chunk
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(j, s)| (base + j, s))
+            .collect();
+        for (gi, r) in par_map(tasks, threads, |_, (gi, seed)| (gi, f(gi, seed))) {
+            emit(gi, r);
+        }
+    }
+}
+
+/// Figs 1–4/18: one sync trace on the quality axis, smoothed curve first.
+fn static_quality(
+    spec: &ExperimentSpec,
+    exp_seed: u64,
+    smooth: Option<usize>,
+    raw_label: &str,
+    sink: &mut dyn ResultSink,
+) {
+    let entry = spec
+        .protocols
+        .first()
+        .expect("StaticQuality needs one protocol entry");
+    let trace = run_one(
+        &entry.protocol,
+        entry.mode,
+        &spec.scenario,
+        entry.heuristic,
+        entry
+            .seed_stream
+            .map_or(exp_seed, |s| derive_seed(exp_seed, s)),
+        "raw".to_string(),
+    );
+    let truth = spec.scenario.initial_size as f64;
+    let raw = to_quality(&trace.estimates, truth, raw_label);
+    if let Some(k) = smooth {
+        emit_series(sink, &smooth_last_k(&raw, k, &format!("last {k} runs")));
+    }
+    emit_series(sink, &raw);
+    sink.progress(1, 1, &spec.id);
+}
+
+/// Figs 9–17: truth curve plus one estimate curve per replication.
+///
+/// With several protocol entries (a free-form comparison) each runs in
+/// turn: entry `i > 0` defaults to seed stream `i` off the experiment seed
+/// (so same-class entries don't replay one stream), and its curves are
+/// labelled by protocol; the single-entry form keeps the historic
+/// `Estimation #r` names the golden figures pin.
+fn tracking(spec: &ExperimentSpec, exp_seed: u64, opts: &EngineOptions, sink: &mut dyn ResultSink) {
+    assert!(
+        !spec.protocols.is_empty(),
+        "Tracking needs at least one protocol entry"
+    );
+    let reps = spec.replications.max(1);
+    let threads = opts.jobs.unwrap_or_else(|| replication_threads(reps));
+    let total = reps * spec.protocols.len();
+    let mut done = 0usize;
+    for (ci, entry) in spec.protocols.iter().enumerate() {
+        let entry_seed = match (entry.seed_stream, ci) {
+            (Some(s), _) => derive_seed(exp_seed, s),
+            (None, 0) => exp_seed,
+            (None, ci) => derive_seed(exp_seed, ci as u64),
+        };
+        let scenario = entry.scenario_override.as_ref().unwrap_or(&spec.scenario);
+        // Two entries of the same protocol (e.g. different seeds only) would
+        // alias in the figure legend; qualify repeats by entry position.
+        let mut label = entry.series_label().to_string();
+        if spec
+            .protocols
+            .iter()
+            .enumerate()
+            .any(|(cj, other)| cj != ci && other.series_label() == label)
+        {
+            label = format!("{label} ({})", ci + 1);
+        }
+        let series_name = |i: usize| {
+            if spec.protocols.len() == 1 {
+                format!("Estimation #{}", i + 1)
+            } else if reps == 1 {
+                label.clone()
+            } else {
+                format!("{label} #{}", i + 1)
+            }
+        };
+        replications_streamed(
+            threads,
+            entry_seed,
+            reps,
+            |i, seed| {
+                run_one(
+                    &entry.protocol,
+                    entry.mode,
+                    scenario,
+                    entry.heuristic,
+                    seed,
+                    series_name(i),
+                )
+            },
+            |gi, trace| {
+                if ci == 0 && gi == 0 {
+                    let mut real = trace.real_size.clone();
+                    real.name = "Real network size".to_string();
+                    emit_series(sink, &real);
+                }
+                emit_series(sink, &trace.estimates);
+                done += 1;
+                sink.progress(done, total, &trace.estimates.name);
+            },
+        );
+    }
+}
+
+/// Figs 5/6: round-by-round convergence of independent averaging runs.
+fn convergence(
+    spec: &ExperimentSpec,
+    exp_seed: u64,
+    opts: &EngineOptions,
+    sink: &mut dyn ResultSink,
+) {
+    let reps = spec.replications.max(3);
+    let threads = opts.jobs.unwrap_or_else(|| default_threads(reps));
+    let n = spec.scenario.initial_size;
+    let rounds = spec.scenario.steps as u32;
+    let mut done = 0usize;
+    replications_streamed(
+        threads,
+        exp_seed,
+        reps,
+        |i, seed| {
+            record_aggregation_convergence(n, rounds, seed, format!("Estimation #{}", i + 1)).0
+        },
+        |_, series| {
+            emit_series(sink, &series);
+            done += 1;
+            sink.progress(done, reps, &series.name);
+        },
+    );
+}
+
+/// Fig 7: the overlay's degree histogram; `{max}`/`{mean}` title
+/// placeholders are filled from the built graph.
+fn degree_histogram(spec: &ExperimentSpec, exp_seed: u64, sink: &mut dyn ResultSink) {
+    let mut rng = small_rng(exp_seed);
+    let graph = spec.scenario.build_overlay(&mut rng);
+    let stats = p2p_overlay::metrics::degree_stats(&graph);
+    let title = spec
+        .title
+        .replace("{max}", &stats.max.to_string())
+        .replace("{mean}", &format!("{:.1}", stats.mean));
+    begin(sink, spec, Some(title));
+    let mut s = Series::new("Scale Free Distribution");
+    for (degree, count) in p2p_overlay::metrics::degree_histogram(&graph) {
+        s.push(degree as f64, count as f64);
+    }
+    emit_series(sink, &s);
+    sink.progress(1, 1, &spec.id);
+}
+
+/// Fig 8: every protocol estimates repeatedly on one shared overlay
+/// snapshot (protocol entry streams derive from the master seed).
+fn shared_overlay(
+    spec: &ExperimentSpec,
+    master_seed: u64,
+    exp_seed: u64,
+    estimations: u64,
+    sink: &mut dyn ResultSink,
+) {
+    let mut rng = small_rng(exp_seed);
+    let graph = spec.scenario.build_overlay(&mut rng);
+    let truth = graph.alive_count() as f64;
+    for (done, entry) in spec.protocols.iter().enumerate() {
+        let seed = entry
+            .seed_stream
+            .map_or(exp_seed, |s| derive_seed(master_seed, s));
+        let mut est = entry.protocol.build_sync();
+        let mut rng = small_rng(seed);
+        let mut msgs = p2p_sim::MessageCounter::new();
+        let mut smoother = p2p_estimation::Smoother::new(entry.heuristic);
+        let mut raw = Series::new("raw");
+        for i in 1..=estimations {
+            if let Some(e) = est.step(&graph, &mut rng, &mut msgs).estimate() {
+                raw.push(i as f64, smoother.apply(e));
+            }
+        }
+        emit_series(sink, &to_quality(&raw, truth, entry.series_label()));
+        sink.progress(done + 1, spec.protocols.len(), entry.series_label());
+    }
+}
+
+/// Mean `|estimate − truth| / truth` over every completed reporting period
+/// of every trace, in percent. `None` when nothing completed.
+fn mean_abs_err_pct(traces: &[Trace]) -> Option<f64> {
+    let mut err = 0.0;
+    let mut n = 0usize;
+    for t in traces {
+        for &(x, est) in &t.estimates.points {
+            let truth = t
+                .real_size
+                .points
+                .iter()
+                .find(|&&(rx, _)| rx == x)
+                .map(|&(_, y)| y)?;
+            err += (est - truth).abs() / truth;
+            n += 1;
+        }
+    }
+    (n > 0).then(|| 100.0 * err / n as f64)
+}
+
+/// Total completed reporting periods as a percentage of those scheduled.
+fn completed_pct(traces: &[Trace], scheduled_per_trace: u64) -> f64 {
+    let done: usize = traces.iter().map(|t| t.completed).sum();
+    100.0 * done as f64 / (scheduled_per_trace * traces.len() as u64) as f64
+}
+
+/// Figs 19/20 and CLI sweeps: one series per protocol entry, one metric
+/// point per sweep value.
+fn sweep_summary(
+    spec: &ExperimentSpec,
+    master_seed: u64,
+    exp_seed: u64,
+    metric: SweepMetric,
+    opts: &EngineOptions,
+    sink: &mut dyn ResultSink,
+) {
+    let sweep = spec.sweep.as_ref().expect("SweepSummary needs a sweep");
+    let reps = spec.replications.max(1);
+    let threads = opts.jobs.unwrap_or_else(|| replication_threads(reps));
+    let total = sweep.values.len() * spec.protocols.len();
+    let mut done = 0usize;
+    for (li, &v) in sweep.values.iter().enumerate() {
+        let point_seed = derive_seed(master_seed, sweep.seed_base + li as u64);
+        for entry in &spec.protocols {
+            let base = entry.scenario_override.as_ref().unwrap_or(&spec.scenario);
+            let scenario = base
+                .clone()
+                .with_network(sweep.axis.apply(base.network, v))
+                .with_name(format!("{} {}", base.name, sweep.axis.label(v)));
+            let seed = entry.seed_stream.map_or_else(
+                || derive_seed(exp_seed, li as u64),
+                |s| derive_seed(point_seed, s),
+            );
+            let mut traces: Vec<Trace> = Vec::with_capacity(reps);
+            replications_streamed(
+                threads,
+                seed,
+                reps,
+                |i, seed| {
+                    run_one(
+                        &entry.protocol,
+                        entry.mode,
+                        &scenario,
+                        entry.heuristic,
+                        seed,
+                        format!("Estimation #{}", i + 1),
+                    )
+                },
+                |_, trace| traces.push(trace),
+            );
+            let y = match metric {
+                SweepMetric::MeanAbsErrPct => mean_abs_err_pct(&traces),
+                // A timeline too short for one reporting period (epoched
+                // Aggregation with steps < rounds) schedules nothing — no
+                // point to plot, rather than a 0/0 NaN row. The CLI rejects
+                // such specs up front.
+                SweepMetric::CompletedPct => {
+                    match entry.protocol.scheduled_reports(scenario.steps) {
+                        0 => None,
+                        scheduled => Some(completed_pct(&traces, scheduled)),
+                    }
+                }
+            };
+            if let Some(y) = y {
+                sink.row(&Row {
+                    series: entry.series_label(),
+                    x: sweep.axis.x(v),
+                    y,
+                });
+            }
+            done += 1;
+            sink.progress(
+                done,
+                total,
+                &format!("{} {}", entry.series_label(), sweep.axis.label(v)),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ProtocolRun, Sweep, SweepAxis};
+    use crate::ExperimentScale;
+
+    fn tracking_spec(reps: usize) -> ExperimentSpec {
+        ExperimentSpec {
+            id: "t".to_string(),
+            title: "t".to_string(),
+            x_label: "step".to_string(),
+            y_label: "size".to_string(),
+            scenario: Scenario::growing(1_000, 10, 0.5),
+            protocols: vec![ProtocolRun::sync(ProtocolSpec::sample_collide_cheap())],
+            replications: reps,
+            seed_stream: Some(9),
+            sweep: None,
+            presentation: Presentation::Tracking,
+        }
+    }
+
+    #[test]
+    fn streamed_replications_match_the_batch_helper() {
+        // Chunked streaming must use the exact seed convention of
+        // par_replications_on, at any thread count.
+        let batch = p2p_sim::parallel::par_replications_on(3, 42, 7, |i, seed| (i, seed));
+        let mut streamed = Vec::new();
+        replications_streamed(3, 42, 7, |i, seed| (i, seed), |_, r| streamed.push(r));
+        assert_eq!(batch, streamed);
+        let mut single = Vec::new();
+        replications_streamed(1, 42, 7, |i, seed| (i, seed), |_, r| single.push(r));
+        assert_eq!(batch, single);
+    }
+
+    #[test]
+    fn tracking_emits_truth_then_replications() {
+        let fig = run_figure_spec(&tracking_spec(3), 7);
+        assert_eq!(fig.series.len(), 4);
+        assert_eq!(fig.series[0].name, "Real network size");
+        assert_eq!(fig.series[1].name, "Estimation #1");
+        assert_eq!(fig.series[3].name, "Estimation #3");
+    }
+
+    #[test]
+    fn jobs_override_changes_nothing_but_wall_clock() {
+        let a = run_figure_spec(&tracking_spec(4), 11);
+        let mut sink = crate::sink::FigureSink::new();
+        run_experiment(
+            &tracking_spec(4),
+            11,
+            &EngineOptions { jobs: Some(1) },
+            &mut sink,
+        );
+        let b = sink.into_figure();
+        for (sa, sb) in a.series.iter().zip(&b.series) {
+            assert_eq!(sa.points, sb.points, "{}", sa.name);
+        }
+    }
+
+    #[test]
+    fn tracking_runs_every_protocol_entry() {
+        // A free-form comparison: two protocols, no sweep — both must run,
+        // on distinct seed streams, with protocol-labelled curves.
+        let mut spec = tracking_spec(2);
+        spec.protocols = vec![
+            ProtocolRun::sync(ProtocolSpec::sample_collide_cheap()),
+            ProtocolRun::sync(ProtocolSpec::hops_sampling_paper()),
+        ];
+        let fig = run_figure_spec(&spec, 7);
+        assert_eq!(fig.series.len(), 5);
+        assert_eq!(fig.series[0].name, "Real network size");
+        assert_eq!(fig.series[1].name, "Sample&Collide #1");
+        assert_eq!(fig.series[2].name, "Sample&Collide #2");
+        assert_eq!(fig.series[3].name, "HopsSampling #1");
+        assert_eq!(fig.series[4].name, "HopsSampling #2");
+        // Distinct default streams and disambiguated labels: the same
+        // protocol twice is neither replayed nor merged into one series.
+        let mut twin = tracking_spec(2);
+        twin.protocols = vec![
+            ProtocolRun::sync(ProtocolSpec::sample_collide_cheap()),
+            ProtocolRun::sync(ProtocolSpec::sample_collide_cheap()),
+        ];
+        let fig = run_figure_spec(&twin, 7);
+        assert_eq!(fig.series.len(), 5);
+        assert_eq!(fig.series[1].name, "Sample&Collide (1) #1");
+        assert_eq!(fig.series[3].name, "Sample&Collide (2) #1");
+        assert_ne!(fig.series[1].points, fig.series[3].points);
+    }
+
+    #[test]
+    fn completed_metric_skips_unschedulable_timelines() {
+        // Epoched aggregation on a 10-step timeline schedules zero epochs:
+        // no NaN row, just no point.
+        let spec = ExperimentSpec {
+            id: "x".to_string(),
+            title: "t".to_string(),
+            x_label: "x".to_string(),
+            y_label: "y".to_string(),
+            scenario: Scenario::static_network(300, 10),
+            protocols: vec![ProtocolRun::sync(ProtocolSpec::aggregation_paper())],
+            replications: 1,
+            seed_stream: None,
+            sweep: Some(Sweep {
+                axis: SweepAxis::Drop,
+                values: vec![0.0],
+                seed_base: 0,
+            }),
+            presentation: Presentation::SweepSummary {
+                metric: SweepMetric::CompletedPct,
+            },
+        };
+        let fig = run_figure_spec(&spec, 5);
+        assert!(
+            fig.series.is_empty(),
+            "expected no rows, got {:?}",
+            fig.series
+        );
+    }
+
+    #[test]
+    fn progress_reaches_the_sink_in_order() {
+        struct Counting {
+            rows: usize,
+            progress: Vec<(usize, usize)>,
+        }
+        impl ResultSink for Counting {
+            fn row(&mut self, _row: &Row<'_>) {
+                self.rows += 1;
+            }
+            fn progress(&mut self, done: usize, total: usize, _label: &str) {
+                self.progress.push((done, total));
+            }
+        }
+        let mut sink = Counting {
+            rows: 0,
+            progress: Vec::new(),
+        };
+        run_experiment(&tracking_spec(3), 7, &EngineOptions::default(), &mut sink);
+        assert!(sink.rows > 0);
+        assert_eq!(sink.progress, vec![(1, 3), (2, 3), (3, 3)]);
+    }
+
+    #[test]
+    fn free_form_sweep_runs_a_combination_without_a_figure_number() {
+        // The acceptance-criteria combination: an async protocol × a
+        // catastrophic scenario × a lossy network — no paper figure plots
+        // this.
+        let scale = ExperimentScale::tiny();
+        let spec = ExperimentSpec {
+            id: "custom".to_string(),
+            title: "S&C availability under loss, catastrophic churn".to_string(),
+            x_label: "drop %".to_string(),
+            y_label: "completed %".to_string(),
+            scenario: Scenario::catastrophic(scale.net_nodes, 12),
+            protocols: vec![ProtocolRun::async_(
+                ProtocolSpec::parse("sc:l=10,timeout=12").unwrap(),
+            )],
+            replications: 2,
+            seed_stream: None,
+            sweep: Some(Sweep {
+                axis: SweepAxis::Drop,
+                values: vec![0.0, 0.1],
+                seed_base: 0,
+            }),
+            presentation: Presentation::SweepSummary {
+                metric: SweepMetric::CompletedPct,
+            },
+        };
+        let fig = run_figure_spec(&spec, 33);
+        assert_eq!(fig.series.len(), 1);
+        let s = &fig.series[0];
+        assert_eq!(s.name, "Sample&Collide");
+        assert_eq!(s.points.len(), 2);
+        let (lossless, lossy) = (s.points[0].1, s.points[1].1);
+        assert!(lossless > 90.0, "lossless completion {lossless}%");
+        assert!(
+            lossy < lossless,
+            "10% drop must cost completions: {lossy} vs {lossless}"
+        );
+    }
+}

@@ -1,17 +1,21 @@
 //! # p2p-experiments
 //!
-//! Reproduction drivers for every experiment in the HPDC 2006 comparative
-//! study: one function per figure/table, each returning plot-ready data
-//! ([`p2p_stats::series::Figure`] or [`table::Table1`]).
-//!
-//! The mapping figure → function → bench target lives in `DESIGN.md`; the
-//! measured-vs-paper record lives in `EXPERIMENTS.md`. Everything is driven
-//! by the `repro` binary:
+//! Declarative reproduction of every experiment in the HPDC 2006
+//! comparative study. Experiments are *data*: an [`ExperimentSpec`]
+//! (protocols × [`Scenario`] × network × replications × sweep ×
+//! presentation) executed by one generic [`engine`], streaming rows
+//! through a [`ResultSink`]. The paper's 20 figures are registered specs
+//! ([`figures::spec_for`]); free-form specs cover experiments the paper
+//! never drew. The spec → figure → bench mapping lives in `DESIGN.md`.
+//! Everything is driven by the `repro` binary:
 //!
 //! ```text
-//! repro --all --scale small --out target/figures
-//! repro --fig 5 --scale paper
-//! repro --table 1
+//! repro list
+//! repro run --all --scale small --out target/figures
+//! repro run --fig 5 --scale paper
+//! repro run --protocol sample-collide:l=10 --scenario catastrophic \
+//!           --sweep drop=0,0.001,0.01 --jobs 2
+//! repro table
 //! ```
 //!
 //! ## Scales
@@ -23,12 +27,18 @@
 //! the algorithms); absolute message counts grow with N as derived in §IV-E.
 
 pub mod delay;
+pub mod engine;
 pub mod figures;
 pub mod runner;
 pub mod scale;
 pub mod scenario;
+pub mod sink;
+pub mod spec;
 pub mod table;
 
+pub use engine::{run_experiment, run_figure_spec, EngineOptions};
 pub use runner::{run_replications, run_scenario, Trace};
 pub use scale::ExperimentScale;
-pub use scenario::Scenario;
+pub use scenario::{Scenario, Topology};
+pub use sink::{CsvSink, FigureSink, JsonLinesSink, ResultSink};
+pub use spec::{ExperimentSpec, NetworkSpec, Presentation, ProtocolRun, ScenarioSpec};

@@ -6,7 +6,7 @@
 //! timeline of *steps* — estimation indices for the polling algorithms,
 //! gossip rounds for Aggregation.
 
-use p2p_overlay::builder::{GraphBuilder, HeterogeneousRandom};
+use p2p_overlay::builder::{BarabasiAlbert, GraphBuilder, HeterogeneousRandom};
 use p2p_overlay::churn::ChurnOp;
 use p2p_overlay::Graph;
 use p2p_sim::NetworkModel;
@@ -15,17 +15,44 @@ use rand::rngs::SmallRng;
 /// The degree cap used throughout the evaluation (paper: 10 → avg ≈ 7.2).
 pub const MAX_DEGREE: usize = 10;
 
-/// A named timeline of churn over the paper's heterogeneous overlay.
+/// Which overlay family the scenario starts from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Topology {
+    /// The paper's heterogeneous random graph (degree cap
+    /// [`MAX_DEGREE`]) — the evaluation's default substrate.
+    #[default]
+    Heterogeneous,
+    /// The Barabási–Albert scale-free overlay of Figs 7/8 (`m = 3`).
+    ScaleFree,
+}
+
+impl Topology {
+    /// Canonical spec name (`heterogeneous` | `scale-free`).
+    pub fn key(&self) -> &'static str {
+        match self {
+            Topology::Heterogeneous => "heterogeneous",
+            Topology::ScaleFree => "scale-free",
+        }
+    }
+}
+
+/// A named timeline of churn over an overlay.
 #[derive(Clone, Debug)]
 pub struct Scenario {
-    /// Scenario name for figure titles.
-    pub name: &'static str,
+    /// Scenario name for figure titles; swept/derived scenarios carry
+    /// descriptive names like `"growing drop=0.01"`.
+    pub name: String,
     /// Nodes at step 0.
     pub initial_size: usize,
     /// Total steps (estimations or rounds).
     pub steps: u64,
-    /// `(step, op)` pairs; multiple ops may share a step.
+    /// `(step, op)` pairs, **sorted by step** (every constructor produces a
+    /// sorted schedule; keep it sorted when pushing ops by hand — the
+    /// [`ops_at`](Self::ops_at) range lookup relies on it). Multiple ops may
+    /// share a step.
     pub schedule: Vec<(u64, ChurnOp)>,
+    /// The overlay family built at step 0.
+    pub topology: Topology,
     /// The network the protocols run over. [`NetworkModel::ideal`] (the
     /// default of every constructor) reproduces the paper's instantaneous
     /// lossless simulator; anything else only takes effect for protocols
@@ -39,10 +66,11 @@ impl Scenario {
     /// A static overlay: no churn at all.
     pub fn static_network(initial_size: usize, steps: u64) -> Self {
         Scenario {
-            name: "static",
+            name: "static".to_string(),
             initial_size,
             steps,
             schedule: Vec::new(),
+            topology: Topology::default(),
             network: NetworkModel::ideal(),
         }
     }
@@ -51,10 +79,11 @@ impl Scenario {
     /// the timeline (paper: +50%, Figs 10/13/16).
     pub fn growing(initial_size: usize, steps: u64, fraction: f64) -> Self {
         Scenario {
-            name: "growing",
+            name: "growing".to_string(),
             initial_size,
             steps,
             schedule: spread_evenly(initial_size, steps, fraction, true),
+            topology: Topology::default(),
             network: NetworkModel::ideal(),
         }
     }
@@ -63,10 +92,11 @@ impl Scenario {
     /// Figs 11/14/17).
     pub fn shrinking(initial_size: usize, steps: u64, fraction: f64) -> Self {
         Scenario {
-            name: "shrinking",
+            name: "shrinking".to_string(),
             initial_size,
             steps,
             schedule: spread_evenly(initial_size, steps, fraction, false),
+            topology: Topology::default(),
             network: NetworkModel::ideal(),
         }
     }
@@ -76,7 +106,7 @@ impl Scenario {
     /// initial mass arrival at 75% (mirroring Fig 15's recover phase).
     pub fn catastrophic(initial_size: usize, steps: u64) -> Self {
         Scenario {
-            name: "catastrophic",
+            name: "catastrophic".to_string(),
             initial_size,
             steps,
             schedule: vec![
@@ -90,6 +120,7 @@ impl Scenario {
                     },
                 ),
             ],
+            topology: Topology::default(),
             network: NetworkModel::ideal(),
         }
     }
@@ -100,7 +131,7 @@ impl Scenario {
     pub fn catastrophic_fig15(initial_size: usize, steps: u64) -> Self {
         let at = |paper_round: u64| paper_round * steps / 10_000;
         Scenario {
-            name: "catastrophic-fig15",
+            name: "catastrophic-fig15".to_string(),
             initial_size,
             steps,
             schedule: vec![
@@ -114,6 +145,7 @@ impl Scenario {
                     },
                 ),
             ],
+            topology: Topology::default(),
             network: NetworkModel::ideal(),
         }
     }
@@ -125,17 +157,44 @@ impl Scenario {
         self
     }
 
-    /// Builds the initial overlay (the paper's heterogeneous random graph).
+    /// Same scenario under a descriptive name (e.g. a sweep point's
+    /// `"catastrophic drop=0.01"`).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Same scenario starting from a different overlay family.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Builds the initial overlay of the scenario's [`Topology`].
     pub fn build_overlay(&self, rng: &mut SmallRng) -> Graph {
-        HeterogeneousRandom::new(self.initial_size, MAX_DEGREE).build(rng)
+        match self.topology {
+            Topology::Heterogeneous => {
+                HeterogeneousRandom::new(self.initial_size, MAX_DEGREE).build(rng)
+            }
+            Topology::ScaleFree => BarabasiAlbert::paper(self.initial_size).build(rng),
+        }
     }
 
     /// The churn ops due at `step`, in schedule order.
+    ///
+    /// The schedule is sorted by step (a constructor invariant), so this is
+    /// a `partition_point` range lookup rather than a scan of the whole
+    /// schedule — a growing/shrinking scenario's schedule has one entry per
+    /// timeline step, which made the historic linear filter O(steps) *per
+    /// step* (see `bench_ablations::ops_at_lookup`).
     pub fn ops_at(&self, step: u64) -> impl Iterator<Item = ChurnOp> + '_ {
-        self.schedule
-            .iter()
-            .filter(move |&&(s, _)| s == step)
-            .map(|&(_, op)| op)
+        debug_assert!(
+            self.schedule.windows(2).all(|w| w[0].0 <= w[1].0),
+            "schedule must stay sorted by step"
+        );
+        let lo = self.schedule.partition_point(|&(s, _)| s < step);
+        let hi = lo + self.schedule[lo..].partition_point(|&(s, _)| s == step);
+        self.schedule[lo..hi].iter().map(|&(_, op)| op)
     }
 
     /// Expected final size if every op executes (approximate for
@@ -262,5 +321,56 @@ mod tests {
         let s = Scenario::catastrophic(1_000, 100);
         assert_eq!(s.ops_at(25).count(), 1);
         assert_eq!(s.ops_at(26).count(), 0);
+    }
+
+    #[test]
+    fn ops_at_range_lookup_matches_a_linear_scan() {
+        // Multiple ops on one step, ops at the boundaries, gaps — the
+        // partition_point lookup must agree with the historic filter
+        // everywhere on the timeline.
+        let mut s = Scenario::static_network(1_000, 10);
+        s.schedule = vec![
+            (0, ChurnOp::Leave { count: 1 }),
+            (3, ChurnOp::Leave { count: 2 }),
+            (
+                3,
+                ChurnOp::Join {
+                    count: 5,
+                    max_degree: MAX_DEGREE,
+                },
+            ),
+            (3, ChurnOp::Leave { count: 3 }),
+            (10, ChurnOp::Catastrophe { fraction: 0.5 }),
+        ];
+        for step in 0..=11 {
+            let fast: Vec<ChurnOp> = s.ops_at(step).collect();
+            let slow: Vec<ChurnOp> = s
+                .schedule
+                .iter()
+                .filter(|&&(at, _)| at == step)
+                .map(|&(_, op)| op)
+                .collect();
+            assert_eq!(fast, slow, "step {step}");
+        }
+    }
+
+    #[test]
+    fn derived_scenarios_carry_descriptive_names() {
+        let s = Scenario::catastrophic(1_000, 100);
+        let swept = s.clone().with_name(format!("{} drop=0.01", s.name));
+        assert_eq!(swept.name, "catastrophic drop=0.01");
+        assert_eq!(swept.schedule, s.schedule);
+    }
+
+    #[test]
+    fn scale_free_topology_builds_a_ba_overlay() {
+        let mut rng = small_rng(501);
+        let s = Scenario::static_network(2_000, 10).with_topology(Topology::ScaleFree);
+        let g = s.build_overlay(&mut rng);
+        assert_eq!(g.alive_count(), 2_000);
+        // BA m=3: minimum degree 3, and a hub far above the heterogeneous
+        // overlay's cap of MAX_DEGREE.
+        let stats = p2p_overlay::metrics::degree_stats(&g);
+        assert!(stats.max > 3 * MAX_DEGREE, "BA hub degree {}", stats.max);
     }
 }

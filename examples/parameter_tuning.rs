@@ -10,8 +10,7 @@
 //! meeting a target precision — the workflow an application developer would
 //! actually follow.
 
-use p2p_size_estimation::estimation::sample_collide::SampleCollideConfig;
-use p2p_size_estimation::estimation::{SampleCollide, SizeEstimator};
+use p2p_size_estimation::estimation::ProtocolSpec;
 use p2p_size_estimation::overlay::builder::{GraphBuilder, HeterogeneousRandom};
 use p2p_size_estimation::sim::rng::small_rng;
 use p2p_size_estimation::sim::MessageCounter;
@@ -34,12 +33,17 @@ fn main() {
 
     let mut sweep = Vec::new();
     for l in [5u32, 10, 25, 50, 100, 200, 400] {
-        let mut sc = SampleCollide::with_config(SampleCollideConfig::paper().with_l(l));
+        // Each sweep point is a protocol *spec* — the same strings work in
+        // `repro run --protocol ...` and in experiment definitions.
+        let mut sc = ProtocolSpec::parse(&format!("sample-collide:l={l}"))
+            .expect("valid spec")
+            .build_sync();
         let mut msgs = MessageCounter::new();
         let mut err = 0.0;
         for _ in 0..runs {
             let est = sc
-                .estimate(&graph, &mut rng, &mut msgs)
+                .step(&graph, &mut rng, &mut msgs)
+                .estimate()
                 .expect("static overlay");
             err += (est - n as f64).abs() / n as f64;
         }

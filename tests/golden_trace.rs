@@ -173,8 +173,8 @@ fn sample_collide_golden_traces_match_reference() {
             let unified = run_scenario(&mut unified_est, scenario, Heuristic::OneShot, seed, "x");
             assert_eq!(unified.completed, reference.completed, "{}", scenario.name);
             assert_eq!(unified.messages, reference.messages, "{}", scenario.name);
-            assert_series_identical(&unified.estimates, &reference.estimates, scenario.name);
-            assert_series_identical(&unified.real_size, &reference.real_size, scenario.name);
+            assert_series_identical(&unified.estimates, &reference.estimates, &scenario.name);
+            assert_series_identical(&unified.real_size, &reference.real_size, &scenario.name);
         }
     }
 }
@@ -201,7 +201,7 @@ fn aggregation_golden_traces_match_reference() {
         rounds_per_estimate: 25,
     };
     let reference_scenario = Scenario {
-        name: "golden-agg",
+        name: "golden-agg".to_string(),
         initial_size: 1_200,
         steps: 150,
         schedule: vec![
@@ -214,6 +214,7 @@ fn aggregation_golden_traces_match_reference() {
                 },
             ),
         ],
+        topology: p2p_size_estimation::experiments::Topology::Heterogeneous,
         network: NetworkModel::ideal(),
     };
     // The same physical timeline in the unified convention: the historic

@@ -376,3 +376,124 @@ fn empty_graph_edge_cases_do_not_panic() {
     assert_eq!(churn::catastrophic_failure(&mut g, 0.5, &mut rng), 0);
     g.check_invariants().unwrap();
 }
+
+// ── Spec round-trips ────────────────────────────────────────────────────
+//
+// The declarative experiment layer rests on `parse(display(spec)) == spec`:
+// a spec printed into a DESIGN.md table, a CLI invocation or a log line
+// must reconstruct the identical experiment.
+
+use p2p_size_estimation::estimation::ProtocolSpec;
+use p2p_size_estimation::experiments::spec::ScenarioKind;
+use p2p_size_estimation::experiments::{NetworkSpec, ScenarioSpec, Topology};
+use p2p_size_estimation::sim::{HopLatency, NetworkModel};
+
+fn protocol_spec_strategy() -> impl Strategy<Value = ProtocolSpec> {
+    prop_oneof![
+        (1u32..100_000, 1u32..1_000, 1u64..1_000).prop_map(|(l, t, timeout)| {
+            ProtocolSpec::SampleCollide {
+                l,
+                timer: t as f64, // integral: f64 Display/parse round-trips exactly
+                timeout,
+            }
+        }),
+        (1u32..64, 1u32..8, 1u32..8, 0u32..40).prop_map(
+            |(gossip_to, gossip_for, gossip_until, min_hops)| ProtocolSpec::HopsSampling {
+                gossip_to,
+                gossip_for,
+                gossip_until,
+                min_hops,
+            }
+        ),
+        (1u32..10_000, any::<bool>())
+            .prop_map(|(rounds, epoched)| ProtocolSpec::Aggregation { rounds, epoched }),
+    ]
+}
+
+fn scenario_spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
+    (0u8..5, 1u32..100, any::<bool>()).prop_map(|(kind, frac_pct, scale_free)| ScenarioSpec {
+        kind: match kind {
+            0 => ScenarioKind::Static,
+            1 => ScenarioKind::Growing,
+            2 => ScenarioKind::Shrinking,
+            3 => ScenarioKind::Catastrophic,
+            _ => ScenarioKind::CatastrophicFig15,
+        },
+        fraction: frac_pct as f64 / 100.0,
+        topology: if scale_free {
+            Topology::ScaleFree
+        } else {
+            Topology::Heterogeneous
+        },
+    })
+}
+
+fn network_spec_strategy() -> impl Strategy<Value = NetworkSpec> {
+    (0u32..=100, 0u32..500, any::<bool>(), 0u32..=4, 1u64..5_000).prop_map(
+        |(drop_pct, mean, jittered, spread_q, ticks)| {
+            let mut m = NetworkModel::ideal()
+                .with_drop_rate(drop_pct as f64 / 100.0)
+                .with_link_spread(spread_q as f64 / 4.0)
+                .with_step_ticks(ticks);
+            if mean > 0 {
+                let mean = mean as f64;
+                m = m.with_latency(if jittered {
+                    HopLatency::Uniform {
+                        lo: mean / 2.0,
+                        hi: 1.5 * mean,
+                    }
+                } else {
+                    HopLatency::Constant(mean)
+                });
+            }
+            NetworkSpec(m)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn protocol_spec_round_trips(spec in protocol_spec_strategy()) {
+        let text = spec.to_string();
+        let parsed = ProtocolSpec::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("`{text}` failed to parse: {e}")))?;
+        prop_assert_eq!(parsed, spec, "display was `{}`", text);
+    }
+
+    #[test]
+    fn scenario_spec_round_trips(spec in scenario_spec_strategy()) {
+        // `fraction` only prints for the kinds that use it; compare the
+        // resolved scenarios, which is the equality that matters.
+        let text = spec.to_string();
+        let parsed = ScenarioSpec::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("`{text}` failed to parse: {e}")))?;
+        prop_assert_eq!(parsed.kind, spec.kind, "display was `{}`", &text);
+        prop_assert_eq!(parsed.topology, spec.topology, "display was `{}`", &text);
+        let a = parsed.resolve(500, 20);
+        let b = spec.resolve(500, 20);
+        prop_assert_eq!(a.schedule, b.schedule, "display was `{}`", &text);
+        prop_assert_eq!(a.name, b.name);
+    }
+
+    #[test]
+    fn network_spec_round_trips(spec in network_spec_strategy()) {
+        let text = spec.to_string();
+        let parsed = NetworkSpec::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("`{text}` failed to parse: {e}")))?;
+        prop_assert_eq!(parsed, spec, "display was `{}`", text);
+    }
+
+    #[test]
+    fn parsed_protocol_specs_build_runnable_protocols(spec in protocol_spec_strategy()) {
+        // Every parseable spec must build both execution forms without
+        // panicking (modulo the async single-turn gossip restriction).
+        let sync = spec.build_sync();
+        prop_assert_eq!(sync.name(), spec.label());
+        let single_turn = !matches!(spec, ProtocolSpec::HopsSampling { gossip_for, .. } if gossip_for != 1);
+        if single_turn {
+            prop_assert_eq!(spec.build_async().name(), spec.label());
+        }
+    }
+}

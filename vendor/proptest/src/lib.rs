@@ -221,6 +221,31 @@ impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
     }
 }
 
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy> Strategy for (A, B, C, D, E) {
+    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value);
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+            self.4.generate(rng),
+        )
+    }
+}
+
 /// Derives the deterministic RNG for one `(test, case)` pair.
 pub fn test_rng(test_name: &str, case: u32) -> SmallRng {
     // FNV-1a over the test name, mixed with the case index.
