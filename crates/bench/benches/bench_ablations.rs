@@ -399,10 +399,74 @@ fn ops_at_lookup(c: &mut Criterion) {
     });
 }
 
+/// Workload subsystem: churn-op *generation* throughput at 100k nodes —
+/// the cost of streaming heavy-tailed session churn (heap-fed targeted
+/// departures + Poisson arrivals) per timeline step, measured both
+/// generation-only and with application to the live overlay.
+fn workload_generation(c: &mut Criterion) {
+    use p2p_overlay::churn::ChurnDelta;
+    use p2p_workload::WorkloadSpec;
+    use std::time::Instant;
+
+    let n = 100_000;
+    let warm_steps = 100u64;
+    let timed_steps = 200u64;
+    let mut apply_rng = small_rng(derive_seed(BENCH_SEED, 11));
+    let mut wl_rng = small_rng(derive_seed(BENCH_SEED, 12));
+    let mut g = HeterogeneousRandom::paper(n).build(&mut apply_rng);
+    // Mean session of 500 steps on 100k nodes → ~200 joins + ~200 targeted
+    // departures per step at equilibrium.
+    let spec = WorkloadSpec::parse("pareto:alpha=1.5,mean=500").unwrap();
+    let mut model = spec.build(10);
+    model.on_init(&g, &mut wl_rng);
+
+    let mut ops = Vec::new();
+    let mut delta = ChurnDelta::default();
+    let mut step = 0u64;
+    let mut drive = |steps: u64,
+                     g: &mut p2p_overlay::Graph,
+                     apply_rng: &mut rand::rngs::SmallRng,
+                     wl_rng: &mut rand::rngs::SmallRng|
+     -> usize {
+        let mut events = 0usize;
+        for _ in 0..steps {
+            step += 1;
+            ops.clear();
+            model.ops_at(step, g, wl_rng, &mut ops);
+            delta.clear();
+            for op in &ops {
+                op.apply(g, apply_rng, &mut delta);
+            }
+            events += delta.joined.len() + delta.left.len();
+            model.observe(step, &delta, wl_rng);
+        }
+        events
+    };
+
+    drive(warm_steps, &mut g, &mut apply_rng, &mut wl_rng);
+    let t0 = Instant::now();
+    let events = drive(timed_steps, &mut g, &mut apply_rng, &mut wl_rng);
+    let elapsed = t0.elapsed();
+    println!("\n[ablation] workload generation: pareto sessions on a {n}-node overlay");
+    println!(
+        "  {timed_steps} steps, {events} node events in {elapsed:.1?} \
+         ({:.1} µs/step, {:.2} Mevents/s)",
+        elapsed.as_micros() as f64 / timed_steps as f64,
+        events as f64 / elapsed.as_secs_f64() / 1e6
+    );
+    println!("  population after churn: {}", g.alive_count());
+
+    c.bench_function("ablation_workload/session_churn_step_100k", |b| {
+        b.iter(|| {
+            black_box(drive(1, &mut g, &mut apply_rng, &mut wl_rng));
+        });
+    });
+}
+
 criterion_group! {
     name = benches;
     config = criterion_config();
     targets = l_sweep, t_bias, topology, estimator, min_hops, hs_target_mode, oracle_distances,
-        delay, churn_removal, ops_at_lookup
+        delay, churn_removal, ops_at_lookup, workload_generation
 }
 criterion_main!(benches);

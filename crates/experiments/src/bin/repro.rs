@@ -24,6 +24,7 @@ use p2p_experiments::spec::{
 };
 use p2p_experiments::table::table1;
 use p2p_experiments::ExperimentScale;
+use p2p_workload::{WorkloadSource, WorkloadSpec};
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -36,7 +37,8 @@ fn usage() -> &'static str {
   repro run --protocol SPEC [--protocol SPEC ...] [--mode async|sync]
             [--scenario SC] [--network NET] [--size N] [--steps K]
             [--reps R] [--heuristic one-shot|last10] [--sweep AXIS=V1,V2,...]
-            [--metric err|completed] [common options]
+            [--metric err|completed] [--churn WORKLOAD]
+            [--record-trace FILE | --replay-trace FILE] [common options]
   repro table [--scale ...] [--seed ...] [--out DIR]
   repro (--all | --fig N | --table 1) [...]        (legacy form)
 
@@ -54,7 +56,16 @@ specs:
   --scenario  static | growing | shrinking | catastrophic | catastrophic-fig15
               [:frac=0.5,topology=heterogeneous|scale-free]
   --network   ideal | wan | drop=..,latency=..,jitter=..,link-spread=..,ticks=..
-  --sweep     drop=0,0.001,0.01 | spread=0,40,80   (spread: ms around a 100 ms mean)"
+  --sweep     drop=0,0.001,0.01 | spread=0,40,80   (spread: ms around a 100 ms mean)
+  --churn     streamed workload churn, composable with `+`:
+              steady:join=2,leave=2 | pareto:alpha=1.5,mean=50[,rate=R]
+              | weibull:shape=0.5,mean=50[,rate=R]
+              | diurnal:join=5,leave=5,period=24,amp=0.8
+              | flash:at=25,frac=0.5[,hold=30] | regional:at=75[,regions=8,frac=1]
+  --record-trace FILE   record the run's churn ops as a JSONL trace (needs a
+                        churn workload, one --protocol, --reps 1; no --sweep)
+  --replay-trace FILE   replay a recorded trace (bit-for-bit under the
+                        recording's protocol and seed)"
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -120,6 +131,9 @@ fn parse_args() -> Result<Args, String> {
     let mut heuristic = Heuristic::OneShot;
     let mut sweep: Option<(SweepAxis, Vec<f64>)> = None;
     let mut metric: Option<SweepMetric> = None;
+    let mut churn: Option<WorkloadSpec> = None;
+    let mut record_trace: Option<PathBuf> = None;
+    let mut replay_trace: Option<PathBuf> = None;
     let mut scale_name = "small".to_string();
     let mut seed = 20060619; // HPDC-15 opening day
     let mut out = PathBuf::from("target/figures");
@@ -149,6 +163,9 @@ fn parse_args() -> Result<Args, String> {
                 | "--heuristic"
                 | "--sweep"
                 | "--metric"
+                | "--churn"
+                | "--record-trace"
+                | "--replay-trace"
         ) {
             custom_flags.push(arg);
         }
@@ -237,6 +254,18 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown metric {other} (err | completed)")),
                 })
             }
+            "--churn" => {
+                churn = Some(
+                    WorkloadSpec::parse(&next_value(&mut it, "--churn")?)
+                        .map_err(|e| e.to_string())?,
+                );
+            }
+            "--record-trace" => {
+                record_trace = Some(PathBuf::from(next_value(&mut it, "--record-trace")?));
+            }
+            "--replay-trace" => {
+                replay_trace = Some(PathBuf::from(next_value(&mut it, "--replay-trace")?));
+            }
             "--scale" => scale_name = next_value(&mut it, "--scale")?,
             "--seed" => {
                 let v = next_value(&mut it, "--seed")?;
@@ -289,8 +318,20 @@ fn parse_args() -> Result<Args, String> {
                 return Err("--metric needs a --sweep (non-sweep runs plot traces)".to_string());
             }
             Command::Custom(Box::new(build_custom_spec(
-                protocols, mode_sync, scenario, network, size, steps, reps, heuristic, sweep,
-                metric, &scale,
+                protocols,
+                mode_sync,
+                scenario,
+                network,
+                size,
+                steps,
+                reps,
+                heuristic,
+                sweep,
+                metric,
+                churn,
+                record_trace,
+                replay_trace,
+                &scale,
             )?))
         }
         _ => {
@@ -334,11 +375,98 @@ fn build_custom_spec(
     heuristic: Heuristic,
     sweep: Option<(SweepAxis, Vec<f64>)>,
     metric: Option<SweepMetric>,
+    churn: Option<WorkloadSpec>,
+    record_trace: Option<PathBuf>,
+    replay_trace: Option<PathBuf>,
     scale: &ExperimentScale,
 ) -> Result<ExperimentSpec, String> {
     let size = size.unwrap_or(scale.net_nodes);
     let steps = steps.unwrap_or(24);
-    let scenario = scenario.resolve(size, steps).with_network(network.0);
+    let reps = reps.unwrap_or(scale.replications);
+    let mut scenario = scenario.resolve(size, steps).with_network(network.0);
+    // A `churn=` embedded in --scenario behaves exactly like --churn (the
+    // explicit flag wins when both are given) — so it records, and it
+    // conflicts with --replay-trace, the same way.
+    let churn = churn.or_else(|| scenario.workload.as_ref().and_then(|w| w.spec()).cloned());
+    let workload = match (churn, record_trace, replay_trace) {
+        (Some(_), _, Some(_)) | (None, Some(_), Some(_)) => {
+            return Err(
+                "--replay-trace is mutually exclusive with a churn workload \
+                        (--churn, a scenario `churn=`, or --record-trace)"
+                    .to_string(),
+            )
+        }
+        (None, Some(_), None) => {
+            return Err(
+                "--record-trace needs a churn workload to record (--churn or a \
+                        scenario `churn=`)"
+                    .to_string(),
+            )
+        }
+        (Some(spec), Some(path), None) => {
+            if sweep.is_some() {
+                return Err(
+                    "--record-trace cannot record a --sweep (one trace per run; \
+                            record the point you care about without the sweep)"
+                        .to_string(),
+                );
+            }
+            if reps != 1 {
+                return Err(format!(
+                    "--record-trace writes one trace file, but --reps {reps} would overwrite \
+                     it per replication; use --reps 1"
+                ));
+            }
+            if protocols.len() > 1 {
+                return Err(format!(
+                    "--record-trace writes one trace file, but {} --protocol entries would \
+                     overwrite it per entry; record with a single --protocol, then replay \
+                     the trace for the others",
+                    protocols.len()
+                ));
+            }
+            Some(WorkloadSource::Record { spec, path })
+        }
+        (Some(spec), None, None) => Some(WorkloadSource::Model(spec)),
+        (None, None, Some(path)) => {
+            // Validate the header now for a friendly error instead of a
+            // panic mid-run.
+            let (header, _) = p2p_workload::TraceReader::open(&path).map_err(|e| e.to_string())?;
+            let digest = p2p_workload::trace::schedule_digest(&scenario.schedule);
+            header.validate(size, steps, digest).map_err(|e| {
+                format!(
+                    "trace {}: {e} (match --size/--steps/--scenario to the recording)",
+                    path.display()
+                )
+            })?;
+            // Uniform-victim departures (steady/diurnal leaves, scheduled
+            // Leave/Catastrophe ops) draw their victims from the run's main
+            // stream, so the trace replays the exact populations only under
+            // the recording's protocol and seed. Identity-targeted
+            // workloads (sessions, flash, regional) replay exactly under
+            // any protocol.
+            let uniform = scenario.schedule.iter().any(|(_, op)| {
+                matches!(
+                    op,
+                    p2p_overlay::churn::ChurnOp::Leave { .. }
+                        | p2p_overlay::churn::ChurnOp::Catastrophe { .. }
+                )
+            }) || WorkloadSpec::parse(&header.churn)
+                .map(|s| s.has_uniform_departures())
+                .unwrap_or(true);
+            if uniform {
+                eprintln!(
+                    "note: {} contains uniform-victim departures; the replay is bit-exact \
+                     only under the recording's protocol and seed (targeted-departure \
+                     workloads replay exactly under any protocol)",
+                    path.display()
+                );
+            }
+            Some(WorkloadSource::Replay(path))
+        }
+        (None, None, None) => None,
+    };
+    scenario.workload = workload;
     let runs: Vec<ProtocolRun> = protocols
         .into_iter()
         .map(|p| {
@@ -403,7 +531,7 @@ fn build_custom_spec(
         y_label: y_label.to_string(),
         scenario,
         protocols: runs,
-        replications: reps.unwrap_or(scale.replications),
+        replications: reps,
         seed_stream: None,
         sweep,
         presentation,

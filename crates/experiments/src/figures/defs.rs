@@ -13,6 +13,7 @@ use crate::scenario::{Scenario, Topology};
 use crate::spec::{ExperimentSpec, Presentation, ProtocolRun, Sweep, SweepAxis, SweepMetric};
 use crate::ExperimentScale;
 use p2p_estimation::{Heuristic, ProtocolSpec};
+use p2p_workload::{WorkloadSource, WorkloadSpec};
 
 /// Number of estimations on the polling-algorithm dynamic timelines.
 const POLL_STEPS: u64 = 100;
@@ -132,6 +133,45 @@ fn network_sweep(
         sweep: Some(sweep),
         presentation: Presentation::SweepSummary { metric },
         ..base(n, title, x_label, y_label, poll)
+    }
+}
+
+/// Figs 21–23 (extensions): the three sync classes tracking one
+/// realistic-churn workload on a shared timeline. One replication per
+/// class keeps the figure readable (truth + three estimate curves); the
+/// epidemic class reports on its epoch grid as in the paper's dynamics.
+///
+/// Every entry runs on the *same* seed stream, so all three experience the
+/// same workload-stream draws and therefore the same op sequence. Uniform
+/// victim *identities* can still differ per protocol (they come off the
+/// interleaved main stream), but the population size trajectory depends
+/// only on the op counts and targeted ids — identical across entries — so
+/// the single plotted truth curve is truthful for all three.
+fn realistic_churn(
+    n: u32,
+    title: String,
+    workload: &str,
+    scale: &ExperimentScale,
+) -> ExperimentSpec {
+    let spec = WorkloadSpec::parse(workload).expect("registered workload spec");
+    ExperimentSpec {
+        protocols: vec![
+            ProtocolRun::sync(ProtocolSpec::sample_collide_paper()).stream(1),
+            ProtocolRun::sync(ProtocolSpec::hops_sampling_paper())
+                .heuristic(Heuristic::last10())
+                .stream(1),
+            ProtocolRun::sync(ProtocolSpec::aggregation_paper()).stream(1),
+        ],
+        replications: 1,
+        ..base(
+            n,
+            title,
+            "Number of estimations",
+            "Estimated size",
+            Scenario::static_network(scale.large, POLL_STEPS)
+                .with_name(format!("static churn={workload}"))
+                .with_workload(WorkloadSource::Model(spec)),
+        )
     }
 }
 
@@ -366,6 +406,52 @@ pub fn spec_for(n: u32, scale: &ExperimentScale) -> Option<ExperimentSpec> {
                 seed_base: 100,
             },
             SweepMetric::CompletedPct,
+        ),
+        21 => realistic_churn(
+            21,
+            format!(
+                "Extension: heavy-tailed session churn (Pareto α=1.5, mean 50 steps), {} node \
+                 network",
+                scale.large
+            ),
+            "pareto:alpha=1.5,mean=50",
+            scale,
+        ),
+        22 => {
+            // 1% of the initial population joining and leaving per step at
+            // the base rate, swinging ±90% over a 25-step "day" —
+            // departures in antiphase (phase π), so the population itself
+            // oscillates like a measured diurnal cycle instead of only the
+            // churn intensity.
+            let rate = scale.large as f64 / 100.0;
+            realistic_churn(
+                22,
+                format!(
+                    "Extension: diurnal churn (±90% around {rate}/step, period 25, departures \
+                     in antiphase), {} node network",
+                    scale.large
+                ),
+                // Join phase π/2 / leave phase 3π/2 centers the resulting
+                // size oscillation on the initial population (the running
+                // integral of the net rate is then ∝ sin, not 1 − cos).
+                &format!(
+                    "diurnal:join={rate},leave=0,period=25,amp=0.9,phase={}\
+                     +diurnal:join=0,leave={rate},period=25,amp=0.9,phase={}",
+                    std::f64::consts::FRAC_PI_2,
+                    1.5 * std::f64::consts::PI
+                ),
+                scale,
+            )
+        }
+        23 => realistic_churn(
+            23,
+            format!(
+                "Extension: flash crowd (+50% at 25, leaves at 55) and regional failure \
+                 (1 of 8 regions at 75), {} node network",
+                scale.large
+            ),
+            "flash:at=25,frac=0.5,hold=30+regional:at=75,regions=8,frac=1",
+            scale,
         ),
         _ => return None,
     };

@@ -18,10 +18,12 @@ use crate::ExperimentScale;
 use p2p_stats::series::Figure;
 use p2p_stats::{Series, SlidingWindow};
 
-/// All figure ids: the paper's 1–18, plus the message-level network
-/// extensions 19 (delay variance) and 20 (loss).
-pub const ALL_FIGURES: [u32; 20] = [
-    1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20,
+/// All figure ids: the paper's 1–18, the message-level network extensions
+/// 19 (delay variance) and 20 (loss), and the realistic-churn workload
+/// extensions 21 (heavy-tailed sessions), 22 (diurnal) and 23 (flash crowd
+/// + regional failure).
+pub const ALL_FIGURES: [u32; 23] = [
+    1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23,
 ];
 
 /// Runs a figure by paper number.
@@ -45,6 +47,7 @@ fig_fn! {
     fig06 => 6, fig07 => 7, fig08 => 8, fig09 => 9, fig10 => 10,
     fig11 => 11, fig12 => 12, fig13 => 13, fig14 => 14, fig15 => 15,
     fig16 => 16, fig17 => 17, fig18 => 18, fig19 => 19, fig20 => 20,
+    fig21 => 21, fig22 => 22, fig23 => 23,
 }
 
 /// Rescales a raw-estimate series to the paper's quality-% axis.
@@ -101,7 +104,7 @@ mod tests {
     fn unknown_figure_number_is_none() {
         let scale = ExperimentScale::tiny();
         assert!(by_number(0, &scale, 1).is_none());
-        assert!(by_number(21, &scale, 1).is_none());
+        assert!(by_number(24, &scale, 1).is_none());
         assert!(spec_for(0, &scale).is_none());
     }
 
@@ -308,6 +311,75 @@ mod tests {
                 assert_eq!(x as u64 % 50, 0, "{}: x = {x}", series.name);
             }
         }
+    }
+
+    // ── Realistic-churn figures (21–23) ─────────────────────────────────
+
+    #[test]
+    fn fig21_heavy_tailed_churn_tracks_for_the_polling_classes() {
+        let fig = fig21(&tiny(), 41);
+        assert_eq!(fig.series.len(), 4);
+        assert_eq!(fig.series[0].name, "Real network size");
+        assert_eq!(fig.series[1].name, "Sample&Collide");
+        assert_eq!(fig.series[2].name, "HopsSampling");
+        assert_eq!(fig.series[3].name, "Aggregation");
+        // Balanced Pareto sessions keep the truth in a band around the
+        // start, and S&C keeps tracking it.
+        let truth = &fig.series[0];
+        for &(_, y) in &truth.points {
+            assert!((0.4..=1.8).contains(&(y / 2_000.0)), "truth {y}");
+        }
+        assert!(
+            tracking_error(&fig, 1) < 0.3,
+            "S&C under heavy-tailed churn"
+        );
+        // The epidemic class reports on its epoch grid.
+        for &(x, _) in &fig.series[3].points {
+            assert_eq!(x as u64 % 50, 0, "agg x = {x}");
+        }
+    }
+
+    #[test]
+    fn fig22_diurnal_truth_oscillates() {
+        let fig = fig22(&tiny(), 42);
+        let truth = &fig.series[0];
+        let (lo, hi) = truth
+            .points
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| {
+                (lo.min(y), hi.max(y))
+            });
+        // ±90% swing around a balanced rate must visibly move the
+        // population both ways.
+        assert!(hi > 1.02 * 2_000.0, "peak {hi}");
+        assert!(lo < 0.98 * 2_000.0, "trough {lo}");
+    }
+
+    #[test]
+    fn fig23_flash_crowd_and_regional_failure_shape() {
+        let fig = fig23(&tiny(), 43);
+        let truth = &fig.series[0];
+        let at = |step: f64| {
+            truth
+                .points
+                .iter()
+                .find(|&&(x, _)| x == step)
+                .map(|&(_, y)| y)
+                .unwrap()
+        };
+        assert_eq!(at(24.0), 2_000.0); // quiet before the crowd
+        assert_eq!(at(25.0), 3_000.0); // +50% flash crowd
+        assert_eq!(at(54.0), 3_000.0); // crowd holds
+        assert_eq!(at(55.0), 2_000.0); // cohort departs together
+                                       // Regional failure at 75: one of 8 regions of the then-current
+                                       // population dies (survivors of the original stripe plus any of the
+                                       // crowd that wired into it are gone — the crowd already left, so
+                                       // this is ~1/8 of 2000).
+        let after = at(75.0);
+        assert!(
+            (2_000.0 * 0.85..2_000.0 * 0.9).contains(&after),
+            "post-failure truth {after}"
+        );
     }
 
     // ── Network figures (19/20) ─────────────────────────────────────────

@@ -17,6 +17,11 @@
 //! * a churn op scheduled at step `s` executes *before* that step's
 //!   `on_step` (FIFO order among same-tick events), and **every** scheduled
 //!   op executes;
+//! * a streamed [`WorkloadSource`] (model, recording, or trace replay) is
+//!   asked for its ops at each step and applies them at the same
+//!   churn-before-step position; model draws consume a dedicated stream
+//!   derived from the run seed, op application the main stream — so a
+//!   recorded trace replays the run bit for bit without the model;
 //! * a message delivered to a node that departed while it was in flight is
 //!   lost ([`NodeProtocol::on_loss`]), never handled;
 //! * after the final step the queue drains: in-flight estimations may still
@@ -29,17 +34,24 @@
 //! per-replication derived seeds, so figure/table sweeps use every core
 //! while staying bit-reproducible.
 
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, MAX_DEGREE};
 use p2p_estimation::aggregation::AveragingRun;
 use p2p_estimation::net_protocol::{dispatch, Cx};
 use p2p_estimation::{
     EstimationProtocol, Heuristic, NodeProtocol, Smoother, StepOutcome, SyncStep,
 };
+use p2p_overlay::churn::ChurnDelta;
+use p2p_overlay::Graph;
 use p2p_sim::network::NetEvent;
 use p2p_sim::parallel::{default_threads, par_replications_on};
 use p2p_sim::rng::{derive_seed, small_rng};
 use p2p_sim::{MessageCounter, NetStats, Network, SimTime};
 use p2p_stats::Series;
+use p2p_workload::trace::{schedule_digest, TraceHeader, TraceWriter};
+use p2p_workload::{ChurnModel, TraceModel, WorkloadOp, WorkloadSource};
+use rand::rngs::SmallRng;
+use std::fs::File;
+use std::io::BufWriter;
 
 /// What one scenario run produced.
 #[derive(Clone, Debug)]
@@ -68,6 +80,113 @@ const STEP_TAG: u64 = 1 << 63;
 /// stream is the run seed itself; the two must never collide).
 const NET_SEED_STREAM: u64 = 0x006E_6574_776F_726B; // "network"
 
+/// The stream id the per-run *workload* seed derives from. Model draws
+/// (lifetimes, Poisson counts, region choices) live on this stream, fully
+/// separate from the protocol and network streams — which is what lets a
+/// trace replay skip the model without disturbing the run. Public because
+/// it is part of the reproducibility contract: a run's churn can be
+/// re-derived in isolation from `derive_seed(run_seed, this)`.
+pub const WORKLOAD_SEED_STREAM: u64 = 0x776F_726B_6C6F_6164; // "workload"
+
+/// The per-run execution state of a scenario's streamed churn source.
+struct WorkloadRuntime {
+    model: Box<dyn ChurnModel>,
+    rng: SmallRng,
+    recorder: Option<TraceWriter<BufWriter<File>>>,
+    ops: Vec<WorkloadOp>,
+    delta: ChurnDelta,
+}
+
+impl WorkloadRuntime {
+    /// Resolves the scenario's source: builds the model (or opens the
+    /// replay trace) and derives the dedicated workload stream.
+    fn new(source: &WorkloadSource, scenario: &Scenario, seed: u64) -> Self {
+        let (model, recorder): (Box<dyn ChurnModel>, _) = match source {
+            WorkloadSource::Model(spec) => (spec.build(MAX_DEGREE), None),
+            WorkloadSource::Record { spec, path } => {
+                let header = TraceHeader {
+                    initial_size: scenario.initial_size,
+                    steps: scenario.steps,
+                    schedule_hash: schedule_digest(&scenario.schedule),
+                    churn: spec.to_string(),
+                };
+                let writer = TraceWriter::create(path, &header).unwrap_or_else(|e| {
+                    panic!("cannot record workload trace {}: {e}", path.display())
+                });
+                (spec.build(MAX_DEGREE), Some(writer))
+            }
+            WorkloadSource::Replay(path) => {
+                let (header, model) = TraceModel::open(path)
+                    .unwrap_or_else(|e| panic!("cannot replay workload trace: {e}"));
+                // Size/steps/scheduled-timeline must match the recording or
+                // the replay silently diverges from the recorded run.
+                header
+                    .validate(
+                        scenario.initial_size,
+                        scenario.steps,
+                        schedule_digest(&scenario.schedule),
+                    )
+                    .unwrap_or_else(|e| {
+                        panic!("cannot replay into scenario `{}`: {e}", scenario.name)
+                    });
+                (Box::new(model) as Box<dyn ChurnModel + 'static>, None)
+            }
+        };
+        WorkloadRuntime {
+            model,
+            rng: small_rng(derive_seed(seed, WORKLOAD_SEED_STREAM)),
+            recorder,
+            ops: Vec::new(),
+            delta: ChurnDelta::default(),
+        }
+    }
+
+    fn on_init(&mut self, graph: &Graph) {
+        self.model.on_init(graph, &mut self.rng);
+    }
+
+    /// One step of streamed churn: generate → record → apply → observe.
+    /// Op application draws from `apply_rng` (the run's main stream),
+    /// exactly like scheduled ops do.
+    fn step(&mut self, step: u64, graph: &mut Graph, apply_rng: &mut SmallRng) {
+        self.ops.clear();
+        self.model.ops_at(step, graph, &mut self.rng, &mut self.ops);
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.record(step, &self.ops)
+                .expect("workload trace write failed");
+        }
+        self.delta.clear();
+        for op in &self.ops {
+            op.apply(graph, apply_rng, &mut self.delta);
+        }
+        self.model.observe(step, &self.delta, &mut self.rng);
+    }
+
+    /// A *scheduled* op fired while this workload is active: apply it with
+    /// identity tracking and let the model observe the external churn —
+    /// a session model must give scheduled arrivals lifetimes too, or a
+    /// `growing` schedule under a session workload would mint immortal
+    /// nodes. Consumes the same `apply_rng` draws as a plain `apply`.
+    fn observe_scheduled(
+        &mut self,
+        step: u64,
+        op: &p2p_overlay::churn::ChurnOp,
+        graph: &mut Graph,
+        apply_rng: &mut SmallRng,
+    ) {
+        self.delta.clear();
+        op.apply_into(graph, apply_rng, &mut self.delta);
+        self.model
+            .observe_external(step, &self.delta, &mut self.rng);
+    }
+
+    fn finish(&mut self) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.flush().expect("workload trace flush failed");
+        }
+    }
+}
+
 /// Runs any event-driven [`NodeProtocol`] over a scenario, message by
 /// message, under the scenario's [`NetworkModel`](p2p_sim::NetworkModel).
 ///
@@ -88,6 +207,13 @@ pub fn run_scenario_des<P: NodeProtocol>(
     let step_ticks = scenario.network.step_ticks;
     let mut net: Network<P::Msg> =
         Network::new(scenario.network, derive_seed(seed, NET_SEED_STREAM));
+    let mut workload = scenario
+        .workload
+        .as_ref()
+        .map(|source| WorkloadRuntime::new(source, scenario, seed));
+    if let Some(w) = workload.as_mut() {
+        w.on_init(&graph);
+    }
 
     // Churn first, then the step grid: FIFO tie-breaking puts an op
     // scheduled at step `s` before that step's protocol step.
@@ -112,12 +238,23 @@ pub fn run_scenario_des<P: NodeProtocol>(
         match event {
             NetEvent::Control { tag } if tag & STEP_TAG != 0 => {
                 current_step = tag & !STEP_TAG;
+                // Streamed churn lands before the step's protocol step —
+                // the same "churn at s precedes step s" contract scheduled
+                // ops get from FIFO control ordering.
+                if let Some(w) = workload.as_mut() {
+                    w.step(current_step, &mut graph, &mut rng);
+                }
                 let mut cx = Cx::new(&graph, &mut net, &mut rng, &mut reports);
                 protocol.on_step(current_step, &mut cx);
             }
             NetEvent::Control { tag } => {
-                let (_, op) = scenario.schedule[tag as usize];
-                op.apply(&mut graph, &mut rng);
+                let (at, op) = scenario.schedule[tag as usize];
+                match workload.as_mut() {
+                    Some(w) => w.observe_scheduled(at, &op, &mut graph, &mut rng),
+                    None => {
+                        op.apply(&mut graph, &mut rng);
+                    }
+                }
             }
             other => dispatch(protocol, other, &graph, &mut net, &mut rng, &mut reports),
         }
@@ -133,6 +270,9 @@ pub fn run_scenario_des<P: NodeProtocol>(
                 real_size.push(x, graph.alive_count() as f64);
             }
         }
+    }
+    if let Some(w) = workload.as_mut() {
+        w.finish();
     }
     debug_assert!(graph.check_invariants().is_ok());
 

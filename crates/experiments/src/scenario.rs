@@ -10,6 +10,7 @@ use p2p_overlay::builder::{BarabasiAlbert, GraphBuilder, HeterogeneousRandom};
 use p2p_overlay::churn::ChurnOp;
 use p2p_overlay::Graph;
 use p2p_sim::NetworkModel;
+use p2p_workload::WorkloadSource;
 use rand::rngs::SmallRng;
 
 /// The degree cap used throughout the evaluation (paper: 10 → avg ≈ 7.2).
@@ -60,69 +61,66 @@ pub struct Scenario {
     /// event-driven protocol) — the synchronous adapter executes steps
     /// atomically and cannot feel latency or loss.
     pub network: NetworkModel,
+    /// Streamed churn source (a workload model, a model being recorded, or
+    /// a trace replay), applied per step *in addition to* the materialized
+    /// `schedule`. `None` — every paper scenario — keeps the schedule as
+    /// the sole churn source, and the run consumes no workload stream.
+    pub workload: Option<WorkloadSource>,
 }
 
 impl Scenario {
-    /// A static overlay: no churn at all.
-    pub fn static_network(initial_size: usize, steps: u64) -> Self {
+    /// The shared constructor: a named, sorted churn schedule over the
+    /// default topology and the ideal network.
+    fn from_schedule(
+        name: &str,
+        initial_size: usize,
+        steps: u64,
+        schedule: Vec<(u64, ChurnOp)>,
+    ) -> Self {
+        debug_assert!(
+            schedule.windows(2).all(|w| w[0].0 <= w[1].0),
+            "constructors must hand over sorted schedules"
+        );
         Scenario {
-            name: "static".to_string(),
+            name: name.to_string(),
             initial_size,
             steps,
-            schedule: Vec::new(),
+            schedule,
             topology: Topology::default(),
             network: NetworkModel::ideal(),
+            workload: None,
         }
+    }
+
+    /// A static overlay: no churn at all.
+    pub fn static_network(initial_size: usize, steps: u64) -> Self {
+        Self::from_schedule("static", initial_size, steps, Vec::new())
     }
 
     /// Gradual growth by `fraction` of the initial size, spread evenly over
     /// the timeline (paper: +50%, Figs 10/13/16).
     pub fn growing(initial_size: usize, steps: u64, fraction: f64) -> Self {
-        Scenario {
-            name: "growing".to_string(),
-            initial_size,
-            steps,
-            schedule: spread_evenly(initial_size, steps, fraction, true),
-            topology: Topology::default(),
-            network: NetworkModel::ideal(),
-        }
+        let schedule = spread_evenly(initial_size, steps, fraction, true);
+        Self::from_schedule("growing", initial_size, steps, schedule)
     }
 
     /// Gradual shrinkage by `fraction` of the initial size (paper: −50%,
     /// Figs 11/14/17).
     pub fn shrinking(initial_size: usize, steps: u64, fraction: f64) -> Self {
-        Scenario {
-            name: "shrinking".to_string(),
-            initial_size,
-            steps,
-            schedule: spread_evenly(initial_size, steps, fraction, false),
-            topology: Topology::default(),
-            network: NetworkModel::ideal(),
-        }
+        let schedule = spread_evenly(initial_size, steps, fraction, false);
+        Self::from_schedule("shrinking", initial_size, steps, schedule)
     }
 
     /// Catastrophic failures for the polling algorithms (Figs 9/12): −25% of
     /// the current size at 25% and 50% of the timeline, then a +25%-of-
     /// initial mass arrival at 75% (mirroring Fig 15's recover phase).
     pub fn catastrophic(initial_size: usize, steps: u64) -> Self {
-        Scenario {
-            name: "catastrophic".to_string(),
+        Self::catastrophe_recover_schedule(
+            "catastrophic",
             initial_size,
             steps,
-            schedule: vec![
-                (steps / 4, ChurnOp::Catastrophe { fraction: 0.25 }),
-                (steps / 2, ChurnOp::Catastrophe { fraction: 0.25 }),
-                (
-                    3 * steps / 4,
-                    ChurnOp::Join {
-                        count: initial_size / 4,
-                        max_degree: MAX_DEGREE,
-                    },
-                ),
-            ],
-            topology: Topology::default(),
-            network: NetworkModel::ideal(),
-        }
+            [steps / 4, steps / 2, 3 * steps / 4],
+        )
     }
 
     /// Fig 15's exact schedule, scaled to the timeline: "100,000 nodes at
@@ -130,30 +128,47 @@ impl Scenario {
     /// 700" — event rounds scale with `steps / 10_000`.
     pub fn catastrophic_fig15(initial_size: usize, steps: u64) -> Self {
         let at = |paper_round: u64| paper_round * steps / 10_000;
-        Scenario {
-            name: "catastrophic-fig15".to_string(),
+        Self::catastrophe_recover_schedule(
+            "catastrophic-fig15",
             initial_size,
             steps,
-            schedule: vec![
-                (at(100), ChurnOp::Catastrophe { fraction: 0.25 }),
-                (at(500), ChurnOp::Catastrophe { fraction: 0.25 }),
-                (
-                    at(700),
-                    ChurnOp::Join {
-                        count: initial_size / 4,
-                        max_degree: MAX_DEGREE,
-                    },
-                ),
-            ],
-            topology: Topology::default(),
-            network: NetworkModel::ideal(),
-        }
+            [at(100), at(500), at(700)],
+        )
+    }
+
+    /// The shared −25% / −25% / +25%-of-initial shape both catastrophic
+    /// constructors use, at the given event steps.
+    fn catastrophe_recover_schedule(
+        name: &str,
+        initial_size: usize,
+        steps: u64,
+        at: [u64; 3],
+    ) -> Self {
+        let schedule = vec![
+            (at[0], ChurnOp::Catastrophe { fraction: 0.25 }),
+            (at[1], ChurnOp::Catastrophe { fraction: 0.25 }),
+            (
+                at[2],
+                ChurnOp::Join {
+                    count: initial_size / 4,
+                    max_degree: MAX_DEGREE,
+                },
+            ),
+        ];
+        Self::from_schedule(name, initial_size, steps, schedule)
     }
 
     /// Same scenario over a different network (latency distribution, drop
     /// probability, per-link heterogeneity, step cadence).
     pub fn with_network(mut self, network: NetworkModel) -> Self {
         self.network = network;
+        self
+    }
+
+    /// Same scenario with a streamed churn source (in addition to any
+    /// scheduled ops).
+    pub fn with_workload(mut self, workload: WorkloadSource) -> Self {
+        self.workload = Some(workload);
         self
     }
 
@@ -197,8 +212,9 @@ impl Scenario {
         self.schedule[lo..hi].iter().map(|&(_, op)| op)
     }
 
-    /// Expected final size if every op executes (approximate for
-    /// catastrophes, which are fractions of the then-current size).
+    /// Expected final size if every *scheduled* op executes (approximate
+    /// for catastrophes, which are fractions of the then-current size).
+    /// Streamed workload churn is random and not accounted for here.
     pub fn nominal_final_size(&self) -> f64 {
         let mut n = self.initial_size as f64;
         for &(_, op) in &self.schedule {
@@ -360,6 +376,23 @@ mod tests {
         let swept = s.clone().with_name(format!("{} drop=0.01", s.name));
         assert_eq!(swept.name, "catastrophic drop=0.01");
         assert_eq!(swept.schedule, s.schedule);
+    }
+
+    #[test]
+    fn paper_constructors_carry_no_workload() {
+        for s in [
+            Scenario::static_network(100, 10),
+            Scenario::growing(100, 10, 0.5),
+            Scenario::shrinking(100, 10, 0.5),
+            Scenario::catastrophic(100, 10),
+            Scenario::catastrophic_fig15(100, 10),
+        ] {
+            assert!(s.workload.is_none(), "{}", s.name);
+        }
+        let spec = p2p_workload::WorkloadSpec::parse("pareto:mean=20").unwrap();
+        let s = Scenario::static_network(100, 10)
+            .with_workload(p2p_workload::WorkloadSource::Model(spec.clone()));
+        assert_eq!(s.workload.unwrap().spec(), Some(&spec));
     }
 
     #[test]

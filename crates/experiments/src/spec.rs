@@ -19,6 +19,7 @@ use crate::scenario::{Scenario, Topology};
 use p2p_estimation::spec::{parse_params, parse_value};
 use p2p_estimation::{Heuristic, ProtocolSpec, SpecError};
 use p2p_sim::{HopLatency, NetworkModel};
+use p2p_workload::{WorkloadSource, WorkloadSpec};
 use std::fmt;
 
 /// Which execution form of a protocol an experiment drives.
@@ -301,10 +302,13 @@ impl ExperimentSpec {
 }
 
 /// A parseable scenario description: `kind[:key=value,...]` with keys
-/// `frac` (growth/shrink fraction) and `topology`
-/// (`heterogeneous` | `scale-free`). Resolved against a size and step
+/// `frac` (growth/shrink fraction), `topology`
+/// (`heterogeneous` | `scale-free`) and `churn` (a
+/// [`WorkloadSpec`] layered on top of the kind's schedule — the workload
+/// grammar owns `,`/`:`/`+`, so `churn` must be the **last** key and
+/// consumes the rest of the string). Resolved against a size and step
 /// count with [`ScenarioSpec::resolve`].
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ScenarioSpec {
     /// The churn timeline family.
     pub kind: ScenarioKind,
@@ -312,6 +316,9 @@ pub struct ScenarioSpec {
     pub fraction: f64,
     /// The overlay family.
     pub topology: Topology,
+    /// Streamed churn layered on top of the kind's schedule
+    /// (`static:churn=pareto:alpha=1.5,mean=50` is the common pairing).
+    pub churn: Option<WorkloadSpec>,
 }
 
 /// The churn timeline families a [`ScenarioSpec`] can name.
@@ -330,11 +337,22 @@ pub enum ScenarioKind {
 }
 
 impl ScenarioSpec {
-    /// Parses `kind[:key=value,...]`.
+    /// Parses `kind[:key=value,...]` (`churn=...` last, greedy).
     pub fn parse(s: &str) -> Result<Self, SpecError> {
-        let (name, params) = match s.split_once(':') {
-            Some((n, p)) => (n.trim(), parse_params(p)?),
-            None => (s.trim(), Vec::new()),
+        let (name, params, churn) = match s.split_once(':') {
+            Some((n, tail)) => {
+                // `churn=` swallows the rest of the string: the workload
+                // grammar uses `,` and `:` itself.
+                let (head, churn) = match tail.find("churn=") {
+                    Some(i) if i == 0 || tail.as_bytes()[i - 1] == b',' => {
+                        let spec = WorkloadSpec::parse(&tail[i + "churn=".len()..])?;
+                        (tail[..i].trim_end_matches(','), Some(spec))
+                    }
+                    _ => (tail, None),
+                };
+                (n.trim(), parse_params(head)?, churn)
+            }
+            None => (s.trim(), Vec::new(), None),
         };
         let kind = match name {
             "static" => ScenarioKind::Static,
@@ -353,6 +371,7 @@ impl ScenarioSpec {
             kind,
             fraction: 0.5,
             topology: Topology::Heterogeneous,
+            churn,
         };
         for (k, v) in params {
             match k {
@@ -387,7 +406,11 @@ impl ScenarioSpec {
             ScenarioKind::Catastrophic => Scenario::catastrophic(initial_size, steps),
             ScenarioKind::CatastrophicFig15 => Scenario::catastrophic_fig15(initial_size, steps),
         };
-        s.with_topology(self.topology)
+        let s = s.with_topology(self.topology);
+        match &self.churn {
+            Some(spec) => s.with_workload(WorkloadSource::Model(spec.clone())),
+            None => s,
+        }
     }
 }
 
@@ -409,6 +432,12 @@ impl fmt::Display for ScenarioSpec {
         }
         if self.topology != Topology::Heterogeneous {
             write!(f, "{sep}topology={}", self.topology.key())?;
+            sep = ',';
+        }
+        // Last, always: the workload grammar consumes the rest of the
+        // string on re-parse.
+        if let Some(churn) = &self.churn {
+            write!(f, "{sep}churn={churn}")?;
         }
         Ok(())
     }
@@ -541,6 +570,9 @@ mod tests {
             "catastrophic",
             "catastrophic-fig15",
             "static:topology=scale-free",
+            "static:churn=pareto:alpha=1.5,mean=50",
+            "growing:frac=0.25,churn=steady:join=2,leave=2",
+            "static:topology=scale-free,churn=flash:at=25,frac=0.5,hold=30+regional:at=75,regions=8,frac=1",
         ] {
             let spec = ScenarioSpec::parse(text).unwrap();
             assert_eq!(
@@ -553,6 +585,24 @@ mod tests {
             ScenarioSpec::parse("growing").unwrap().to_string(),
             "growing"
         );
+    }
+
+    #[test]
+    fn scenario_spec_churn_is_greedy_and_resolves_to_a_workload() {
+        // Everything after `churn=` belongs to the workload grammar, commas
+        // and composition included.
+        let s =
+            ScenarioSpec::parse("growing:frac=0.25,churn=pareto:alpha=2,mean=40,rate=3").unwrap();
+        assert_eq!(s.fraction, 0.25);
+        let churn = s.churn.as_ref().unwrap();
+        assert_eq!(churn.to_string(), "pareto:alpha=2,mean=40,rate=3");
+        let scenario = s.resolve(1_000, 50);
+        assert!(!scenario.schedule.is_empty(), "kind schedule kept");
+        assert_eq!(scenario.workload.unwrap().spec(), Some(churn));
+        // A bad workload tail is the workload grammar's error, not an
+        // "unknown scenario key".
+        let err = ScenarioSpec::parse("static:churn=melting").unwrap_err();
+        assert!(err.0.contains("churn model"), "{err}");
     }
 
     #[test]

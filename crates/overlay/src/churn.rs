@@ -11,6 +11,7 @@
 
 use crate::builder::wire_new_node;
 use crate::graph::Graph;
+use crate::node::NodeId;
 use rand::Rng;
 
 /// A single churn action applied atomically to the overlay.
@@ -33,15 +34,58 @@ impl ChurnOp {
                 join_nodes(g, count, max_degree, rng);
                 count as i64
             }
-            ChurnOp::Leave { count } => {
-                let removed = remove_random_nodes(g, count, rng);
-                -(removed as i64)
-            }
+            ChurnOp::Leave { count } => -(remove_random_nodes(g, count, rng).len() as i64),
             ChurnOp::Catastrophe { fraction } => {
-                let removed = catastrophic_failure(g, fraction, rng);
-                -(removed as i64)
+                -(catastrophic_failure(g, fraction, rng).len() as i64)
             }
         }
+    }
+
+    /// [`apply`](Self::apply) with identity tracking: joined node ids are
+    /// appended to `delta.joined` and victims to `delta.left`, so workload
+    /// models can maintain per-node session state across arbitrary churn.
+    /// Consumes exactly the same RNG draws as `apply`.
+    pub fn apply_into<R: Rng + ?Sized>(&self, g: &mut Graph, rng: &mut R, delta: &mut ChurnDelta) {
+        match *self {
+            ChurnOp::Join { count, max_degree } => {
+                let first = g.num_slots();
+                join_nodes(g, count, max_degree, rng);
+                delta
+                    .joined
+                    .extend((first..g.num_slots()).map(NodeId::from_index));
+            }
+            ChurnOp::Leave { count } => {
+                delta.left.extend(remove_random_nodes(g, count, rng));
+            }
+            ChurnOp::Catastrophe { fraction } => {
+                delta.left.extend(catastrophic_failure(g, fraction, rng));
+            }
+        }
+    }
+}
+
+/// The identities a batch of churn ops touched: which nodes joined and which
+/// left, in application order. Produced by [`ChurnOp::apply_into`] and
+/// consumed by workload models that track per-node session state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChurnDelta {
+    /// Nodes that joined, in wiring order.
+    pub joined: Vec<NodeId>,
+    /// Nodes that departed (uniform victims, catastrophe victims, or
+    /// targeted departures), in removal order.
+    pub left: Vec<NodeId>,
+}
+
+impl ChurnDelta {
+    /// Clears both lists, keeping their allocations.
+    pub fn clear(&mut self) {
+        self.joined.clear();
+        self.left.clear();
+    }
+
+    /// Net population change of the batch.
+    pub fn net(&self) -> i64 {
+        self.joined.len() as i64 - self.left.len() as i64
     }
 }
 
@@ -53,27 +97,39 @@ pub fn join_nodes<R: Rng + ?Sized>(g: &mut Graph, count: usize, max_degree: usiz
     }
 }
 
-/// Removes up to `count` uniformly chosen alive nodes. Returns how many were
-/// actually removed (bounded by the current population).
+/// Removes up to `count` uniformly chosen alive nodes (bounded by the
+/// current population). Returns the victims' ids in removal order, so
+/// callers — workload models above all — can track per-node session state.
 ///
 /// This is the churn hot path: one scratch buffer absorbs every victim's
 /// neighbor list ([`Graph::remove_node_with`]), so a catastrophe removing
-/// tens of thousands of nodes performs no per-removal allocation.
-pub fn remove_random_nodes<R: Rng + ?Sized>(g: &mut Graph, count: usize, rng: &mut R) -> usize {
+/// tens of thousands of nodes performs one allocation for the victim list
+/// and none per removal.
+pub fn remove_random_nodes<R: Rng + ?Sized>(
+    g: &mut Graph,
+    count: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
     let count = count.min(g.alive_count());
+    let mut victims = Vec::with_capacity(count);
     let mut scratch = Vec::new();
     for _ in 0..count {
         let victim = g
             .random_alive(rng)
             .expect("count bounded by alive population");
         g.remove_node_with(victim, &mut scratch);
+        victims.push(victim);
     }
-    count
+    victims
 }
 
 /// Kills `fraction` (rounded) of the current alive population at once.
-/// Returns the number of victims.
-pub fn catastrophic_failure<R: Rng + ?Sized>(g: &mut Graph, fraction: f64, rng: &mut R) -> usize {
+/// Returns the victims' ids in removal order.
+pub fn catastrophic_failure<R: Rng + ?Sized>(
+    g: &mut Graph,
+    fraction: f64,
+    rng: &mut R,
+) -> Vec<NodeId> {
     assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
     let victims = (g.alive_count() as f64 * fraction).round() as usize;
     remove_random_nodes(g, victims, rng)
@@ -98,7 +154,7 @@ impl SteadyChurn {
         let joins = sample_rate(self.arrival_rate, rng);
         let leaves = sample_rate(self.departure_rate, rng);
         join_nodes(g, joins, self.max_degree, rng);
-        let left = remove_random_nodes(g, leaves, rng);
+        let left = remove_random_nodes(g, leaves, rng).len();
         joins as i64 - left as i64
     }
 }
@@ -136,9 +192,17 @@ mod tests {
         let (mut g, mut rng) = overlay(500, 52);
         let edges_before = g.edge_count();
         let removed = remove_random_nodes(&mut g, 200, &mut rng);
-        assert_eq!(removed, 200);
+        assert_eq!(removed.len(), 200);
         assert_eq!(g.alive_count(), 300);
         assert!(g.edge_count() < edges_before);
+        // The returned ids are the actual victims: all dead, all distinct.
+        for &v in &removed {
+            assert!(!g.is_alive(v));
+        }
+        let mut dedup = removed.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), removed.len(), "victims must be distinct");
         g.check_invariants().unwrap();
     }
 
@@ -146,7 +210,7 @@ mod tests {
     fn leave_caps_at_population() {
         let (mut g, mut rng) = overlay(50, 53);
         let removed = remove_random_nodes(&mut g, 1_000, &mut rng);
-        assert_eq!(removed, 50);
+        assert_eq!(removed.len(), 50);
         assert_eq!(g.alive_count(), 0);
     }
 
@@ -154,12 +218,54 @@ mod tests {
     fn catastrophe_removes_fraction_of_current_size() {
         let (mut g, mut rng) = overlay(1_000, 54);
         let removed = catastrophic_failure(&mut g, 0.25, &mut rng);
-        assert_eq!(removed, 250);
+        assert_eq!(removed.len(), 250);
         assert_eq!(g.alive_count(), 750);
         // a second -25% applies to the *current* size
         let removed = catastrophic_failure(&mut g, 0.25, &mut rng);
-        assert_eq!(removed, 188); // round(750 * 0.25)
+        assert_eq!(removed.len(), 188); // round(750 * 0.25)
         g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn apply_into_tracks_identities_and_matches_apply() {
+        // Same seed: apply and apply_into must consume identical draws and
+        // produce identical overlays, with the delta naming every id.
+        let (mut a, mut rng_a) = overlay(400, 58);
+        let (mut b, mut rng_b) = overlay(400, 58);
+        let ops = [
+            ChurnOp::Leave { count: 60 },
+            ChurnOp::Join {
+                count: 25,
+                max_degree: 10,
+            },
+            ChurnOp::Catastrophe { fraction: 0.25 },
+        ];
+        let mut delta = ChurnDelta::default();
+        let mut net = 0i64;
+        for op in &ops {
+            net += op.apply(&mut a, &mut rng_a);
+            op.apply_into(&mut b, &mut rng_b, &mut delta);
+        }
+        assert_eq!(delta.net(), net);
+        assert_eq!(delta.joined.len(), 25);
+        assert_eq!(delta.left.len(), 60 + 91); // round(365 * 0.25) = 91
+        assert_eq!(a.alive_count(), b.alive_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        // Joined ids are the new slots; a joiner may later die (the final
+        // catastrophe draws uniformly), so "alive" is not guaranteed — but
+        // anyone not named in `left` must still be alive.
+        for &j in &delta.joined {
+            assert!(j.index() >= 400 && j.index() < b.num_slots());
+            if !delta.left.contains(&j) {
+                assert!(b.is_alive(j));
+            }
+        }
+        for &l in &delta.left {
+            assert!(!b.is_alive(l));
+        }
+        delta.clear();
+        assert!(delta.joined.is_empty() && delta.left.is_empty());
+        b.check_invariants().unwrap();
     }
 
     #[test]

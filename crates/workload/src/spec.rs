@@ -1,0 +1,512 @@
+//! The parseable workload grammar — churn models as short strings.
+//!
+//! One model is `kind[:key=value,...]` (the workspace's shared `key=value`
+//! grammar); several models compose on one timeline with `+`:
+//!
+//! ```text
+//! steady:join=2,leave=2
+//! pareto:alpha=1.5,mean=50           # heavy-tailed sessions, IPFS-like
+//! weibull:shape=0.5,mean=50,rate=12  # explicit arrival rate
+//! diurnal:join=5,leave=5,period=24,amp=0.8
+//! flash:at=25,frac=0.5,hold=30
+//! regional:at=75,regions=8,frac=1
+//! flash:at=25,frac=0.5,hold=30+regional:at=75   # composed
+//! ```
+//!
+//! `parse ∘ Display == id` on values (property-tested); omitted keys take
+//! the defaults listed on [`WorkloadSpec::parse`].
+
+use crate::dist::LifetimeDist;
+use crate::model::CompositeModel;
+use crate::models::{DiurnalModel, FlashCrowd, RegionalFailure, SessionModel, SteadyModel};
+use crate::ChurnModel;
+use p2p_estimation::spec::{parse_params, parse_value};
+use p2p_estimation::SpecError;
+use std::fmt;
+
+/// One parseable model description. See the [module docs](self) for the
+/// grammar; [`WorkloadSpec`] composes several on one timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModelSpec {
+    /// `steady:join=J,leave=L` — Poisson churn at constant rates.
+    Steady {
+        /// Expected joins per step.
+        join: f64,
+        /// Expected departures per step.
+        leave: f64,
+    },
+    /// `pareto:alpha=A,mean=M[,rate=R]` — Pareto session lengths.
+    Pareto {
+        /// Tail index (> 1).
+        alpha: f64,
+        /// Mean session length in steps.
+        mean: f64,
+        /// Arrival rate; `None` balances the initial population.
+        rate: Option<f64>,
+    },
+    /// `weibull:shape=K,mean=M[,rate=R]` — Weibull session lengths.
+    Weibull {
+        /// Shape parameter (> 0; < 1 is heavy-tailed).
+        shape: f64,
+        /// Mean session length in steps.
+        mean: f64,
+        /// Arrival rate; `None` balances the initial population.
+        rate: Option<f64>,
+    },
+    /// `diurnal:join=J,leave=L,period=P,amp=A[,phase=PH]` — sine-modulated
+    /// Poisson rates.
+    Diurnal {
+        /// Base expected joins per step.
+        join: f64,
+        /// Base expected departures per step.
+        leave: f64,
+        /// Steps per cycle.
+        period: u64,
+        /// Swing fraction in `[0, 1]`.
+        amp: f64,
+        /// Phase offset in radians.
+        phase: f64,
+    },
+    /// `flash:at=S,frac=F[,hold=H]` — a flash crowd.
+    Flash {
+        /// Arrival step.
+        at: u64,
+        /// Crowd size as a fraction of the population at `at`.
+        frac: f64,
+        /// Steps until the cohort departs.
+        hold: Option<u64>,
+    },
+    /// `regional:at=S,regions=R,frac=F` — a correlated regional failure.
+    Regional {
+        /// Failure step.
+        at: u64,
+        /// Number of id-striped regions.
+        regions: u32,
+        /// Fraction of the failing region that dies.
+        frac: f64,
+    },
+}
+
+impl ModelSpec {
+    fn parse(s: &str) -> Result<Self, SpecError> {
+        let (name, params) = match s.split_once(':') {
+            Some((n, p)) => (n.trim(), parse_params(p)?),
+            None => (s.trim(), Vec::new()),
+        };
+        let unknown = |key: &str, keys: &str| -> SpecError {
+            SpecError(format!("unknown {name} key `{key}` ({keys})"))
+        };
+        let spec = match name {
+            "steady" => {
+                let (mut join, mut leave) = (0.0, 0.0);
+                for (k, v) in params {
+                    match k {
+                        "join" => join = parse_value(k, v)?,
+                        "leave" => leave = parse_value(k, v)?,
+                        other => return Err(unknown(other, "join | leave")),
+                    }
+                }
+                ModelSpec::Steady { join, leave }
+            }
+            "pareto" | "weibull" => {
+                let shape_key = if name == "pareto" { "alpha" } else { "shape" };
+                let mut shape = if name == "pareto" { 1.5 } else { 0.5 };
+                let mut mean = None;
+                let mut rate = None;
+                for (k, v) in params {
+                    match k {
+                        k if k == shape_key => shape = parse_value(k, v)?,
+                        "mean" => mean = Some(parse_value(k, v)?),
+                        "rate" => rate = Some(parse_value(k, v)?),
+                        other => {
+                            return Err(SpecError(format!(
+                                "unknown {name} key `{other}` ({shape_key} | mean | rate)"
+                            )))
+                        }
+                    }
+                }
+                let mean: f64 =
+                    mean.ok_or_else(|| SpecError(format!("{name} needs mean=<steps>")))?;
+                if mean <= 0.0 {
+                    return Err(SpecError(format!("{name} mean {mean} must be positive")));
+                }
+                if name == "pareto" {
+                    if shape <= 1.0 {
+                        return Err(SpecError(format!(
+                            "pareto alpha {shape} needs alpha > 1 for a finite mean"
+                        )));
+                    }
+                    ModelSpec::Pareto {
+                        alpha: shape,
+                        mean,
+                        rate,
+                    }
+                } else {
+                    if shape <= 0.0 {
+                        return Err(SpecError(format!("weibull shape {shape} must be positive")));
+                    }
+                    ModelSpec::Weibull { shape, mean, rate }
+                }
+            }
+            "diurnal" => {
+                let (mut join, mut leave) = (0.0, 0.0);
+                let mut period = 24u64;
+                let mut amp = 0.5;
+                let mut phase = 0.0;
+                for (k, v) in params {
+                    match k {
+                        "join" => join = parse_value(k, v)?,
+                        "leave" => leave = parse_value(k, v)?,
+                        "period" => period = parse_value(k, v)?,
+                        "amp" => amp = parse_value(k, v)?,
+                        "phase" => phase = parse_value(k, v)?,
+                        other => return Err(unknown(other, "join | leave | period | amp | phase")),
+                    }
+                }
+                if period == 0 {
+                    return Err(SpecError("diurnal period must be ≥ 1".to_string()));
+                }
+                if !(0.0..=1.0).contains(&amp) {
+                    return Err(SpecError(format!(
+                        "diurnal amp {amp} outside [0,1] (rates would go negative)"
+                    )));
+                }
+                ModelSpec::Diurnal {
+                    join,
+                    leave,
+                    period,
+                    amp,
+                    phase,
+                }
+            }
+            "flash" => {
+                let mut at = None;
+                let mut frac = 0.5;
+                let mut hold = None;
+                for (k, v) in params {
+                    match k {
+                        "at" => at = Some(parse_value(k, v)?),
+                        "frac" => frac = parse_value(k, v)?,
+                        "hold" => hold = Some(parse_value(k, v)?),
+                        other => return Err(unknown(other, "at | frac | hold")),
+                    }
+                }
+                let at = at.ok_or_else(|| SpecError("flash needs at=<step>".to_string()))?;
+                if frac <= 0.0 {
+                    return Err(SpecError(format!("flash frac {frac} must be positive")));
+                }
+                if hold == Some(0) {
+                    return Err(SpecError(
+                        "flash hold=0 would evict the crowd in the step it joins; use \
+                         hold ≥ 1 (or drop hold to keep the crowd)"
+                            .to_string(),
+                    ));
+                }
+                ModelSpec::Flash { at, frac, hold }
+            }
+            "regional" => {
+                let mut at = None;
+                let mut regions = 8u32;
+                let mut frac = 1.0;
+                for (k, v) in params {
+                    match k {
+                        "at" => at = Some(parse_value(k, v)?),
+                        "regions" => regions = parse_value(k, v)?,
+                        "frac" => frac = parse_value(k, v)?,
+                        other => return Err(unknown(other, "at | regions | frac")),
+                    }
+                }
+                let at = at.ok_or_else(|| SpecError("regional needs at=<step>".to_string()))?;
+                if regions == 0 {
+                    return Err(SpecError("regional regions must be ≥ 1".to_string()));
+                }
+                if !(0.0..=1.0).contains(&frac) {
+                    return Err(SpecError(format!("regional frac {frac} outside [0,1]")));
+                }
+                ModelSpec::Regional { at, regions, frac }
+            }
+            other => {
+                return Err(SpecError(format!(
+                    "unknown churn model `{other}` (steady | pareto | weibull | diurnal | flash \
+                     | regional)"
+                )))
+            }
+        };
+        Ok(spec)
+    }
+
+    /// Builds the model; `max_degree` caps the wiring of joining nodes.
+    pub fn build(&self, max_degree: usize) -> Box<dyn ChurnModel> {
+        match *self {
+            ModelSpec::Steady { join, leave } => Box::new(SteadyModel {
+                arrival_rate: join,
+                departure_rate: leave,
+                max_degree,
+            }),
+            ModelSpec::Pareto { alpha, mean, rate } => Box::new(SessionModel::new(
+                LifetimeDist::Pareto { alpha, mean },
+                rate,
+                max_degree,
+            )),
+            ModelSpec::Weibull { shape, mean, rate } => Box::new(SessionModel::new(
+                LifetimeDist::Weibull { shape, mean },
+                rate,
+                max_degree,
+            )),
+            ModelSpec::Diurnal {
+                join,
+                leave,
+                period,
+                amp,
+                phase,
+            } => Box::new(DiurnalModel {
+                arrival_rate: join,
+                departure_rate: leave,
+                period,
+                amplitude: amp,
+                phase,
+                max_degree,
+            }),
+            ModelSpec::Flash { at, frac, hold } => {
+                Box::new(FlashCrowd::new(at, frac, hold, max_degree))
+            }
+            ModelSpec::Regional { at, regions, frac } => Box::new(RegionalFailure {
+                at,
+                regions,
+                fraction: frac,
+            }),
+        }
+    }
+}
+
+impl fmt::Display for ModelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelSpec::Steady { join, leave } => write!(f, "steady:join={join},leave={leave}"),
+            ModelSpec::Pareto { alpha, mean, rate } => {
+                write!(f, "pareto:alpha={alpha},mean={mean}")?;
+                if let Some(r) = rate {
+                    write!(f, ",rate={r}")?;
+                }
+                Ok(())
+            }
+            ModelSpec::Weibull { shape, mean, rate } => {
+                write!(f, "weibull:shape={shape},mean={mean}")?;
+                if let Some(r) = rate {
+                    write!(f, ",rate={r}")?;
+                }
+                Ok(())
+            }
+            ModelSpec::Diurnal {
+                join,
+                leave,
+                period,
+                amp,
+                phase,
+            } => {
+                write!(
+                    f,
+                    "diurnal:join={join},leave={leave},period={period},amp={amp}"
+                )?;
+                if *phase != 0.0 {
+                    write!(f, ",phase={phase}")?;
+                }
+                Ok(())
+            }
+            ModelSpec::Flash { at, frac, hold } => {
+                write!(f, "flash:at={at},frac={frac}")?;
+                if let Some(h) = hold {
+                    write!(f, ",hold={h}")?;
+                }
+                Ok(())
+            }
+            ModelSpec::Regional { at, regions, frac } => {
+                write!(f, "regional:at={at},regions={regions},frac={frac}")
+            }
+        }
+    }
+}
+
+/// A complete workload: one or more [`ModelSpec`]s composed on one
+/// timeline (`+`-joined in the string form).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadSpec(pub Vec<ModelSpec>);
+
+impl WorkloadSpec {
+    /// Parses `model[+model...]`. Per-model defaults: `steady` rates 0;
+    /// `pareto` alpha 1.5; `weibull` shape 0.5 (both require `mean`, and
+    /// balance arrivals unless `rate` is given); `diurnal` period 24,
+    /// amp 0.5, phase 0; `flash` frac 0.5, no hold; `regional` regions 8,
+    /// frac 1.
+    pub fn parse(s: &str) -> Result<Self, SpecError> {
+        let models: Result<Vec<ModelSpec>, SpecError> =
+            s.split('+').map(ModelSpec::parse).collect();
+        let models = models?;
+        debug_assert!(!models.is_empty(), "split always yields one part");
+        Ok(WorkloadSpec(models))
+    }
+
+    /// Whether any composed model emits *uniform-victim* departures
+    /// (`Leave { count }` ops, whose victims are drawn from the run's main
+    /// stream at application time). Traces of such workloads replay the
+    /// exact populations only under the recording's protocol and seed;
+    /// purely identity-targeted workloads (sessions, flash, regional)
+    /// replay exactly under any protocol.
+    pub fn has_uniform_departures(&self) -> bool {
+        self.0.iter().any(|m| match m {
+            ModelSpec::Steady { leave, .. } | ModelSpec::Diurnal { leave, .. } => *leave > 0.0,
+            ModelSpec::Pareto { .. }
+            | ModelSpec::Weibull { .. }
+            | ModelSpec::Flash { .. }
+            | ModelSpec::Regional { .. } => false,
+        })
+    }
+
+    /// Builds the runnable model (a [`CompositeModel`] when composed).
+    pub fn build(&self, max_degree: usize) -> Box<dyn ChurnModel> {
+        if self.0.len() == 1 {
+            self.0[0].build(max_degree)
+        } else {
+            Box::new(CompositeModel::new(
+                self.0.iter().map(|m| m.build(max_degree)).collect(),
+            ))
+        }
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, m) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str("+")?;
+            }
+            write!(f, "{m}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_round_trips() {
+        for text in [
+            "steady:join=2,leave=2",
+            "steady:join=0.5,leave=3.25",
+            "pareto:alpha=1.5,mean=50",
+            "pareto:alpha=2.5,mean=120,rate=7.5",
+            "weibull:shape=0.5,mean=50",
+            "weibull:shape=1.25,mean=10,rate=100",
+            "diurnal:join=5,leave=5,period=24,amp=0.8",
+            "diurnal:join=1,leave=2,period=100,amp=1,phase=1.5",
+            "flash:at=25,frac=0.5",
+            "flash:at=25,frac=0.5,hold=30",
+            "regional:at=75,regions=8,frac=1",
+            "flash:at=25,frac=0.5,hold=30+regional:at=75,regions=4,frac=0.5",
+            "steady:join=1,leave=1+flash:at=10,frac=2",
+        ] {
+            let spec = WorkloadSpec::parse(text).unwrap();
+            let printed = spec.to_string();
+            assert_eq!(WorkloadSpec::parse(&printed).unwrap(), spec, "{text}");
+        }
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        assert_eq!(
+            WorkloadSpec::parse("pareto:mean=40").unwrap().0[0],
+            ModelSpec::Pareto {
+                alpha: 1.5,
+                mean: 40.0,
+                rate: None
+            }
+        );
+        assert_eq!(
+            WorkloadSpec::parse("regional:at=5").unwrap().0[0],
+            ModelSpec::Regional {
+                at: 5,
+                regions: 8,
+                frac: 1.0
+            }
+        );
+        assert_eq!(
+            WorkloadSpec::parse("flash:at=5").unwrap().0[0],
+            ModelSpec::Flash {
+                at: 5,
+                frac: 0.5,
+                hold: None
+            }
+        );
+    }
+
+    #[test]
+    fn bad_specs_report_errors() {
+        for bad in [
+            "melt:rate=1",
+            "pareto",                   // mean required
+            "pareto:alpha=0.9,mean=10", // infinite mean
+            "pareto:mean=-4",           // negative mean
+            "weibull:shape=0,mean=10",  // degenerate shape
+            "weibull:mean=10,warp=9",   // unknown key
+            "diurnal:amp=1.5",          // amp out of range
+            "diurnal:period=0",         // degenerate period
+            "flash:frac=0.5",           // at required
+            "flash:at=5,frac=0",        // empty crowd
+            "flash:at=5,hold=0",        // same-step eviction impossible
+            "regional:at=5,regions=0",  // no regions
+            "regional:at=5,frac=2",     // frac out of range
+            "steady:join=x",            // unparseable number
+            "steady:join=1+melt",       // bad composed tail
+        ] {
+            assert!(WorkloadSpec::parse(bad).is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn uniform_departures_are_flagged() {
+        for (text, uniform) in [
+            ("steady:join=2,leave=2", true),
+            ("steady:join=2,leave=0", false),
+            ("diurnal:join=1,leave=1", true),
+            ("pareto:mean=20", false),
+            ("weibull:mean=20", false),
+            ("flash:at=5,frac=0.5,hold=3", false),
+            ("regional:at=5", false),
+            ("pareto:mean=20+steady:join=0,leave=0.5", true),
+            ("flash:at=5,frac=0.5+regional:at=9", false),
+        ] {
+            assert_eq!(
+                WorkloadSpec::parse(text).unwrap().has_uniform_departures(),
+                uniform,
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn build_produces_runnable_models() {
+        use p2p_overlay::builder::{GraphBuilder, HeterogeneousRandom};
+        use p2p_sim::rng::small_rng;
+
+        let mut rng = small_rng(31);
+        let g = HeterogeneousRandom::paper(200).build(&mut rng);
+        for text in [
+            "steady:join=2,leave=2",
+            "pareto:mean=20",
+            "weibull:mean=20",
+            "diurnal:join=2,leave=2",
+            "flash:at=1,frac=0.5",
+            "regional:at=1",
+            "flash:at=1,frac=0.5+steady:join=1,leave=1",
+        ] {
+            let mut model = WorkloadSpec::parse(text).unwrap().build(10);
+            model.on_init(&g, &mut rng);
+            let mut out = Vec::new();
+            model.ops_at(1, &g, &mut rng, &mut out);
+            // No panics and plausible output is all we pin here; model
+            // behavior is covered in `models::tests`.
+        }
+    }
+}

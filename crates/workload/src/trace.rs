@@ -1,0 +1,505 @@
+//! JSONL churn-trace record and replay.
+//!
+//! Recording captures every op a workload model emitted, step by step, so
+//! any run's churn is re-runnable bit for bit — including against a
+//! different protocol, or on a machine without the generating model. The
+//! format is one hand-rolled JSON object per line (no serde):
+//!
+//! ```text
+//! {"event":"workload-trace","version":1,"initial_size":2000,"steps":100,"schedule_hash":14695981039346656037,"churn":"pareto:alpha=1.5,mean=50"}
+//! {"step":3,"op":"join","count":2,"max_degree":10}
+//! {"step":3,"op":"leave-nodes","nodes":[17,940]}
+//! {"step":7,"op":"leave","count":1}
+//! {"step":9,"op":"catastrophe","fraction":0.25}
+//! ```
+//!
+//! Replay feeds the recorded ops through [`TraceModel`] — a [`ChurnModel`]
+//! that consumes no workload randomness at all. Because op *application*
+//! draws from the run's main stream in both modes (see
+//! [`model`](crate::model)), a replayed run reproduces the original's
+//! estimate series exactly under the recording's protocol and seed.
+//!
+//! Cross-protocol replay (same churn, a different estimator) is exact for
+//! *identity-targeted* workloads — sessions, flash crowds, regional
+//! failures, whose departures name their victims — because the op sequence
+//! alone determines the population. Uniform-victim ops (`leave`,
+//! `catastrophe`, and any scheduled `Leave`/`Catastrophe`) draw victims
+//! from the main stream at application time, so under a different
+//! protocol different nodes die and the populations can drift; the CLI
+//! prints a note when a replayed trace carries such ops.
+
+use crate::{ChurnModel, WorkloadOp};
+use p2p_overlay::churn::ChurnOp;
+use p2p_overlay::{Graph, NodeId};
+use rand::rngs::SmallRng;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Current trace format version.
+pub const TRACE_VERSION: u32 = 1;
+
+/// The metadata line a trace starts with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Overlay size at step 0 (replay sanity check).
+    pub initial_size: usize,
+    /// Timeline length the trace was recorded over.
+    pub steps: u64,
+    /// Digest ([`schedule_digest`]) of the scenario's *scheduled* churn at
+    /// record time. The trace captures only workload-emitted ops; scheduled
+    /// ops re-execute from the replaying scenario, so that scenario must
+    /// carry the same schedule or the replay silently diverges — replay
+    /// checks this.
+    pub schedule_hash: u64,
+    /// The generating workload's spec string (informational).
+    pub churn: String,
+}
+
+impl TraceHeader {
+    /// Checks this trace can replay into a run of `initial_size` nodes over
+    /// `steps` steps under the scheduled timeline digested as
+    /// `schedule_hash` — one source of truth for the CLI's friendly errors
+    /// and the runner's assertions.
+    pub fn validate(
+        &self,
+        initial_size: usize,
+        steps: u64,
+        schedule_hash: u64,
+    ) -> Result<(), TraceError> {
+        if self.initial_size != initial_size {
+            return Err(TraceError(format!(
+                "trace was recorded on a {}-node overlay; this run starts at {initial_size}",
+                self.initial_size
+            )));
+        }
+        if self.steps != steps {
+            return Err(TraceError(format!(
+                "trace was recorded over {} steps; this run has {steps} — replaying would \
+                 truncate or under-run the recorded churn",
+                self.steps
+            )));
+        }
+        if self.schedule_hash != schedule_hash {
+            return Err(TraceError(format!(
+                "trace was recorded under a different scheduled-churn timeline (its workload \
+                 spec was `{}`); scheduled ops re-execute from the replaying scenario, which \
+                 must match the recording's",
+                self.churn
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a digest of a scheduled-churn timeline, as stored in
+/// [`TraceHeader::schedule_hash`]. Stable across runs and platforms
+/// (f64 fractions hash by bit pattern).
+pub fn schedule_digest(schedule: &[(u64, ChurnOp)]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for &(step, op) in schedule {
+        mix(step);
+        match op {
+            ChurnOp::Join { count, max_degree } => {
+                mix(1);
+                mix(count as u64);
+                mix(max_degree as u64);
+            }
+            ChurnOp::Leave { count } => {
+                mix(2);
+                mix(count as u64);
+            }
+            ChurnOp::Catastrophe { fraction } => {
+                mix(3);
+                mix(fraction.to_bits());
+            }
+        }
+    }
+    hash
+}
+
+/// Why a trace failed to read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceError(pub String);
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Streams `(step, op)` records out as JSONL.
+pub struct TraceWriter<W: Write> {
+    w: W,
+}
+
+impl TraceWriter<BufWriter<File>> {
+    /// Creates (truncating) a trace file and writes the header.
+    pub fn create(path: &Path, header: &TraceHeader) -> io::Result<Self> {
+        TraceWriter::new(BufWriter::new(File::create(path)?), header)
+    }
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wraps a writer and emits the header line.
+    pub fn new(mut w: W, header: &TraceHeader) -> io::Result<Self> {
+        writeln!(
+            w,
+            "{{\"event\":\"workload-trace\",\"version\":{TRACE_VERSION},\
+             \"initial_size\":{},\"steps\":{},\"schedule_hash\":{},\"churn\":\"{}\"}}",
+            header.initial_size, header.steps, header.schedule_hash, header.churn
+        )?;
+        Ok(TraceWriter { w })
+    }
+
+    /// Records one step's ops (no-op for an empty batch).
+    pub fn record(&mut self, step: u64, ops: &[WorkloadOp]) -> io::Result<()> {
+        for op in ops {
+            match op {
+                WorkloadOp::Churn(ChurnOp::Join { count, max_degree }) => writeln!(
+                    self.w,
+                    "{{\"step\":{step},\"op\":\"join\",\"count\":{count},\
+                     \"max_degree\":{max_degree}}}"
+                )?,
+                WorkloadOp::Churn(ChurnOp::Leave { count }) => writeln!(
+                    self.w,
+                    "{{\"step\":{step},\"op\":\"leave\",\"count\":{count}}}"
+                )?,
+                WorkloadOp::Churn(ChurnOp::Catastrophe { fraction }) => writeln!(
+                    self.w,
+                    "{{\"step\":{step},\"op\":\"catastrophe\",\"fraction\":{fraction}}}"
+                )?,
+                WorkloadOp::LeaveNodes(nodes) => {
+                    write!(
+                        self.w,
+                        "{{\"step\":{step},\"op\":\"leave-nodes\",\"nodes\":["
+                    )?;
+                    for (i, n) in nodes.iter().enumerate() {
+                        if i > 0 {
+                            write!(self.w, ",")?;
+                        }
+                        write!(self.w, "{}", n.0)?;
+                    }
+                    writeln!(self.w, "]}}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered output.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+}
+
+/// Extracts the raw text of `"key":<value>` from a (trusted, self-written)
+/// JSON line: up to the matching `]` for arrays, the closing quote for
+/// strings, the next `,`/`}` otherwise.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = match rest.as_bytes().first()? {
+        b'[' => rest.find(']')? + 1,
+        b'"' => rest[1..].find('"')? + 2,
+        _ => rest.find([',', '}'])?,
+    };
+    Some(&rest[..end])
+}
+
+fn num_field<T: std::str::FromStr>(line: &str, key: &str, line_no: usize) -> Result<T, TraceError> {
+    field(line, key)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| TraceError(format!("trace line {line_no}: missing or bad `{key}`")))
+}
+
+/// Streams `(step, op)` records back out of a JSONL trace, lazily — the
+/// file is never materialized in memory.
+pub struct TraceReader<R: BufRead> {
+    r: R,
+    line_no: usize,
+    buf: String,
+}
+
+impl TraceReader<BufReader<File>> {
+    /// Opens a trace file; returns its header and the op stream.
+    pub fn open(path: &Path) -> Result<(TraceHeader, Self), TraceError> {
+        let file = File::open(path)
+            .map_err(|e| TraceError(format!("cannot open trace {}: {e}", path.display())))?;
+        TraceReader::new(BufReader::new(file))
+    }
+}
+
+impl<R: BufRead> TraceReader<R> {
+    /// Reads the header line and wraps the remaining stream.
+    pub fn new(mut r: R) -> Result<(TraceHeader, Self), TraceError> {
+        let mut buf = String::new();
+        r.read_line(&mut buf)
+            .map_err(|e| TraceError(format!("cannot read trace header: {e}")))?;
+        if field(&buf, "event") != Some("\"workload-trace\"") {
+            return Err(TraceError(
+                "not a workload trace (missing header line)".to_string(),
+            ));
+        }
+        let version: u32 = num_field(&buf, "version", 1)?;
+        if version != TRACE_VERSION {
+            return Err(TraceError(format!(
+                "trace version {version} unsupported (expected {TRACE_VERSION})"
+            )));
+        }
+        let header = TraceHeader {
+            initial_size: num_field(&buf, "initial_size", 1)?,
+            steps: num_field(&buf, "steps", 1)?,
+            schedule_hash: num_field(&buf, "schedule_hash", 1)?,
+            churn: field(&buf, "churn")
+                .map(|s| s.trim_matches('"').to_string())
+                .unwrap_or_default(),
+        };
+        Ok((
+            header,
+            TraceReader {
+                r,
+                line_no: 1,
+                buf: String::new(),
+            },
+        ))
+    }
+
+    /// The next `(step, op)` record, or `None` at end of trace.
+    pub fn next_op(&mut self) -> Result<Option<(u64, WorkloadOp)>, TraceError> {
+        loop {
+            self.buf.clear();
+            self.line_no += 1;
+            let n = self
+                .r
+                .read_line(&mut self.buf)
+                .map_err(|e| TraceError(format!("trace line {}: {e}", self.line_no)))?;
+            if n == 0 {
+                return Ok(None);
+            }
+            let line = self.buf.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let step: u64 = num_field(line, "step", self.line_no)?;
+            let op = match field(line, "op") {
+                Some("\"join\"") => WorkloadOp::Churn(ChurnOp::Join {
+                    count: num_field(line, "count", self.line_no)?,
+                    max_degree: num_field(line, "max_degree", self.line_no)?,
+                }),
+                Some("\"leave\"") => WorkloadOp::Churn(ChurnOp::Leave {
+                    count: num_field(line, "count", self.line_no)?,
+                }),
+                Some("\"catastrophe\"") => WorkloadOp::Churn(ChurnOp::Catastrophe {
+                    fraction: num_field(line, "fraction", self.line_no)?,
+                }),
+                Some("\"leave-nodes\"") => {
+                    let raw = field(line, "nodes").ok_or_else(|| {
+                        TraceError(format!("trace line {}: missing `nodes`", self.line_no))
+                    })?;
+                    let inner = raw.trim_start_matches('[').trim_end_matches(']');
+                    let nodes: Result<Vec<NodeId>, _> = if inner.is_empty() {
+                        Ok(Vec::new())
+                    } else {
+                        inner
+                            .split(',')
+                            .map(|v| v.trim().parse().map(NodeId))
+                            .collect()
+                    };
+                    WorkloadOp::LeaveNodes(nodes.map_err(|_| {
+                        TraceError(format!("trace line {}: bad node id", self.line_no))
+                    })?)
+                }
+                other => {
+                    return Err(TraceError(format!(
+                        "trace line {}: unknown op {:?}",
+                        self.line_no, other
+                    )))
+                }
+            };
+            return Ok(Some((step, op)));
+        }
+    }
+}
+
+/// Replays a recorded trace as a [`ChurnModel`].
+///
+/// Consumes *no* workload randomness — replay determinism rests on the
+/// recorded op sequence plus the run's main stream alone.
+pub struct TraceModel<R: BufRead> {
+    reader: TraceReader<R>,
+    pending: Option<(u64, WorkloadOp)>,
+}
+
+impl TraceModel<BufReader<File>> {
+    /// Opens `path`; returns the header (for caller-side validation
+    /// against the scenario) and the model.
+    pub fn open(path: &Path) -> Result<(TraceHeader, Self), TraceError> {
+        let (header, reader) = TraceReader::open(path)?;
+        Ok((header, TraceModel::from_reader(reader)))
+    }
+}
+
+impl<R: BufRead> TraceModel<R> {
+    /// Wraps an already-opened op stream.
+    pub fn from_reader(reader: TraceReader<R>) -> Self {
+        TraceModel {
+            reader,
+            pending: None,
+        }
+    }
+}
+
+impl<R: BufRead> ChurnModel for TraceModel<R> {
+    fn ops_at(
+        &mut self,
+        step: u64,
+        _graph: &Graph,
+        _rng: &mut SmallRng,
+        out: &mut Vec<WorkloadOp>,
+    ) {
+        loop {
+            let (at, op) = match self.pending.take() {
+                Some(rec) => rec,
+                None => match self.reader.next_op() {
+                    Ok(Some(rec)) => rec,
+                    Ok(None) => return,
+                    // ops_at cannot surface errors; a trace that was
+                    // readable at open but corrupt mid-stream is fatal.
+                    Err(e) => panic!("corrupt workload trace: {e}"),
+                },
+            };
+            if at > step {
+                self.pending = Some((at, op));
+                return;
+            }
+            assert!(
+                at == step,
+                "workload trace out of order: op at step {at} read after step {step}"
+            );
+            out.push(op);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2p_sim::rng::small_rng;
+
+    fn sample_ops() -> Vec<(u64, Vec<WorkloadOp>)> {
+        vec![
+            (
+                1,
+                vec![WorkloadOp::Churn(ChurnOp::Join {
+                    count: 3,
+                    max_degree: 10,
+                })],
+            ),
+            (2, vec![]),
+            (
+                3,
+                vec![
+                    WorkloadOp::LeaveNodes(vec![NodeId(7), NodeId(19)]),
+                    WorkloadOp::Churn(ChurnOp::Leave { count: 2 }),
+                ],
+            ),
+            (
+                5,
+                vec![
+                    WorkloadOp::Churn(ChurnOp::Catastrophe { fraction: 0.25 }),
+                    WorkloadOp::LeaveNodes(vec![]),
+                ],
+            ),
+        ]
+    }
+
+    fn write_trace(ops: &[(u64, Vec<WorkloadOp>)]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let header = TraceHeader {
+            initial_size: 500,
+            steps: 6,
+            schedule_hash: 0xFEED,
+            churn: "pareto:alpha=1.5,mean=50".to_string(),
+        };
+        let mut w = TraceWriter::new(&mut buf, &header).unwrap();
+        for (step, batch) in ops {
+            w.record(*step, batch).unwrap();
+        }
+        w.flush().unwrap();
+        buf
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let ops = sample_ops();
+        let buf = write_trace(&ops);
+        let (header, mut r) = TraceReader::new(buf.as_slice()).unwrap();
+        assert_eq!(header.initial_size, 500);
+        assert_eq!(header.steps, 6);
+        assert_eq!(header.churn, "pareto:alpha=1.5,mean=50");
+        let flat: Vec<(u64, WorkloadOp)> = ops
+            .iter()
+            .flat_map(|(s, batch)| batch.iter().cloned().map(move |op| (*s, op)))
+            .collect();
+        let mut read = Vec::new();
+        while let Some(rec) = r.next_op().unwrap() {
+            read.push(rec);
+        }
+        assert_eq!(read, flat);
+    }
+
+    #[test]
+    fn trace_model_streams_by_step() {
+        let ops = sample_ops();
+        let buf = write_trace(&ops);
+        let (_, reader) = TraceReader::new(buf.as_slice()).unwrap();
+        let mut model = TraceModel::from_reader(reader);
+        let g = p2p_overlay::Graph::with_nodes(10);
+        let mut rng = small_rng(1);
+        let mut out = Vec::new();
+        for step in 1..=6u64 {
+            out.clear();
+            model.ops_at(step, &g, &mut rng, &mut out);
+            let expected: Vec<&WorkloadOp> = ops
+                .iter()
+                .filter(|(s, _)| *s == step)
+                .flat_map(|(_, b)| b.iter())
+                .collect();
+            assert_eq!(out.iter().collect::<Vec<_>>(), expected, "step {step}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_and_wrong_versions() {
+        assert!(TraceReader::new(&b"not json\n"[..]).is_err());
+        assert!(TraceReader::new(&b"{\"event\":\"other\"}\n"[..]).is_err());
+        let future = b"{\"event\":\"workload-trace\",\"version\":99,\"initial_size\":1,\"steps\":1,\"churn\":\"\"}\n";
+        assert!(TraceReader::new(&future[..]).is_err());
+        // Bad body line surfaces as an error with its line number.
+        let bad = b"{\"event\":\"workload-trace\",\"version\":1,\"initial_size\":1,\"steps\":1,\"schedule_hash\":0,\"churn\":\"\"}\n{\"step\":1,\"op\":\"warp\"}\n";
+        let (_, mut r) = TraceReader::new(&bad[..]).unwrap();
+        let err = r.next_op().unwrap_err();
+        assert!(err.0.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn field_extraction_handles_all_value_shapes() {
+        let line = "{\"a\":3,\"b\":[1,2],\"c\":\"x,y\",\"d\":0.5}";
+        assert_eq!(field(line, "a"), Some("3"));
+        assert_eq!(field(line, "b"), Some("[1,2]"));
+        assert_eq!(field(line, "c"), Some("\"x,y\""));
+        assert_eq!(field(line, "d"), Some("0.5"));
+        assert_eq!(field(line, "e"), None);
+    }
+}

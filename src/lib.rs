@@ -11,6 +11,8 @@
 //! * [`sim`] — discrete-event message-counting simulator.
 //! * [`stats`] — statistics toolkit used by the experiments.
 //! * [`estimation`] — the three size-estimation algorithms and baselines.
+//! * [`workload`] — streamed churn models (heavy-tailed sessions, diurnal,
+//!   flash crowds, regional failures) with trace record/replay.
 //! * [`experiments`] — figure/table reproduction scenarios.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
@@ -20,3 +22,4 @@ pub use p2p_experiments as experiments;
 pub use p2p_overlay as overlay;
 pub use p2p_sim as sim;
 pub use p2p_stats as stats;
+pub use p2p_workload as workload;

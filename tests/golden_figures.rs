@@ -63,6 +63,9 @@ golden! {
     golden_fig09 => 9, golden_fig10 => 10, golden_fig11 => 11, golden_fig12 => 12,
     golden_fig13 => 13, golden_fig14 => 14, golden_fig15 => 15, golden_fig16 => 16,
     golden_fig17 => 17, golden_fig18 => 18, golden_fig19 => 19, golden_fig20 => 20,
+    // The realistic-churn workload extensions; their goldens were produced
+    // by the same `repro` invocation when the figures were introduced.
+    golden_fig21 => 21, golden_fig22 => 22, golden_fig23 => 23,
 }
 
 #[test]

@@ -216,6 +216,7 @@ fn aggregation_golden_traces_match_reference() {
         ],
         topology: p2p_size_estimation::experiments::Topology::Heterogeneous,
         network: NetworkModel::ideal(),
+        workload: None,
     };
     // The same physical timeline in the unified convention: the historic
     // loop applied an op scheduled at `r` before 0-based round `r`; the

@@ -372,8 +372,8 @@ fn empty_graph_edge_cases_do_not_panic() {
     // Deterministic companion to the generated cases.
     let mut g = Graph::with_capacity(0);
     let mut rng = small_rng(0);
-    assert_eq!(churn::remove_random_nodes(&mut g, 10, &mut rng), 0);
-    assert_eq!(churn::catastrophic_failure(&mut g, 0.5, &mut rng), 0);
+    assert!(churn::remove_random_nodes(&mut g, 10, &mut rng).is_empty());
+    assert!(churn::catastrophic_failure(&mut g, 0.5, &mut rng).is_empty());
     g.check_invariants().unwrap();
 }
 
@@ -425,6 +425,9 @@ fn scenario_spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
         } else {
             Topology::Heterogeneous
         },
+        // The workload grammar's own round-trip is property-tested in
+        // `prop_workload`; composing it here would only re-test it.
+        churn: None,
     })
 }
 

@@ -1,0 +1,170 @@
+//! Property tests for the workload subsystem:
+//!
+//! * the churn-spec grammar round-trips (`parse ∘ Display == id`) over
+//!   generated specs, composition included;
+//! * a streamed count-op model equals its materialized schedule for any
+//!   `(rates, seed)`;
+//! * a JSONL trace written from any op sequence reads back identically.
+
+use p2p_size_estimation::overlay::churn::ChurnOp;
+use p2p_size_estimation::overlay::{Graph, NodeId};
+use p2p_size_estimation::sim::rng::small_rng;
+use p2p_size_estimation::workload::trace::{TraceHeader, TraceReader, TraceWriter};
+use p2p_size_estimation::workload::{ModelSpec, WorkloadOp, WorkloadSpec};
+use proptest::prelude::*;
+
+/// Dyadic fractions display as short exact decimals, so value-level
+/// round-trips also hold textually.
+fn rate() -> impl Strategy<Value = f64> {
+    (0u32..400).prop_map(|x| x as f64 / 8.0)
+}
+
+fn model_spec() -> impl Strategy<Value = ModelSpec> {
+    prop_oneof![
+        (rate(), rate()).prop_map(|(join, leave)| ModelSpec::Steady { join, leave }),
+        ((9u32..=40), (1u32..2_000), (0u32..3)).prop_map(|(alpha, mean, r)| ModelSpec::Pareto {
+            alpha: alpha as f64 / 8.0, // > 1
+            mean: mean as f64 / 2.0,
+            rate: (r > 0).then_some(r as f64 * 1.5),
+        }),
+        ((1u32..=32), (1u32..2_000), (0u32..3)).prop_map(|(shape, mean, r)| {
+            ModelSpec::Weibull {
+                shape: shape as f64 / 8.0,
+                mean: mean as f64 / 2.0,
+                rate: (r > 0).then_some(r as f64 * 1.5),
+            }
+        }),
+        (rate(), rate(), (1u64..500), (0u32..=8), (0u32..20)).prop_map(
+            |(join, leave, period, amp, phase)| ModelSpec::Diurnal {
+                join,
+                leave,
+                period,
+                amp: amp as f64 / 8.0,
+                phase: phase as f64 / 4.0,
+            }
+        ),
+        ((1u64..100), (1u32..16), (0u32..3)).prop_map(|(at, frac, hold)| ModelSpec::Flash {
+            at,
+            frac: frac as f64 / 8.0,
+            hold: (hold > 0).then_some(hold as u64 * 7),
+        }),
+        ((1u64..100), (1u32..=32), (0u32..=8)).prop_map(|(at, regions, frac)| {
+            ModelSpec::Regional {
+                at,
+                regions,
+                frac: frac as f64 / 8.0,
+            }
+        }),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = WorkloadOp> {
+    prop_oneof![
+        ((1usize..500), (1usize..=16)).prop_map(|(count, max_degree)| {
+            WorkloadOp::Churn(ChurnOp::Join { count, max_degree })
+        }),
+        (1usize..500).prop_map(|count| WorkloadOp::Churn(ChurnOp::Leave { count })),
+        (0u32..=100).prop_map(|pct| {
+            WorkloadOp::Churn(ChurnOp::Catastrophe {
+                fraction: pct as f64 / 100.0,
+            })
+        }),
+        prop::collection::vec(any::<u32>().prop_map(NodeId), 0..20)
+            .prop_map(WorkloadOp::LeaveNodes),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn workload_grammar_round_trips(
+        models in prop::collection::vec(model_spec(), 1..4),
+    ) {
+        let spec = WorkloadSpec(models);
+        let printed = spec.to_string();
+        let reparsed = WorkloadSpec::parse(&printed)
+            .map_err(|e| TestCaseError::fail(format!("`{printed}` failed to re-parse: {e}")))?;
+        prop_assert_eq!(reparsed, spec, "{}", printed);
+    }
+
+    #[test]
+    fn streamed_count_ops_match_their_materialization(
+        join in rate(),
+        leave in rate(),
+        seed in any::<u64>(),
+        steps in 1u64..60,
+    ) {
+        // Two identically seeded passes over the same model must emit the
+        // same op stream, and the stream equals its up-front
+        // materialization step by step.
+        let spec = WorkloadSpec(vec![ModelSpec::Steady { join, leave }]);
+        let placeholder = Graph::with_nodes(0);
+        let run = |spec: &WorkloadSpec| {
+            let mut model = spec.build(10);
+            let mut rng = small_rng(seed);
+            model.on_init(&placeholder, &mut rng);
+            let mut all: Vec<(u64, WorkloadOp)> = Vec::new();
+            let mut out = Vec::new();
+            for step in 1..=steps {
+                out.clear();
+                model.ops_at(step, &placeholder, &mut rng, &mut out);
+                all.extend(out.iter().cloned().map(|op| (step, op)));
+            }
+            all
+        };
+        let first = run(&spec);
+        let second = run(&spec);
+        prop_assert_eq!(&first, &second, "model streams must be seed-deterministic");
+        // Expected volume sanity: Poisson totals concentrate around
+        // rate × steps (loose band; tiny runs are noisy).
+        let joins: usize = first.iter().map(|(_, op)| match op {
+            WorkloadOp::Churn(ChurnOp::Join { count, .. }) => *count,
+            _ => 0,
+        }).sum();
+        let expect = join * steps as f64;
+        prop_assert!(
+            (joins as f64) <= 4.0 * expect + 30.0,
+            "joins {} vs expected {}", joins, expect
+        );
+    }
+
+    #[test]
+    fn trace_jsonl_round_trips(
+        batches in prop::collection::vec(
+            ((1u64..50), prop::collection::vec(op_strategy(), 0..4)),
+            0..12,
+        ),
+        initial_size in 1usize..1_000_000,
+    ) {
+        // Steps must be non-decreasing in a real trace.
+        let mut batches = batches;
+        batches.sort_by_key(|&(step, _)| step);
+        let header = TraceHeader {
+            initial_size,
+            steps: 50,
+            schedule_hash: 0x5EED,
+            churn: "steady:join=1,leave=1".to_string(),
+        };
+        let mut buf = Vec::new();
+        {
+            let mut w = TraceWriter::new(&mut buf, &header)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            for (step, ops) in &batches {
+                w.record(*step, ops).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            }
+        }
+        let (read_header, mut reader) = TraceReader::new(buf.as_slice())
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(read_header, header);
+        let expected: Vec<(u64, WorkloadOp)> = batches
+            .iter()
+            .flat_map(|(step, ops)| ops.iter().cloned().map(move |op| (*step, op)))
+            .collect();
+        let mut read = Vec::new();
+        while let Some(rec) = reader.next_op().map_err(|e| TestCaseError::fail(e.to_string()))? {
+            read.push(rec);
+        }
+        prop_assert_eq!(read, expected);
+    }
+}
