@@ -59,3 +59,33 @@ pub fn criterion_config() -> criterion::Criterion {
 
 /// Master seed for all bench-generated data.
 pub const BENCH_SEED: u64 = 20060619;
+
+/// Where the hot-path benchmark snapshot lands: `target/BENCH_5.json`
+/// (sibling of `target/figures`). CI uploads it as an artifact; the copy
+/// committed at the repo root is the reference measurement.
+pub fn bench5_path() -> PathBuf {
+    figures_dir()
+        .parent()
+        .map(|p| p.join("BENCH_5.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_5.json"))
+}
+
+/// Writes the hot-path snapshot as a JSON object of `key → entry` (entries
+/// are pre-rendered JSON values; the writer is hand-rolled like every
+/// serializer in this workspace).
+pub fn write_bench5(entries: &[(String, String)]) {
+    let mut out = String::from("{\n");
+    for (i, (key, value)) in entries.iter().enumerate() {
+        out.push_str(&format!("  \"{key}\": {value}"));
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    let path = bench5_path();
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("[bench5] snapshot -> {}", path.display()),
+        Err(e) => eprintln!("[bench5] {}: write failed: {e}", path.display()),
+    }
+}

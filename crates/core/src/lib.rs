@@ -59,6 +59,7 @@
 //! ```
 
 pub mod aggregation;
+pub mod arena;
 pub mod baselines;
 pub mod heuristics;
 pub mod hops_sampling;
@@ -70,6 +71,7 @@ pub mod sampling;
 pub mod spec;
 
 pub use aggregation::Aggregation;
+pub use arena::NodeArena;
 pub use heuristics::{Heuristic, Smoother};
 pub use hops_sampling::HopsSampling;
 pub use monitor::SizeMonitor;

@@ -27,6 +27,7 @@
 
 use super::{Cx, NodeProtocol};
 use crate::aggregation::AggregationConfig;
+use crate::arena::NodeArena;
 use crate::protocol::StepOutcome;
 use p2p_overlay::NodeId;
 use p2p_sim::MessageKind;
@@ -51,21 +52,33 @@ pub enum AggMsg {
     },
 }
 
+/// Per-node state of the event-driven Aggregation, one arena slot per
+/// overlay slot. `epoch == 0` (the default) means "never participated".
+#[derive(Clone, Copy, Debug, Default)]
+struct AggState {
+    /// The node's current share of the unit mass.
+    value: f64,
+    /// Epoch tag this slot last joined (0 = never participated).
+    epoch: u32,
+    /// Round within that epoch at which the slot joined; a node initiates
+    /// exchanges from the following round on.
+    joined_at: u32,
+}
+
 /// The event-driven epoched Aggregation protocol.
 ///
 /// One `on_step` = one gossip round, as in the synchronous variant; a new
 /// epoch (fresh tag, fresh initiator holding value 1) starts every
 /// `rounds_per_estimate` rounds, and each epoch's estimate is read one step
 /// window after its final round, so that round's exchanges can land.
+///
+/// Per-node state lives in a [`NodeArena`]: dense slot-indexed storage with
+/// generation checking, so an overlay running with slot reuse can never
+/// leak a departed node's mass into the slot's next tenant.
 pub struct AsyncAggregation {
     /// Protocol parameters (rounds per epoch).
     pub config: AggregationConfig,
-    values: Vec<f64>,
-    /// Epoch tag each slot last joined (0 = never participated).
-    epoch_of: Vec<u32>,
-    /// Round within the current epoch at which each slot joined; a node
-    /// initiates exchanges from the following round on.
-    joined_at: Vec<u32>,
+    nodes: NodeArena<AggState>,
     epoch: u32,
     rounds_done: u32,
     reported: bool,
@@ -77,9 +90,7 @@ impl AsyncAggregation {
     pub fn new(config: AggregationConfig) -> Self {
         AsyncAggregation {
             config,
-            values: Vec::new(),
-            epoch_of: Vec::new(),
-            joined_at: Vec::new(),
+            nodes: NodeArena::new(),
             epoch: 0,
             rounds_done: 0,
             reported: false,
@@ -90,14 +101,6 @@ impl AsyncAggregation {
     /// The paper's parameterization (50-round epochs).
     pub fn paper() -> Self {
         Self::new(AggregationConfig::paper())
-    }
-
-    fn ensure_capacity(&mut self, slots: usize) {
-        if self.values.len() < slots {
-            self.values.resize(slots, 0.0);
-            self.epoch_of.resize(slots, 0);
-            self.joined_at.resize(slots, 0);
-        }
     }
 
     /// Publishes the completed epoch's estimate (once), read at the
@@ -129,13 +132,15 @@ impl AsyncAggregation {
     }
 
     /// Local estimate at `node` — `1 / value` for current-epoch
-    /// participants with positive value.
-    fn estimate_at(&self, node: NodeId) -> Option<f64> {
-        if self.epoch_of.get(node.index()).copied() != Some(self.epoch) {
+    /// participants with positive value. The read goes through the arena's
+    /// generation check, so monitor gauges over a slot-reusing overlay can
+    /// never read a departed tenant's mass.
+    pub fn estimate_at(&self, node: NodeId) -> Option<f64> {
+        let s = self.nodes.get(node)?;
+        if s.epoch != self.epoch {
             return None;
         }
-        let v = self.values[node.index()];
-        (v > 0.0).then(|| 1.0 / v)
+        (s.value > 0.0).then(|| 1.0 / s.value)
     }
 }
 
@@ -147,9 +152,7 @@ impl NodeProtocol for AsyncAggregation {
     }
 
     fn reset(&mut self) {
-        self.values.clear();
-        self.epoch_of.clear();
-        self.joined_at.clear();
+        self.nodes.clear();
         self.epoch = 0;
         self.rounds_done = 0;
         self.reported = false;
@@ -157,7 +160,7 @@ impl NodeProtocol for AsyncAggregation {
     }
 
     fn on_step(&mut self, _step: u64, cx: &mut Cx<'_, AggMsg>) {
-        self.ensure_capacity(cx.graph.num_slots());
+        self.nodes.ensure(cx.graph.num_slots());
         let epoch_len = self.config.rounds_per_estimate;
         if self.epoch == 0 || self.rounds_done >= epoch_len {
             self.finalize(cx); // in case the epoch's read timer has not fired yet
@@ -169,15 +172,22 @@ impl NodeProtocol for AsyncAggregation {
             self.rounds_done = 0;
             self.reported = false;
             self.initiator = Some(init);
-            self.values[init.index()] = 1.0;
-            self.epoch_of[init.index()] = self.epoch;
-            self.joined_at[init.index()] = 0;
+            let epoch = self.epoch;
+            let s = self.nodes.slot(init);
+            s.value = 1.0;
+            s.epoch = epoch;
+            s.joined_at = 0;
         }
         // One gossip round: every node that joined in an earlier round
         // initiates one push-pull exchange with a uniform random neighbor.
         let round = self.rounds_done + 1;
         for v in cx.graph.alive_nodes() {
-            if self.epoch_of[v.index()] != self.epoch || self.joined_at[v.index()] >= round {
+            // The arena's generation check makes a re-let slot read as
+            // "never participated" until a Push reaches its new tenant.
+            let Some(&s) = self.nodes.get(v) else {
+                continue;
+            };
+            if s.epoch != self.epoch || s.joined_at >= round {
                 continue;
             }
             let Some(w) = cx.graph.random_neighbor(v, cx.rng) else {
@@ -189,7 +199,7 @@ impl NodeProtocol for AsyncAggregation {
                 MessageKind::AggregationPush,
                 AggMsg::Push {
                     epoch: self.epoch,
-                    value: self.values[v.index()],
+                    value: s.value,
                 },
             );
         }
@@ -209,16 +219,17 @@ impl NodeProtocol for AsyncAggregation {
                 if epoch != self.epoch {
                     return; // exchange of a restarted process
                 }
-                self.ensure_capacity(dst.index() + 1);
-                if self.epoch_of[dst.index()] != epoch {
+                let rounds_done = self.rounds_done;
+                let s = self.nodes.slot(dst);
+                if s.epoch != epoch {
                     // Reached by a new tag: join with value 0 (§IV-D(k));
                     // exchanges start next round.
-                    self.epoch_of[dst.index()] = epoch;
-                    self.values[dst.index()] = 0.0;
-                    self.joined_at[dst.index()] = self.rounds_done;
+                    s.epoch = epoch;
+                    s.value = 0.0;
+                    s.joined_at = rounds_done;
                 }
-                let avg = 0.5 * (value + self.values[dst.index()]);
-                self.values[dst.index()] = avg;
+                let avg = 0.5 * (value + s.value);
+                s.value = avg;
                 cx.send(
                     dst,
                     src,
@@ -230,8 +241,12 @@ impl NodeProtocol for AsyncAggregation {
                 );
             }
             AggMsg::Pull { epoch, delta } => {
-                if epoch == self.epoch && self.epoch_of.get(dst.index()).copied() == Some(epoch) {
-                    self.values[dst.index()] += delta;
+                if epoch != self.epoch {
+                    return;
+                }
+                let s = self.nodes.slot(dst);
+                if s.epoch == epoch {
+                    s.value += delta;
                 }
             }
         }

@@ -16,6 +16,7 @@
 //!   characteristic underestimation instead of failing it.
 
 use super::{Cx, NodeProtocol};
+use crate::arena::NodeArena;
 use crate::hops_sampling::{pick_target, HopsSamplingConfig};
 use crate::protocol::StepOutcome;
 use p2p_overlay::NodeId;
@@ -41,11 +42,27 @@ pub enum HsMsg {
     },
 }
 
+/// Per-node spread state: the run a slot was last reached in, and its
+/// believed distance within that run. A slot whose `run` is older than the
+/// current run id counts as unreached — so starting a new spread is O(1),
+/// not an O(slots) re-fill of a distance table (at million-node scale that
+/// re-fill *was* the per-step cost).
+#[derive(Clone, Copy, Debug, Default)]
+struct HsReach {
+    /// Run id this slot was last contacted in (0 = never).
+    run: u64,
+    /// Believed distance within that run.
+    hops: u32,
+}
+
 /// The event-driven HopsSampling protocol.
 ///
 /// One estimation per step: `on_step` closes the previous run (reporting
 /// the weights collected so far) and immediately starts the next spread.
 /// A per-run finalize timer covers the timeline's last estimation.
+///
+/// Per-node reach state lives in a [`NodeArena`] keyed by run id, with
+/// generation checking for slot-reusing overlays.
 pub struct AsyncHopsSampling {
     /// Protocol parameters (shared with the synchronous estimator). The
     /// event-driven variant implements the paper's `gossipFor = 1` turn
@@ -54,9 +71,8 @@ pub struct AsyncHopsSampling {
     run_id: u64,
     active: bool,
     initiator: NodeId,
-    /// Believed distance per slot for the current run (`u32::MAX` =
-    /// unreached).
-    min_hops: Vec<u32>,
+    /// Reach state per slot, validated by run id and slot generation.
+    reached: NodeArena<HsReach>,
     /// Accumulated reply weights, including the initiator's own 1.
     sum: f64,
 }
@@ -73,7 +89,7 @@ impl AsyncHopsSampling {
             run_id: 0,
             active: false,
             initiator: NodeId(0),
-            min_hops: Vec::new(),
+            reached: NodeArena::new(),
             sum: 0.0,
         }
     }
@@ -126,7 +142,7 @@ impl NodeProtocol for AsyncHopsSampling {
 
     fn reset(&mut self) {
         self.active = false;
-        self.min_hops.clear();
+        self.reached.clear();
     }
 
     fn on_step(&mut self, _step: u64, cx: &mut Cx<'_, HsMsg>) {
@@ -138,10 +154,14 @@ impl NodeProtocol for AsyncHopsSampling {
         self.run_id += 1;
         self.active = true;
         self.initiator = initiator;
-        self.sum = 1.0; // the initiator counts itself
-        self.min_hops.clear();
-        self.min_hops.resize(cx.graph.num_slots(), u32::MAX);
-        self.min_hops[initiator.index()] = 0;
+        // The initiator counts itself. Stale arena entries (older run ids)
+        // count as unreached: nothing to clear — starting a spread is O(1)
+        // regardless of overlay size.
+        self.sum = 1.0;
+        *self.reached.slot(initiator) = HsReach {
+            run: self.run_id,
+            hops: 0,
+        };
         // Collection window: one step. The next on_step (or, for the
         // timeline's final estimation, this timer) publishes the sum.
         let window = cx.step_ticks();
@@ -155,14 +175,14 @@ impl NodeProtocol for AsyncHopsSampling {
                 if !self.active || run != self.run_id {
                     return; // copy of an already-published spread
                 }
-                let slot = dst.index();
-                if self.min_hops[slot] != u32::MAX {
+                let s = self.reached.slot(dst);
+                if s.run == run {
                     // Repeat contact: only the distance minimum updates
                     // (mute rule — the forwarding turn is spent).
-                    self.min_hops[slot] = self.min_hops[slot].min(hops);
+                    s.hops = s.hops.min(hops);
                     return;
                 }
-                self.min_hops[slot] = hops;
+                *s = HsReach { run, hops };
                 // Poll decision at first contact (§III-B): reply with
                 // probability 1 below minHopsReporting, else with
                 // probability gossipTo^−excess and inverse weight.

@@ -103,8 +103,12 @@ impl<'a, M> Cx<'a, M> {
 /// message-level network.
 ///
 /// The driver owns the overlay and the clock; the protocol owns its state
-/// (kept centrally, indexed by node slot — one object simulates every
-/// node). Handlers fire for:
+/// (kept centrally in a [`NodeArena`](crate::arena::NodeArena) — a dense,
+/// generation-checked slab keyed by node slot; one object simulates every
+/// node). This homogeneous layout is what every figure runs; deployments
+/// mixing protocol *variants* per node fall back to the boxed round-driven
+/// path ([`ProtocolSpec::build_sync`](crate::ProtocolSpec::build_sync)).
+/// Handlers fire for:
 ///
 /// * `on_step` — the scenario's step grid (one estimation slot for the
 ///   polling classes, one gossip round for the epidemic class), after any

@@ -37,13 +37,16 @@ fn usage() -> &'static str {
   repro run --protocol SPEC [--protocol SPEC ...] [--mode async|sync]
             [--scenario SC] [--network NET] [--size N] [--steps K]
             [--reps R] [--heuristic one-shot|last10] [--sweep AXIS=V1,V2,...]
-            [--metric err|completed] [--churn WORKLOAD]
+            [--metric err|completed] [--churn WORKLOAD] [--reuse-slots]
             [--record-trace FILE | --replay-trace FILE] [common options]
   repro table [--scale ...] [--seed ...] [--out DIR]
   repro (--all | --fig N | --table 1) [...]        (legacy form)
 
 common options:
-  --scale paper|small|tiny   experiment sizing          (default small)
+  --scale paper|small|tiny|huge|huge-smoke   experiment sizing (default small)
+                             huge = 1M-node free-form runs (short horizon,
+                             overlay slot reuse); huge-smoke = the 200k CI
+                             smoke of the same path
   --seed S                   master seed                (default 20060619)
   --out DIR                  CSV output directory       (default target/figures)
   --jobs J                   worker threads per replication batch
@@ -62,6 +65,11 @@ specs:
               | weibull:shape=0.5,mean=50[,rate=R]
               | diurnal:join=5,leave=5,period=24,amp=0.8
               | flash:at=25,frac=0.5[,hold=30] | regional:at=75[,regions=8,frac=1]
+  --reuse-slots         bounded-memory overlay churn: departed slots are
+                        re-let under generation-checked ids (automatic for
+                        --size >= 200000; opt in here for smaller runs with
+                        heavy cumulative churn — the append-only slot table
+                        caps out at 2^24 cumulative arrivals)
   --record-trace FILE   record the run's churn ops as a JSONL trace (needs a
                         churn workload, one --protocol, --reps 1; no --sweep)
   --replay-trace FILE   replay a recorded trace (bit-for-bit under the
@@ -106,6 +114,15 @@ impl ResultSink for ProgressPrinter {
             eprintln!("  [{done}/{total}] {} {label}", self.id);
         }
     }
+    fn run_stats(&mut self, stats: &p2p_experiments::sink::RunStats<'_>) {
+        if self.enabled {
+            eprintln!(
+                "  [stats] {}: {} events dispatched, peak queue {}, {} sent, \
+                 pool hit rate {:.4}",
+                stats.series, stats.events, stats.peak_queue, stats.sent, stats.pool_hit_rate
+            );
+        }
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -132,6 +149,7 @@ fn parse_args() -> Result<Args, String> {
     let mut sweep: Option<(SweepAxis, Vec<f64>)> = None;
     let mut metric: Option<SweepMetric> = None;
     let mut churn: Option<WorkloadSpec> = None;
+    let mut reuse_slots = false;
     let mut record_trace: Option<PathBuf> = None;
     let mut replay_trace: Option<PathBuf> = None;
     let mut scale_name = "small".to_string();
@@ -164,6 +182,7 @@ fn parse_args() -> Result<Args, String> {
                 | "--sweep"
                 | "--metric"
                 | "--churn"
+                | "--reuse-slots"
                 | "--record-trace"
                 | "--replay-trace"
         ) {
@@ -260,6 +279,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| e.to_string())?,
                 );
             }
+            "--reuse-slots" => reuse_slots = true,
             "--record-trace" => {
                 record_trace = Some(PathBuf::from(next_value(&mut it, "--record-trace")?));
             }
@@ -297,7 +317,7 @@ fn parse_args() -> Result<Args, String> {
     }
 
     let scale = ExperimentScale::by_name(&scale_name)
-        .ok_or_else(|| format!("unknown scale {scale_name} (paper|small|tiny)"))?;
+        .ok_or_else(|| format!("unknown scale {scale_name} (paper|small|tiny|huge|huge-smoke)"))?;
 
     if protocols.is_empty() && !custom_flags.is_empty() {
         return Err(format!(
@@ -329,6 +349,7 @@ fn parse_args() -> Result<Args, String> {
                 sweep,
                 metric,
                 churn,
+                reuse_slots,
                 record_trace,
                 replay_trace,
                 &scale,
@@ -376,6 +397,7 @@ fn build_custom_spec(
     sweep: Option<(SweepAxis, Vec<f64>)>,
     metric: Option<SweepMetric>,
     churn: Option<WorkloadSpec>,
+    reuse_slots: bool,
     record_trace: Option<PathBuf>,
     replay_trace: Option<PathBuf>,
     scale: &ExperimentScale,
@@ -384,6 +406,16 @@ fn build_custom_spec(
     let steps = steps.unwrap_or(24);
     let reps = reps.unwrap_or(scale.replications);
     let mut scenario = scenario.resolve(size, steps).with_network(network.0);
+    // Past this population the append-only slot table is the memory
+    // bottleneck under churn: the huge scales run with slot reuse (bounded
+    // memory, generation-checked ids). Smaller runs with heavy *cumulative*
+    // churn (the 2^24 slot cap counts arrivals, not population) opt in via
+    // --reuse-slots. Figures never reach this size, so their pinned
+    // byte-exact outputs are untouched.
+    const SLOT_REUSE_THRESHOLD: usize = 200_000;
+    if reuse_slots || size >= SLOT_REUSE_THRESHOLD {
+        scenario = scenario.with_slot_reuse();
+    }
     // A `churn=` embedded in --scenario behaves exactly like --churn (the
     // explicit flag wins when both are given) — so it records, and it
     // conflicts with --replay-trace, the same way.

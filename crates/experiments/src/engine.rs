@@ -27,7 +27,7 @@ use crate::figures::{smooth_last_k, to_quality};
 use crate::runner::record_aggregation_convergence;
 use crate::runner::{replication_threads, run_scenario, run_scenario_des, Trace};
 use crate::scenario::Scenario;
-use crate::sink::{ExperimentMeta, ResultSink, Row};
+use crate::sink::{ExperimentMeta, ResultSink, Row, RunStats};
 use crate::spec::{ExecMode, ExperimentSpec, Presentation, SweepMetric};
 use p2p_estimation::{AsyncProtocol, Heuristic, ProtocolSpec};
 use p2p_sim::parallel::{default_threads, par_map};
@@ -259,6 +259,18 @@ fn tracking(spec: &ExperimentSpec, exp_seed: u64, opts: &EngineOptions, sink: &m
                     emit_series(sink, &real);
                 }
                 emit_series(sink, &trace.estimates);
+                // Surface the event-core accounting of message-level runs
+                // (diagnostic only; sync-adapter runs dispatch no payloads
+                // worth reporting beyond their control grid).
+                if trace.net.sent > 0 {
+                    sink.run_stats(&RunStats {
+                        series: &trace.estimates.name,
+                        events: trace.engine.dispatched,
+                        peak_queue: trace.engine.peak_depth,
+                        pool_hit_rate: trace.engine.pool_hit_rate(),
+                        sent: trace.net.sent,
+                    });
+                }
                 done += 1;
                 sink.progress(done, total, &trace.estimates.name);
             },

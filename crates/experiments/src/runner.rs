@@ -45,7 +45,7 @@ use p2p_overlay::Graph;
 use p2p_sim::network::NetEvent;
 use p2p_sim::parallel::{default_threads, par_replications_on};
 use p2p_sim::rng::{derive_seed, small_rng};
-use p2p_sim::{MessageCounter, NetStats, Network, SimTime};
+use p2p_sim::{EngineStats, MessageCounter, NetStats, Network, SimTime};
 use p2p_stats::Series;
 use p2p_workload::trace::{schedule_digest, TraceHeader, TraceWriter};
 use p2p_workload::{ChurnModel, TraceModel, WorkloadOp, WorkloadSource};
@@ -70,6 +70,10 @@ pub struct Trace {
     /// zero for protocols driven through the synchronous adapter, which
     /// does not route its traffic message-by-message.
     pub net: NetStats,
+    /// Event-core accounting for the run: events dispatched, peak queue
+    /// depth, and the in-flight payload pool's hit/alloc counters (hit
+    /// rate ≈ 1 ⇔ zero steady-state allocations per send).
+    pub engine: EngineStats,
 }
 
 /// Control tag bit marking a protocol step (the rest is the step number);
@@ -282,6 +286,7 @@ pub fn run_scenario_des<P: NodeProtocol>(
         messages: net.take_counter(),
         completed,
         net: *net.stats(),
+        engine: net.engine_stats(),
     }
 }
 

@@ -57,12 +57,45 @@ impl ExperimentScale {
         }
     }
 
-    /// Parses a scale name (`paper`, `small`, `tiny`).
+    /// The million-node free-form scale: every message-level run gets the
+    /// paper's full 1M overlay, a short horizon, and one replication —
+    /// the north-star stress configuration the calendar-queue/arena/pool
+    /// hot path exists for. Runs at this scale enable overlay slot reuse
+    /// (bounded memory under churn). Use with free-form `repro run
+    /// --protocol ...`; regenerating whole figures here is deliberately
+    /// out of scope.
+    pub fn huge() -> Self {
+        ExperimentScale {
+            large: 1_000_000,
+            huge: 1_000_000,
+            agg_dynamic_rounds: 200,
+            replications: 1,
+            net_nodes: 1_000_000,
+        }
+    }
+
+    /// CI's bounded-memory smoke of the million-node path: 200k nodes,
+    /// short horizon, one replication (see the `huge-smoke` CI job, which
+    /// also asserts an RSS ceiling on the run).
+    pub fn huge_smoke() -> Self {
+        ExperimentScale {
+            large: 200_000,
+            huge: 200_000,
+            agg_dynamic_rounds: 100,
+            replications: 1,
+            net_nodes: 200_000,
+        }
+    }
+
+    /// Parses a scale name (`paper`, `small`, `tiny`, `huge`,
+    /// `huge-smoke`).
     pub fn by_name(name: &str) -> Option<Self> {
         match name {
             "paper" => Some(Self::paper()),
             "small" => Some(Self::small()),
             "tiny" => Some(Self::tiny()),
+            "huge" => Some(Self::huge()),
+            "huge-smoke" => Some(Self::huge_smoke()),
             _ => None,
         }
     }
@@ -95,7 +128,22 @@ mod tests {
             ExperimentScale::by_name("tiny"),
             Some(ExperimentScale::tiny())
         );
+        assert_eq!(
+            ExperimentScale::by_name("huge"),
+            Some(ExperimentScale::huge())
+        );
+        assert_eq!(
+            ExperimentScale::by_name("huge-smoke"),
+            Some(ExperimentScale::huge_smoke())
+        );
         assert_eq!(ExperimentScale::by_name("bogus"), None);
+    }
+
+    #[test]
+    fn huge_scales_hit_the_north_star_sizes() {
+        assert_eq!(ExperimentScale::huge().net_nodes, 1_000_000);
+        assert_eq!(ExperimentScale::huge().replications, 1);
+        assert_eq!(ExperimentScale::huge_smoke().net_nodes, 200_000);
     }
 
     #[test]

@@ -66,6 +66,14 @@ pub struct Scenario {
     /// `schedule`. `None` — every paper scenario — keeps the schedule as
     /// the sole churn source, and the run consumes no workload stream.
     pub workload: Option<WorkloadSource>,
+    /// Run the overlay with slot reuse
+    /// ([`Graph::enable_slot_reuse`](p2p_overlay::Graph::enable_slot_reuse)):
+    /// departures re-let their slots to later arrivals under bumped
+    /// generations, bounding memory by the peak population instead of the
+    /// cumulative arrival count. Off by default — the historic append-only
+    /// ids, which every golden figure pins; the million-node scales turn it
+    /// on.
+    pub reuse_slots: bool,
 }
 
 impl Scenario {
@@ -89,6 +97,7 @@ impl Scenario {
             topology: Topology::default(),
             network: NetworkModel::ideal(),
             workload: None,
+            reuse_slots: false,
         }
     }
 
@@ -185,14 +194,25 @@ impl Scenario {
         self
     }
 
+    /// Same scenario with bounded-memory slot reuse on the overlay (see
+    /// the [`reuse_slots`](Self::reuse_slots) field).
+    pub fn with_slot_reuse(mut self) -> Self {
+        self.reuse_slots = true;
+        self
+    }
+
     /// Builds the initial overlay of the scenario's [`Topology`].
     pub fn build_overlay(&self, rng: &mut SmallRng) -> Graph {
-        match self.topology {
+        let mut graph = match self.topology {
             Topology::Heterogeneous => {
                 HeterogeneousRandom::new(self.initial_size, MAX_DEGREE).build(rng)
             }
             Topology::ScaleFree => BarabasiAlbert::paper(self.initial_size).build(rng),
+        };
+        if self.reuse_slots {
+            graph.enable_slot_reuse();
         }
+        graph
     }
 
     /// The churn ops due at `step`, in schedule order.

@@ -44,6 +44,24 @@ pub struct Row<'a> {
     pub y: f64,
 }
 
+/// Hot-path accounting of one finished run, surfaced next to its rows:
+/// the event core's [`EngineStats`](p2p_sim::EngineStats) plus the message
+/// count. Diagnostic only — no sink's *output rows* depend on it, so
+/// adding a stats consumer can never change figure bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct RunStats<'a> {
+    /// The series (replication) the run produced.
+    pub series: &'a str,
+    /// Events the run dispatched through the timing wheel.
+    pub events: u64,
+    /// Peak simultaneous pending events.
+    pub peak_queue: usize,
+    /// Payload-pool hit rate (1.0 ⇔ zero steady-state send allocations).
+    pub pool_hit_rate: f64,
+    /// Messages sent over the network.
+    pub sent: u64,
+}
+
 /// A consumer of streamed experiment results.
 ///
 /// The engine calls [`begin`](Self::begin) once, then interleaves
@@ -60,6 +78,12 @@ pub trait ResultSink {
     /// `done` of `total` work units (replications × protocols × sweep
     /// points) have completed; `label` names the unit that just finished.
     fn progress(&mut self, _done: usize, _total: usize, _label: &str) {}
+
+    /// Hot-path accounting of a finished message-level run (the engine
+    /// only reports runs that actually dispatched events). Default:
+    /// ignored — only diagnostic consumers (the `repro` progress printer)
+    /// listen.
+    fn run_stats(&mut self, _stats: &RunStats<'_>) {}
 
     /// The experiment completed; flush any buffered output.
     fn finish(&mut self) {}
@@ -268,6 +292,11 @@ impl ResultSink for TeeSink<'_> {
     fn progress(&mut self, done: usize, total: usize, label: &str) {
         self.a.progress(done, total, label);
         self.b.progress(done, total, label);
+    }
+
+    fn run_stats(&mut self, stats: &RunStats<'_>) {
+        self.a.run_stats(stats);
+        self.b.run_stats(stats);
     }
 
     fn finish(&mut self) {

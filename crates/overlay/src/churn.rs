@@ -48,11 +48,12 @@ impl ChurnOp {
     pub fn apply_into<R: Rng + ?Sized>(&self, g: &mut Graph, rng: &mut R, delta: &mut ChurnDelta) {
         match *self {
             ChurnOp::Join { count, max_degree } => {
-                let first = g.num_slots();
-                join_nodes(g, count, max_degree, rng);
-                delta
-                    .joined
-                    .extend((first..g.num_slots()).map(NodeId::from_index));
+                // Collect the actual minted ids (identical draws to
+                // `join_nodes`): under slot reuse an arrival may re-let a
+                // dead slot, so "the new slots" is not a range.
+                for _ in 0..count {
+                    delta.joined.push(wire_new_node(g, max_degree, rng));
+                }
             }
             ChurnOp::Leave { count } => {
                 delta.left.extend(remove_random_nodes(g, count, rng));

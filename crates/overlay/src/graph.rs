@@ -11,6 +11,20 @@ use rand::Rng;
 /// that samples and traces recorded before a departure stay meaningful, but
 /// they have no links and cannot be sampled.
 ///
+/// # Slot reuse (bounded-memory churn)
+///
+/// By default the slot table is append-only: every arrival gets a fresh
+/// slot, so a perpetually churning overlay grows without bound (and is
+/// capped at [`MAX_SLOTS`](crate::node::MAX_SLOTS) cumulative arrivals).
+/// [`enable_slot_reuse`](Self::enable_slot_reuse) switches departures to
+/// feed a free list that later arrivals pop: memory becomes O(peak
+/// population) regardless of churn volume. Each reuse increments the
+/// slot's *generation*, minted into the new tenant's [`NodeId`], and
+/// [`is_alive`](Self::is_alive) validates it — a stale id (a message in
+/// flight to a departed node whose slot was since re-let) is dead, never
+/// aliased to the new tenant. The default mode is bit-for-bit the historic
+/// behavior; the reuse mode is what the million-node scales run on.
+///
 /// Links are bidirectional, as in the paper (§IV-A): "whenever a node contacts
 /// another one, the reached node also has knowledge of communication
 /// initiator's existence and keeps a link back to the contact node".
@@ -30,6 +44,12 @@ pub struct Graph {
     alive_list: Vec<NodeId>,
     /// `alive_pos[i]` = position of node `i` in `alive_list`, or `u32::MAX`.
     alive_pos: Vec<u32>,
+    /// Current generation of each slot (0 until first reuse).
+    generation: Vec<u8>,
+    /// Dead slots available for re-letting (populated only in reuse mode).
+    free_slots: Vec<u32>,
+    /// Whether departures feed `free_slots` and arrivals pop it.
+    reuse_slots: bool,
     /// Number of undirected edges between alive nodes.
     edges: usize,
 }
@@ -44,6 +64,9 @@ impl Graph {
             alive: BitSet::with_capacity(n),
             alive_list: Vec::with_capacity(n),
             alive_pos: Vec::with_capacity(n),
+            generation: Vec::with_capacity(n),
+            free_slots: Vec::new(),
+            reuse_slots: false,
             edges: 0,
         }
     }
@@ -57,13 +80,48 @@ impl Graph {
         g
     }
 
-    /// Adds a new alive node with no links and returns its id.
+    /// Switches the graph to bounded-memory churn: slots of nodes that
+    /// depart *from now on* are re-let to later arrivals under a bumped
+    /// generation (see the type-level docs). Ids minted before the switch
+    /// stay valid; slots already dead at the switch are never re-let.
+    pub fn enable_slot_reuse(&mut self) {
+        self.reuse_slots = true;
+    }
+
+    /// Whether departures re-let their slots to later arrivals.
+    pub fn slot_reuse(&self) -> bool {
+        self.reuse_slots
+    }
+
+    /// Adds a new alive node with no links and returns its id. In reuse
+    /// mode a freed slot is re-let (under a new generation) before the slot
+    /// table grows.
     pub fn add_node(&mut self) -> NodeId {
+        if let Some(slot) = self.free_slots.pop() {
+            let slot = slot as usize;
+            // Generations wrap at 256 reuses of one slot; an id would have
+            // to outlive 255 intervening tenants to alias, which no
+            // in-flight message or sample in this workspace approaches.
+            let generation = self.generation[slot].wrapping_add(1);
+            self.generation[slot] = generation;
+            let id = NodeId::from_parts(slot, generation);
+            debug_assert!(self.adj[slot].is_empty(), "re-let slot still wired");
+            self.alive.set(slot, true);
+            self.alive_pos[slot] = self.alive_list.len() as u32;
+            self.alive_list.push(id);
+            return id;
+        }
+        assert!(
+            self.adj.len() < crate::node::MAX_SLOTS,
+            "slot table full ({} slots): enable_slot_reuse() bounds memory under churn",
+            self.adj.len()
+        );
         let id = NodeId::from_index(self.adj.len());
         self.adj.push(Vec::new());
         self.alive.set(id.index(), true);
         self.alive_pos.push(self.alive_list.len() as u32);
         self.alive_list.push(id);
+        self.generation.push(0);
         id
     }
 
@@ -86,10 +144,16 @@ impl Graph {
         self.edges
     }
 
-    /// Whether `node` is currently alive.
+    /// Whether `node` is currently alive. Generation-checked: an id whose
+    /// slot has since been re-let to a newer tenant is dead, even though
+    /// the slot itself is occupied.
     #[inline]
     pub fn is_alive(&self, node: NodeId) -> bool {
         self.alive.get(node.index())
+            && self
+                .generation
+                .get(node.index())
+                .is_some_and(|&g| g == node.generation())
     }
 
     /// The neighbor view of `node`. Empty for dead nodes.
@@ -256,6 +320,9 @@ impl Graph {
             self.alive_pos[last.index()] = pos;
         }
         self.alive_pos[node.index()] = NOT_ALIVE;
+        if self.reuse_slots {
+            self.free_slots.push(node.index() as u32);
+        }
     }
 
     /// Checks internal invariants. Used by tests and debug assertions; O(V+E).
@@ -267,6 +334,13 @@ impl Graph {
                 self.alive.count_ones()
             ));
         }
+        if self.generation.len() != self.adj.len() {
+            return Err(format!(
+                "generation table covers {} of {} slots",
+                self.generation.len(),
+                self.adj.len()
+            ));
+        }
         for (pos, &n) in self.alive_list.iter().enumerate() {
             if self.alive_pos[n.index()] as usize != pos {
                 return Err(format!(
@@ -276,16 +350,28 @@ impl Graph {
             if !self.alive.get(n.index()) {
                 return Err(format!("{n:?} in alive list but bit unset"));
             }
+            if self.generation[n.index()] != n.generation() {
+                return Err(format!(
+                    "{n:?} in alive list under stale generation (slot is at {})",
+                    self.generation[n.index()]
+                ));
+            }
+        }
+        for &slot in &self.free_slots {
+            if self.alive.get(slot as usize) {
+                return Err(format!("slot {slot} both free and alive"));
+            }
         }
         let mut half_edges = 0usize;
         for (i, nb) in self.adj.iter().enumerate() {
-            let id = NodeId::from_index(i);
+            // The slot's *current* tenant id: backlinks are stored under it.
+            let id = NodeId::from_parts(i, self.generation[i]);
             if !self.alive.get(i) && !nb.is_empty() {
                 return Err(format!("dead node {id:?} still has links"));
             }
             for &w in nb {
-                if !self.alive.get(w.index()) {
-                    return Err(format!("{id:?} links to dead node {w:?}"));
+                if !self.is_alive(w) {
+                    return Err(format!("{id:?} links to dead (or stale-id) node {w:?}"));
                 }
                 if w == id {
                     return Err(format!("self-loop at {id:?}"));
@@ -466,6 +552,73 @@ mod tests {
         assert!(g.random_neighbor(NodeId(0), &mut rng).is_none());
         assert_eq!(g.remove_node(NodeId(0)), Some(vec![]));
         assert_eq!(g.alive_count(), 0);
+    }
+
+    #[test]
+    fn slot_reuse_relets_dead_slots_under_new_generations() {
+        let mut g = Graph::with_nodes(4);
+        g.enable_slot_reuse();
+        g.add_edge(NodeId(0), NodeId(1));
+        let departed = NodeId(1);
+        g.remove_node(departed);
+        assert_eq!(g.num_slots(), 4);
+
+        // The arrival re-lets slot 1 under generation 1.
+        let tenant = g.add_node();
+        assert_eq!(g.num_slots(), 4, "no slot-table growth");
+        assert_eq!(tenant.index(), 1);
+        assert_eq!(tenant.generation(), 1);
+        assert_ne!(tenant, departed);
+
+        // The old id stays dead; the new one is alive and wireable.
+        assert!(!g.is_alive(departed), "stale id must not alias the tenant");
+        assert!(g.is_alive(tenant));
+        assert!(g.add_edge(NodeId(0), tenant));
+        assert!(!g.add_edge(NodeId(0), departed), "stale ids cannot wire");
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn slot_reuse_bounds_the_slot_table_under_churn() {
+        let mut g = Graph::with_nodes(50);
+        g.enable_slot_reuse();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut graveyard: Vec<NodeId> = Vec::new();
+        for _ in 0..40 {
+            // A full join/leave cycle of 20 nodes each.
+            for _ in 0..20 {
+                let victim = g.random_alive(&mut rng).unwrap();
+                g.remove_node(victim);
+                graveyard.push(victim);
+            }
+            for _ in 0..20 {
+                let n = g.add_node();
+                // add_edge ignores dead endpoints, so wire best-effort.
+                if let Some(p) = g.random_alive(&mut rng) {
+                    g.add_edge(n, p);
+                }
+            }
+        }
+        assert_eq!(g.alive_count(), 50);
+        assert_eq!(g.num_slots(), 50, "memory bounded by peak population");
+        // Every id that ever departed is still dead — no aliasing ever.
+        for &ghost in &graveyard {
+            assert!(!g.is_alive(ghost), "{ghost:?} rose from the dead");
+        }
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn append_only_mode_is_unchanged() {
+        // The default graph never reuses: ids are dense indices, gen 0.
+        let mut g = Graph::with_nodes(3);
+        g.remove_node(NodeId(1));
+        let n = g.add_node();
+        assert_eq!(n, NodeId(3), "append-only arrival takes a fresh slot");
+        assert_eq!(n.generation(), 0);
+        assert_eq!(g.num_slots(), 4);
+        assert!(!g.slot_reuse());
+        g.check_invariants().unwrap();
     }
 
     #[test]

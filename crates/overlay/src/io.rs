@@ -36,9 +36,28 @@ pub fn write_edge_list<W: Write>(graph: &Graph, w: &mut W) -> io::Result<()> {
 /// *distinct id*, in first-appearance order, all alive.
 pub fn read_edge_list<R: BufRead>(r: R) -> io::Result<Graph> {
     let mut graph = Graph::with_capacity(0);
-    let mut map: std::collections::HashMap<u32, NodeId> = std::collections::HashMap::new();
-    let mut intern = |raw: u32, graph: &mut Graph| -> NodeId {
-        *map.entry(raw).or_insert_with(|| graph.add_node())
+    // File ids are dense (this is the format `write_edge_list` emits), so
+    // the remap is a direct vector indexed by raw id — no hashing on the
+    // load path. Raw ids are capped at the graph's own slot limit
+    // (`MAX_SLOTS`): a file using larger labels could not produce a
+    // loadable graph anyway, and the cap bounds the remap's memory against
+    // corrupt or hostile inputs (the table is O(max id), not O(distinct)).
+    let mut map: Vec<Option<NodeId>> = Vec::new();
+    let mut intern = |raw: u32, graph: &mut Graph| -> io::Result<NodeId> {
+        let i = raw as usize;
+        if i >= crate::node::MAX_SLOTS {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "node id {raw} exceeds the {} slot limit",
+                    crate::node::MAX_SLOTS
+                ),
+            ));
+        }
+        if i >= map.len() {
+            map.resize(i + 1, None);
+        }
+        Ok(*map[i].get_or_insert_with(|| graph.add_node()))
     };
     for (lineno, line) in r.lines().enumerate() {
         let line = line?;
@@ -54,7 +73,7 @@ pub fn read_edge_list<R: BufRead>(r: R) -> io::Result<Graph> {
         };
         if let Some(rest) = line.strip_prefix("n ") {
             let id: u32 = rest.trim().parse().map_err(|_| bad("bad node id"))?;
-            intern(id, &mut graph);
+            intern(id, &mut graph)?;
             continue;
         }
         let mut parts = line.split_whitespace();
@@ -71,7 +90,7 @@ pub fn read_edge_list<R: BufRead>(r: R) -> io::Result<Graph> {
         if parts.next().is_some() {
             return Err(bad("trailing tokens"));
         }
-        let (na, nb) = (intern(a, &mut graph), intern(b, &mut graph));
+        let (na, nb) = (intern(a, &mut graph)?, intern(b, &mut graph)?);
         if na == nb {
             return Err(bad("self-loop"));
         }
@@ -161,6 +180,17 @@ mod tests {
             let err = read_edge_list(io::BufReader::new(bad.as_bytes()));
             assert!(err.is_err(), "{bad:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn oversized_ids_error_instead_of_exhausting_memory() {
+        // A sparse/corrupt file with a huge raw label must be a clean
+        // InvalidData error, not a multi-GiB remap table (or a slot-table
+        // panic once the graph filled up).
+        let text = format!("0 {}\n", u32::MAX);
+        let err = read_edge_list(io::BufReader::new(text.as_bytes())).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("slot limit"), "{err}");
     }
 
     #[test]

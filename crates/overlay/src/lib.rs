@@ -45,4 +45,4 @@ pub use bitset::BitSet;
 pub use builder::GraphBuilder;
 pub use graph::Graph;
 pub use membership::PeerSamplingService;
-pub use node::NodeId;
+pub use node::{NodeId, MAX_SLOTS};

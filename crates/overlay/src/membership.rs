@@ -22,9 +22,18 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 /// A simulated gossip membership service over the overlay's node slots.
+///
+/// Generation-aware: on a slot-reusing overlay
+/// ([`Graph::enable_slot_reuse`]) a re-let slot's new tenant gets a fresh
+/// view seeded from its own overlay neighbors at its first shuffle round —
+/// it never inherits the departed tenant's entries. (An exchange *into* a
+/// not-yet-reset slot within the same round is simply lost when the reset
+/// happens — ordinary gossip lossiness.)
 #[derive(Clone, Debug)]
 pub struct PeerSamplingService {
     views: Vec<Vec<NodeId>>,
+    /// Generation whose tenant each slot's view belongs to.
+    view_gens: Vec<u8>,
     view_size: usize,
     shuffle_len: usize,
     rounds: u64,
@@ -46,7 +55,9 @@ impl PeerSamplingService {
         assert!(view_size >= 2, "view size must be at least 2");
         let shuffle_len = shuffle_len.clamp(1, view_size);
         let mut views = vec![Vec::new(); graph.num_slots()];
+        let mut view_gens = vec![0u8; graph.num_slots()];
         for node in graph.alive_nodes() {
+            view_gens[node.index()] = node.generation();
             let view = &mut views[node.index()];
             for &nb in graph.neighbors(node) {
                 if view.len() == view_size {
@@ -66,6 +77,7 @@ impl PeerSamplingService {
         }
         PeerSamplingService {
             views,
+            view_gens,
             view_size,
             shuffle_len,
             rounds: 0,
@@ -101,6 +113,7 @@ impl PeerSamplingService {
         }
         let first_new = self.views.len();
         self.views.resize(graph.num_slots(), Vec::new());
+        self.view_gens.resize(graph.num_slots(), 0);
         for slot in first_new..graph.num_slots() {
             let node = NodeId::from_index(slot);
             if !graph.is_alive(node) {
@@ -113,6 +126,24 @@ impl PeerSamplingService {
         }
     }
 
+    /// Detects that `node` re-let its slot since the view was built (its
+    /// generation moved on) and, if so, replaces the departed tenant's
+    /// leftover view with a fresh one seeded from `node`'s own overlay
+    /// neighbors — the same join state [`bootstrap`](Self::bootstrap) and
+    /// [`admit_new_nodes`](Self::admit_new_nodes) give first tenants.
+    fn reseed_if_relet(&mut self, node: NodeId, graph: &Graph) {
+        let slot = node.index();
+        if self.view_gens[slot] == node.generation() {
+            return;
+        }
+        self.view_gens[slot] = node.generation();
+        let view = &mut self.views[slot];
+        view.clear();
+        for &nb in graph.neighbors(node).iter().take(self.view_size) {
+            view.push(nb);
+        }
+    }
+
     /// One synchronous shuffle round: every alive node picks a random alive
     /// view member and the pair swaps `shuffle_len` random entries (each
     /// sender injecting its own address). Dead view entries encountered as
@@ -121,6 +152,7 @@ impl PeerSamplingService {
     pub fn shuffle_round(&mut self, graph: &Graph, rng: &mut SmallRng) {
         self.admit_new_nodes(graph);
         for node in graph.alive_nodes() {
+            self.reseed_if_relet(node, graph);
             // Pick an alive partner, dropping dead entries as we meet them.
             let partner = loop {
                 let view = &mut self.views[node.index()];
@@ -354,6 +386,35 @@ mod tests {
             referenced >= 40,
             "only {referenced}/50 newcomers referenced"
         );
+    }
+
+    #[test]
+    fn relet_slots_get_fresh_views_not_the_ghosts() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut g = HeterogeneousRandom::paper(200).build(&mut rng);
+        g.enable_slot_reuse();
+        let mut svc = PeerSamplingService::bootstrap(&g, 10, 5, &mut rng);
+        for _ in 0..5 {
+            svc.shuffle_round(&g, &mut rng);
+        }
+        // A node departs; its slot is re-let to a newcomer.
+        let ghost = g.random_alive(&mut rng).unwrap();
+        g.remove_node(ghost);
+        let ghost_view: Vec<NodeId> = svc.view(ghost).to_vec();
+        churn::join_nodes(&mut g, 1, 10, &mut rng);
+        let tenant = NodeId::from_parts(ghost.index(), ghost.generation().wrapping_add(1));
+        assert!(g.is_alive(tenant), "join must re-let the freed slot");
+
+        svc.shuffle_round(&g, &mut rng);
+        svc.check_invariants().unwrap();
+        // The tenant's view was reseeded from its own neighbors — it is
+        // not the departed tenant's leftover entry list.
+        let tenant_view = svc.view(tenant);
+        assert!(!tenant_view.is_empty(), "tenant must get a usable view");
+        assert_ne!(tenant_view, &ghost_view[..], "ghost view must not leak");
+        for &p in tenant_view {
+            assert_ne!(p, tenant, "no self-pointer");
+        }
     }
 
     #[test]

@@ -2,12 +2,32 @@
 
 use std::fmt;
 
+/// Bits of a `NodeId` that address the graph slot; the remaining high bits
+/// carry the slot's *generation*.
+const SLOT_BITS: u32 = 24;
+const SLOT_MASK: u32 = (1 << SLOT_BITS) - 1;
+
+/// The maximum number of node slots a [`Graph`](crate::Graph) can allocate
+/// (2²⁴ ≈ 16.7M). Overlays that churn past this many *cumulative* arrivals
+/// must enable slot reuse
+/// ([`Graph::enable_slot_reuse`](crate::Graph::enable_slot_reuse)), which
+/// bounds the slot count by the peak population instead.
+pub const MAX_SLOTS: usize = 1 << SLOT_BITS;
+
 /// Identifier of an overlay node.
 ///
-/// A `NodeId` is a dense index into the [`Graph`](crate::Graph) that created
-/// it. Identifiers are never reused: a node removed by churn keeps its slot
-/// (marked dead) so that message traces and samples collected before the
-/// departure remain meaningful.
+/// A `NodeId` is a dense *slab* reference into the [`Graph`](crate::Graph)
+/// that created it: the low 24 bits address the slot, the high 8 bits carry
+/// the slot's **generation**. In the default (append-only) mode every node
+/// gets a fresh slot and generation 0, so ids are plain dense indices — the
+/// historic representation, bit for bit. With slot reuse enabled, a node
+/// joining after a departure takes over a dead slot under an incremented
+/// generation: the raw id value differs from the departed occupant's, and
+/// [`Graph::is_alive`](crate::Graph::is_alive) validates the generation, so
+/// a message (or sample) addressed to the *old* id can never be mistaken
+/// for one addressed to the new tenant. With 8 generation bits, aliasing
+/// would require an id to survive 256 reuses of its slot — far beyond any
+/// message lifetime the simulator produces.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(transparent)]
 pub struct NodeId(pub u32);
@@ -16,23 +36,42 @@ impl NodeId {
     /// The slot index of this node inside its graph.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        (self.0 & SLOT_MASK) as usize
     }
 
-    /// Builds a `NodeId` from a slot index.
+    /// The generation under which this id was minted (0 for every id of an
+    /// append-only graph).
+    #[inline]
+    pub fn generation(self) -> u8 {
+        (self.0 >> SLOT_BITS) as u8
+    }
+
+    /// Builds a `NodeId` from a slot index (generation 0).
     ///
     /// # Panics
-    /// Panics if `index` does not fit in `u32`.
+    /// Panics (in debug builds) if `index` does not fit in the slot bits.
     #[inline]
     pub fn from_index(index: usize) -> Self {
-        debug_assert!(index <= u32::MAX as usize, "node index overflows u32");
+        debug_assert!(index < MAX_SLOTS, "node index overflows the slot bits");
         NodeId(index as u32)
+    }
+
+    /// Builds the id of `index` under `generation` (graph-internal; public
+    /// so tests and tools can reconstruct reused-slot ids).
+    #[inline]
+    pub fn from_parts(index: usize, generation: u8) -> Self {
+        debug_assert!(index < MAX_SLOTS, "node index overflows the slot bits");
+        NodeId(((generation as u32) << SLOT_BITS) | index as u32)
     }
 }
 
 impl fmt::Debug for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "n{}", self.0)
+        if self.generation() == 0 {
+            write!(f, "n{}", self.0)
+        } else {
+            write!(f, "n{}g{}", self.index(), self.generation())
+        }
     }
 }
 
@@ -62,8 +101,19 @@ mod tests {
 
     #[test]
     fn index_roundtrip() {
-        for i in [0usize, 1, 17, 1_000_000] {
+        for i in [0usize, 1, 17, 1_000_000, MAX_SLOTS - 1] {
             assert_eq!(NodeId::from_index(i).index(), i);
+            assert_eq!(NodeId::from_index(i).generation(), 0);
+        }
+    }
+
+    #[test]
+    fn generation_roundtrip() {
+        for (i, g) in [(0usize, 1u8), (17, 255), (MAX_SLOTS - 1, 7)] {
+            let id = NodeId::from_parts(i, g);
+            assert_eq!(id.index(), i);
+            assert_eq!(id.generation(), g);
+            assert_ne!(id, NodeId::from_index(i), "generations distinguish ids");
         }
     }
 
@@ -72,6 +122,8 @@ mod tests {
         let n = NodeId(42);
         assert_eq!(format!("{n}"), "42");
         assert_eq!(format!("{n:?}"), "n42");
+        let g = NodeId::from_parts(42, 3);
+        assert_eq!(format!("{g:?}"), "n42g3");
     }
 
     #[test]

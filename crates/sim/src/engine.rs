@@ -1,34 +1,79 @@
-//! The discrete-event engine.
+//! The discrete-event engine: a hierarchical timing wheel.
+//!
+//! The original engine was a `BinaryHeap<Scheduled<E>>` paying an O(log n)
+//! sift per push/pop plus a 16-byte tie-break key per entry. At the scales
+//! the ROADMAP targets (million-node overlays, tens of millions of
+//! in-flight events) that log factor and the heap's cache-hostile sift path
+//! dominate the hot loop, so the queue is now a hierarchical timing wheel —
+//! the classic calendar-queue result (R. Brown, "Calendar queues: a fast
+//! O(1) priority queue implementation", CACM 1988) in its
+//! power-of-two-levels form: O(1) schedule, amortized O(1) pop, and events
+//! that share a timestamp live in one contiguous FIFO bucket.
+//!
+//! # Determinism: FIFO among equal timestamps
+//!
+//! The old engine broke timestamp ties with a monotone sequence number.
+//! The wheel preserves exactly that order *structurally*:
+//!
+//! * a level-0 slot spans exactly one tick, so all its entries share a
+//!   timestamp and pop in insertion (= scheduling) order;
+//! * an event is filed at the lowest level whose window (relative to the
+//!   wheel cursor) contains its timestamp; higher-level buckets cascade
+//!   down **when the cursor enters their window**, i.e. strictly before
+//!   any later-scheduled event for the same window can be filed at a lower
+//!   level — so cascaded (earlier-scheduled) entries always land ahead of
+//!   direct (later-scheduled) ones;
+//! * cascading drains a bucket front-to-back into the lower levels, which
+//!   is order-preserving.
+//!
+//! The `#[cfg(test)]` `oracle::HeapEngine` is the historic binary-heap
+//! implementation kept verbatim as the dispatch-order oracle; randomized
+//! tests here and the property test in `tests/prop_invariants.rs` replay
+//! heavy-tie schedules against it.
 
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
-/// An event scheduled on the virtual timeline.
-struct Scheduled<E> {
-    time: SimTime,
-    /// Tie-breaker guaranteeing FIFO order among same-time events, which
-    /// keeps runs deterministic for a given seed.
-    seq: u64,
+/// Bits per wheel level: 64 slots each.
+const LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const LEVEL_SLOTS: usize = 1 << LEVEL_BITS;
+/// Levels: 11 × 6 = 66 bits, covering the full `u64` tick range.
+const LEVELS: usize = 11;
+
+/// Counters the engine keeps about its own hot path. Queue-side fields are
+/// filled by [`Engine::stats`]; the payload-pool fields are zero there and
+/// populated by [`Network::engine_stats`](crate::Network::engine_stats),
+/// which owns the pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EngineStats {
+    /// Events dispatched (popped) so far.
+    pub dispatched: u64,
+    /// Largest number of simultaneously pending events observed.
+    pub peak_depth: usize,
+    /// Payload-pool slot reuses (a send that allocated nothing).
+    pub pool_hits: u64,
+    /// Payload-pool slot allocations (pool growth).
+    pub pool_allocs: u64,
+}
+
+impl EngineStats {
+    /// Fraction of sends served from the free list: `hits / (hits +
+    /// allocs)`, or 1.0 for a run that never sent a pooled payload. At
+    /// steady state (pool warmed up) this approaches 1.0 — the "zero
+    /// per-send allocations" property the pool exists for.
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_allocs;
+        if total == 0 {
+            1.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry<E> {
+    time: u64,
     payload: E,
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
 }
 
 /// A minimal discrete-event simulator core.
@@ -51,9 +96,23 @@ impl<E> Ord for Scheduled<E> {
 /// assert_eq!(order, vec![(5, "a"), (10, "b")]);
 /// ```
 pub struct Engine<E> {
-    queue: BinaryHeap<Scheduled<E>>,
+    /// `LEVELS × LEVEL_SLOTS` buckets, flattened. Level 0 slots each span
+    /// one tick; level `l` slots span `64^l` ticks.
+    slots: Vec<std::collections::VecDeque<Entry<E>>>,
+    /// One occupancy bitmap per level — a set bit means the slot's bucket
+    /// is non-empty, so "earliest pending slot" is a `trailing_zeros`.
+    occupied: [u64; LEVELS],
+    len: usize,
+    /// The wheel cursor: window-aligned internal time. Invariant:
+    /// `cursor ≤ now ≤ every pending timestamp`, so slot indices never
+    /// wrap within a window and bitmap minima are true minima.
+    cursor: u64,
+    /// Reused scratch for cascading buckets down a level (no steady-state
+    /// allocation).
+    cascade_buf: Vec<Entry<E>>,
     now: SimTime,
-    seq: u64,
+    dispatched: u64,
+    peak_depth: usize,
 }
 
 impl<E> Default for Engine<E> {
@@ -66,9 +125,16 @@ impl<E> Engine<E> {
     /// Creates an engine at time zero with an empty queue.
     pub fn new() -> Self {
         Engine {
-            queue: BinaryHeap::new(),
+            slots: std::iter::repeat_with(std::collections::VecDeque::new)
+                .take(LEVELS * LEVEL_SLOTS)
+                .collect(),
+            occupied: [0; LEVELS],
+            len: 0,
+            cursor: 0,
+            cascade_buf: Vec::new(),
             now: SimTime::ZERO,
-            seq: 0,
+            dispatched: 0,
+            peak_depth: 0,
         }
     }
 
@@ -81,13 +147,46 @@ impl<E> Engine<E> {
     /// Number of pending events.
     #[inline]
     pub fn len(&self) -> usize {
-        self.queue.len()
+        self.len
     }
 
     /// Whether no events are pending.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.len == 0
+    }
+
+    /// Queue-side hot-path counters (events dispatched, peak depth). The
+    /// pool fields are zero — the engine does not own a payload pool.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            dispatched: self.dispatched,
+            peak_depth: self.peak_depth,
+            pool_hits: 0,
+            pool_allocs: 0,
+        }
+    }
+
+    /// The wheel level whose current window contains `time`: the highest
+    /// bit in which `time` differs from `cursor`, divided down to a level
+    /// index. Equal values (time == cursor) belong to level 0.
+    #[inline]
+    fn level_of(time: u64, cursor: u64) -> usize {
+        let diff = time ^ cursor;
+        if diff == 0 {
+            0
+        } else {
+            ((63 - diff.leading_zeros()) / LEVEL_BITS) as usize
+        }
+    }
+
+    /// Files an entry at its level/slot for the current cursor.
+    #[inline]
+    fn insert(&mut self, time: u64, payload: E) {
+        let level = Self::level_of(time, self.cursor);
+        let slot = ((time >> (LEVEL_BITS * level as u32)) & (LEVEL_SLOTS as u64 - 1)) as usize;
+        self.slots[level * LEVEL_SLOTS + slot].push_back(Entry { time, payload });
+        self.occupied[level] |= 1 << slot;
     }
 
     /// Schedules `payload` at absolute time `time`.
@@ -101,12 +200,9 @@ impl<E> Engine<E> {
             "cannot schedule into the past ({time} < {})",
             self.now
         );
-        self.queue.push(Scheduled {
-            time,
-            seq: self.seq,
-            payload,
-        });
-        self.seq += 1;
+        self.insert(time.0, payload);
+        self.len += 1;
+        self.peak_depth = self.peak_depth.max(self.len);
     }
 
     /// Schedules `payload` `delay` ticks from now.
@@ -115,25 +211,88 @@ impl<E> Engine<E> {
         self.schedule_at(self.now + delay, payload);
     }
 
+    /// Moves the earliest occupied high-level bucket down into the lower
+    /// levels, advancing the cursor to that bucket's window start. Called
+    /// only when level 0 is empty and events are pending.
+    fn cascade(&mut self) {
+        let level = (1..LEVELS)
+            .find(|&l| self.occupied[l] != 0)
+            .expect("cascade called with pending events beyond level 0");
+        let slot = self.occupied[level].trailing_zeros() as usize;
+        self.occupied[level] &= !(1u64 << slot);
+        let shift = LEVEL_BITS * level as u32;
+        // Everything below this level's digit is zeroed; the digit becomes
+        // `slot`. Guard the shift: level 10's window mask covers the word.
+        let low_mask = if shift + LEVEL_BITS >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << (shift + LEVEL_BITS)) - 1
+        };
+        let window_start = (self.cursor & !low_mask) | ((slot as u64) << shift);
+        debug_assert!(window_start >= self.cursor);
+        self.cursor = window_start;
+        let mut buf = std::mem::take(&mut self.cascade_buf);
+        buf.extend(self.slots[level * LEVEL_SLOTS + slot].drain(..));
+        // Front-to-back re-filing preserves scheduling order within every
+        // destination bucket — the FIFO tie-break guarantee.
+        for e in buf.drain(..) {
+            self.insert(e.time, e.payload);
+        }
+        self.cascade_buf = buf;
+    }
+
     /// Pops the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let ev = self.queue.pop()?;
-        debug_assert!(ev.time >= self.now);
-        self.now = ev.time;
-        Some((ev.time, ev.payload))
+        if self.len == 0 {
+            return None;
+        }
+        while self.occupied[0] == 0 {
+            self.cascade();
+        }
+        let slot = self.occupied[0].trailing_zeros() as usize;
+        let bucket = &mut self.slots[slot];
+        let e = bucket.pop_front().expect("occupied bit implies an entry");
+        if bucket.is_empty() {
+            self.occupied[0] &= !(1u64 << slot);
+        }
+        self.len -= 1;
+        self.dispatched += 1;
+        debug_assert!(e.time >= self.now.0);
+        self.now = SimTime(e.time);
+        Some((self.now, e.payload))
     }
 
     /// Peeks at the timestamp of the next event without dispatching it.
+    ///
+    /// Never advances the cursor (so a caller may still schedule events
+    /// earlier than the peeked time, as long as they are not in the past):
+    /// when level 0 is empty the earliest high-level bucket is scanned for
+    /// its minimum instead of cascaded.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.queue.peek().map(|e| e.time)
+        if self.len == 0 {
+            return None;
+        }
+        if self.occupied[0] != 0 {
+            let slot = self.occupied[0].trailing_zeros() as u64;
+            // A level-0 slot holds exactly one tick of the cursor's window.
+            return Some(SimTime((self.cursor & !(LEVEL_SLOTS as u64 - 1)) | slot));
+        }
+        let level = (1..LEVELS)
+            .find(|&l| self.occupied[l] != 0)
+            .expect("len > 0 implies an occupied level");
+        let slot = self.occupied[level].trailing_zeros() as usize;
+        self.slots[level * LEVEL_SLOTS + slot]
+            .iter()
+            .map(|e| e.time)
+            .min()
+            .map(SimTime)
     }
 
     /// Drains every pending event through `handler`. The handler may schedule
     /// further events.
     pub fn run<F: FnMut(&mut Self, SimTime, E)>(&mut self, mut handler: F) {
-        while let Some(ev) = self.queue.pop() {
-            self.now = ev.time;
-            handler(self, ev.time, ev.payload);
+        while let Some((t, payload)) = self.pop() {
+            handler(self, t, payload);
         }
     }
 
@@ -144,9 +303,8 @@ impl<E> Engine<E> {
             if t > horizon {
                 break;
             }
-            let ev = self.queue.pop().expect("peeked event exists");
-            self.now = ev.time;
-            handler(self, ev.time, ev.payload);
+            let (t, payload) = self.pop().expect("peeked event exists");
+            handler(self, t, payload);
         }
         self.now = self.now.max(horizon);
     }
@@ -170,7 +328,90 @@ impl<E> Engine<E> {
 
     /// Discards all pending events (the clock is unchanged).
     pub fn clear(&mut self) {
-        self.queue.clear();
+        for (level, &bits) in self.occupied.iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                let slot = bits.trailing_zeros() as usize;
+                self.slots[level * LEVEL_SLOTS + slot].clear();
+                bits &= bits - 1;
+            }
+        }
+        self.occupied = [0; LEVELS];
+        self.len = 0;
+    }
+}
+
+/// The historic binary-heap engine, kept verbatim as the dispatch-order
+/// oracle for the timing wheel. Test-only: production code must go through
+/// [`Engine`].
+#[cfg(test)]
+pub mod oracle {
+    use crate::time::SimTime;
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    struct Scheduled<E> {
+        time: SimTime,
+        /// Tie-breaker guaranteeing FIFO order among same-time events.
+        seq: u64,
+        payload: E,
+    }
+
+    impl<E> PartialEq for Scheduled<E> {
+        fn eq(&self, other: &Self) -> bool {
+            self.time == other.time && self.seq == other.seq
+        }
+    }
+    impl<E> Eq for Scheduled<E> {}
+    impl<E> PartialOrd for Scheduled<E> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<E> Ord for Scheduled<E> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+            (other.time, other.seq).cmp(&(self.time, self.seq))
+        }
+    }
+
+    /// The pre-wheel engine: `BinaryHeap` + monotone sequence tie-break.
+    pub struct HeapEngine<E> {
+        queue: BinaryHeap<Scheduled<E>>,
+        now: SimTime,
+        seq: u64,
+    }
+
+    impl<E> Default for HeapEngine<E> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<E> HeapEngine<E> {
+        pub fn new() -> Self {
+            HeapEngine {
+                queue: BinaryHeap::new(),
+                now: SimTime::ZERO,
+                seq: 0,
+            }
+        }
+
+        pub fn schedule_at(&mut self, time: SimTime, payload: E) {
+            assert!(time >= self.now, "cannot schedule into the past");
+            self.queue.push(Scheduled {
+                time,
+                seq: self.seq,
+                payload,
+            });
+            self.seq += 1;
+        }
+
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            let ev = self.queue.pop()?;
+            self.now = ev.time;
+            Some((ev.time, ev.payload))
+        }
     }
 }
 
@@ -236,6 +477,122 @@ mod tests {
         while let Some((t, _)) = e.pop() {
             assert!(t >= last);
             last = t;
+        }
+    }
+
+    #[test]
+    fn far_future_events_cascade_correctly() {
+        // Delays spanning several wheel levels, including the top one.
+        let mut e: Engine<usize> = Engine::new();
+        let times = [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            4_095,
+            4_096,
+            1 << 20,
+            (1 << 40) + 17,
+            u64::MAX / 2,
+            u64::MAX - 1,
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            e.schedule_at(SimTime(t), i);
+        }
+        let mut sorted: Vec<(u64, usize)> = times.iter().copied().zip(0..times.len()).collect();
+        sorted.sort();
+        let got: Vec<(u64, usize)> =
+            std::iter::from_fn(|| e.pop().map(|(t, p)| (t.ticks(), p))).collect();
+        assert_eq!(got, sorted);
+    }
+
+    #[test]
+    fn peek_does_not_disturb_dispatch_or_insertion() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(SimTime(5_000), 1);
+        assert_eq!(e.peek_time(), Some(SimTime(5_000)));
+        // Peeking must not advance the cursor: an earlier event scheduled
+        // after the peek still dispatches first.
+        e.schedule_at(SimTime(10), 0);
+        assert_eq!(e.peek_time(), Some(SimTime(10)));
+        assert_eq!(e.pop(), Some((SimTime(10), 0)));
+        assert_eq!(e.pop(), Some((SimTime(5_000), 1)));
+        assert_eq!(e.peek_time(), None);
+    }
+
+    #[test]
+    fn stats_track_dispatch_and_peak_depth() {
+        let mut e: Engine<u8> = Engine::new();
+        for i in 0..5 {
+            e.schedule_in(i, 0);
+        }
+        assert_eq!(e.stats().peak_depth, 5);
+        e.pop();
+        e.pop();
+        e.schedule_in(1, 1);
+        let s = e.stats();
+        assert_eq!(s.dispatched, 2);
+        assert_eq!(s.peak_depth, 5, "peak is a high-water mark");
+        assert_eq!(s.pool_hits, 0);
+        assert!((s.pool_hit_rate() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn clear_empties_the_wheel() {
+        let mut e: Engine<u8> = Engine::new();
+        for t in [1u64, 100, 10_000, 1 << 30] {
+            e.schedule_at(SimTime(t), 0);
+        }
+        e.clear();
+        assert!(e.is_empty());
+        assert_eq!(e.pop(), None);
+        e.schedule_in(3, 7);
+        assert_eq!(e.pop(), Some((SimTime(3), 7)));
+    }
+
+    /// Replays a random schedule with heavy timestamp ties against the
+    /// historic binary-heap oracle, interleaving pops with schedules the
+    /// way handlers do.
+    #[test]
+    fn matches_the_heap_oracle_on_tie_heavy_schedules() {
+        use oracle::HeapEngine;
+        // Hand-rolled xorshift so this test has no rand dependency.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _round in 0..20 {
+            let mut wheel: Engine<u64> = Engine::new();
+            let mut heap: HeapEngine<u64> = HeapEngine::new();
+            let mut id = 0u64;
+            for _ in 0..400 {
+                // 70% schedule, 30% pop; delays biased to tiny values so
+                // many events share a timestamp.
+                if rng() % 10 < 7 || wheel.is_empty() {
+                    let delay = match rng() % 8 {
+                        0..=4 => rng() % 3,     // heavy ties
+                        5 | 6 => rng() % 1_000, // near future
+                        _ => rng() % (1 << 40), // far cascades
+                    };
+                    let t = wheel.now() + delay;
+                    wheel.schedule_at(t, id);
+                    heap.schedule_at(t, id);
+                    id += 1;
+                } else {
+                    assert_eq!(wheel.pop(), heap.pop());
+                }
+            }
+            loop {
+                let (a, b) = (wheel.pop(), heap.pop());
+                assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
         }
     }
 }

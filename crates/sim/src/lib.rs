@@ -12,7 +12,11 @@
 //! per-hop latency, loss and per-link heterogeneity, so asynchrony becomes
 //! representable.
 //!
-//! * [`engine::Engine`] — a generic discrete-event queue over virtual time;
+//! * [`engine::Engine`] — a generic discrete-event queue over virtual time:
+//!   a hierarchical timing wheel (calendar queue) with O(1) schedule,
+//!   amortized O(1) pop, and structural FIFO tie-breaking;
+//! * [`pool`] — the free-list [`pool::PayloadPool`] that parks in-flight
+//!   message payloads so steady-state sends allocate nothing;
 //! * [`network`] — the [`Network`] facade over the engine: it owns in-flight
 //!   messages, applies a pluggable [`NetworkModel`] (latency distribution +
 //!   drop probability + per-link heterogeneity built on [`HopLatency`]) and
@@ -38,9 +42,15 @@
 //!    streams never interleave with network draws, which is what lets the
 //!    zero-latency/zero-loss configuration reproduce the historic
 //!    round-driven traces bit for bit.
-//! 2. **FIFO tie-breaking.** The engine stamps every scheduled event with a
-//!    monotone sequence number; events with equal timestamps dispatch in
-//!    scheduling order. Zero-latency cascades, simultaneous churn and step
+//! 2. **FIFO tie-breaking.** Events with equal timestamps dispatch in
+//!    scheduling order. The guarantee now lives in the timing wheel's
+//!    *structure* rather than in a per-event sequence number: a level-0
+//!    wheel slot spans exactly one tick and is a FIFO bucket, and buckets
+//!    cascading down from higher levels drain front-to-back **before** any
+//!    later-scheduled event for the same window can be filed below them —
+//!    so insertion order is dispatch order, bit for bit, exactly as the
+//!    old heap's monotone sequence numbers ordered it (the heap survives as
+//!    the test oracle). Zero-latency cascades, simultaneous churn and step
 //!    boundaries therefore replay identically on every run.
 //! 3. **Churn-vs-in-flight semantics.** The network does not track liveness
 //!    (overlays live one crate up); a driver popping a delivery for a node
@@ -56,13 +66,15 @@ pub mod latency;
 pub mod message;
 pub mod network;
 pub mod parallel;
+pub mod pool;
 pub mod rng;
 pub mod rounds;
 pub mod time;
 
-pub use engine::Engine;
+pub use engine::{Engine, EngineStats};
 pub use latency::HopLatency;
 pub use message::{MessageCounter, MessageKind};
 pub use network::{NetEvent, NetStats, Network, NetworkModel};
+pub use pool::PayloadPool;
 pub use rounds::{RoundClock, RoundSchedule};
 pub use time::SimTime;

@@ -67,7 +67,15 @@ where
         drop(res_tx);
         drop(task_rx);
 
-        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        // Results land keyed by input index, so output order is input order
+        // no matter which worker finished first — this (plus callers
+        // deriving all per-task randomness from the index alone) is the
+        // worker-count determinism invariant: any `threads` value yields
+        // bit-identical results. Preallocate the full slot table up front;
+        // results arrive in arbitrary order, so there is no growth pattern
+        // an incremental push could exploit.
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
         for (i, r) in res_rx {
             slots[i] = Some(r);
         }

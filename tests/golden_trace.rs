@@ -81,6 +81,7 @@ fn reference_polling_scenario<E: SizeEstimator>(
         messages: msgs,
         completed,
         net: NetStats::default(),
+        engine: p2p_size_estimation::sim::EngineStats::default(),
     }
 }
 
@@ -124,6 +125,7 @@ fn reference_aggregation_scenario(
         messages: msgs,
         completed,
         net: NetStats::default(),
+        engine: p2p_size_estimation::sim::EngineStats::default(),
     }
 }
 
@@ -217,6 +219,7 @@ fn aggregation_golden_traces_match_reference() {
         topology: p2p_size_estimation::experiments::Topology::Heterogeneous,
         network: NetworkModel::ideal(),
         workload: None,
+        reuse_slots: false,
     };
     // The same physical timeline in the unified convention: the historic
     // loop applied an op scheduled at `r` before 0-based round `r`; the

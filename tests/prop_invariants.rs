@@ -367,6 +367,101 @@ proptest! {
     }
 }
 
+// ── Event core: the timing wheel vs the heap oracle ─────────────────────
+//
+// The calendar-queue engine must reproduce the historic binary-heap
+// dispatch order bit for bit: (time asc, schedule order) — the FIFO
+// tie-break the determinism contract pins. The model here is a plain
+// `BinaryHeap` over `Reverse<(time, seq)>`, i.e. the pre-wheel engine.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn calendar_queue_matches_heap_dispatch_order(
+        ops in prop::collection::vec(
+            // (do_pop, delay_class, raw_delay): delay class 0 pins delays
+            // to {0,1,2} so timestamp ties dominate; class 1 is near
+            // future; class 2 crosses several wheel levels.
+            (any::<bool>(), 0u8..3, any::<u64>()),
+            1..300,
+        ),
+    ) {
+        use p2p_size_estimation::sim::engine::Engine;
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut wheel: Engine<u64> = Engine::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for (do_pop, class, raw) in ops {
+            if do_pop && !wheel.is_empty() {
+                let got = wheel.pop().map(|(t, p)| (t.ticks(), p));
+                let want = heap.pop().map(|Reverse(pair)| pair);
+                prop_assert_eq!(got, want, "pop order diverged from the heap oracle");
+            } else {
+                let delay = match class {
+                    0 => raw % 3,
+                    1 => raw % 1_000,
+                    _ => raw % (1 << 45),
+                };
+                let t = wheel.now().ticks() + delay;
+                wheel.schedule_in(delay, seq);
+                heap.push(Reverse((t, seq)));
+                seq += 1;
+            }
+        }
+        // Drain both completely: the tail must agree too.
+        loop {
+            let got = wheel.pop().map(|(t, p)| (t.ticks(), p));
+            let want = heap.pop().map(|Reverse(pair)| pair);
+            prop_assert_eq!(got, want, "drain order diverged from the heap oracle");
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    // ── Slab id reuse under churn ───────────────────────────────────────
+    //
+    // With slot reuse enabled, join/leave/rejoin storms must never let a
+    // departed id alias its slot's next tenant: every ghost id stays dead
+    // (the generation check), every alive id is generation-consistent, and
+    // the graph invariants hold throughout.
+    #[test]
+    fn slot_reuse_never_aliases_stale_ids(
+        seed in any::<u64>(),
+        storms in prop::collection::vec((1u8..25, 1u8..25), 1..30),
+    ) {
+        let mut rng = small_rng(seed);
+        let mut g = HeterogeneousRandom::new(40, 6).build(&mut rng);
+        g.enable_slot_reuse();
+        let mut ghosts: Vec<NodeId> = Vec::new();
+        for (leaves, joins) in storms {
+            ghosts.extend(churn::remove_random_nodes(&mut g, leaves as usize, &mut rng));
+            churn::join_nodes(&mut g, joins as usize, 6, &mut rng);
+            g.check_invariants().map_err(TestCaseError::fail)?;
+            // No departed id may read as alive, ever — even though its
+            // slot may well be occupied again.
+            for &ghost in &ghosts {
+                prop_assert!(!g.is_alive(ghost), "{ghost:?} aliased a re-let slot");
+            }
+            // Alive ids are exactly the current tenants: re-minting the id
+            // from (slot, current generation) round-trips.
+            for id in g.alive_nodes() {
+                prop_assert!(g.is_alive(id));
+            }
+        }
+        // Memory boundedness: a join claims a fresh slot only while no
+        // freed slot exists, so the slot table is bounded by the peak
+        // population (initial 40 + at most 24 net joins per storm).
+        prop_assert!(
+            g.num_slots() <= 40 + 30 * 24,
+            "slot table grew past the population bound"
+        );
+    }
+}
+
 #[test]
 fn empty_graph_edge_cases_do_not_panic() {
     // Deterministic companion to the generated cases.
