@@ -76,7 +76,8 @@ pub use heuristics::{Heuristic, Smoother};
 pub use hops_sampling::HopsSampling;
 pub use monitor::SizeMonitor;
 pub use net_protocol::{
-    AsyncAggregation, AsyncHopsSampling, AsyncSampleCollide, Networked, NodeProtocol, SyncStep,
+    AsyncAggregation, AsyncHopsSampling, AsyncSampleCollide, Deployment, Networked, NodeProtocol,
+    ShardView, SyncStep,
 };
 pub use protocol::{estimate_once, EstimationProtocol, StepOutcome};
 pub use sample_collide::SampleCollide;

@@ -25,7 +25,7 @@
 //! network itself. Epoch restarts (§IV-D(k)) bound how long any corruption
 //! survives, exactly as they bound churn staleness.
 
-use super::{Cx, NodeProtocol};
+use super::{Cx, Deployment, NodeProtocol};
 use crate::aggregation::AggregationConfig;
 use crate::arena::NodeArena;
 use crate::protocol::StepOutcome;
@@ -78,6 +78,8 @@ struct AggState {
 pub struct AsyncAggregation {
     /// Protocol parameters (rounds per epoch).
     pub config: AggregationConfig,
+    /// Where this instance runs (DES or one cluster shard).
+    pub deployment: Deployment,
     nodes: NodeArena<AggState>,
     epoch: u32,
     rounds_done: u32,
@@ -90,6 +92,7 @@ impl AsyncAggregation {
     pub fn new(config: AggregationConfig) -> Self {
         AsyncAggregation {
             config,
+            deployment: Deployment::Simulated,
             nodes: NodeArena::new(),
             epoch: 0,
             rounds_done: 0,
@@ -116,9 +119,13 @@ impl AsyncAggregation {
             .and_then(|init| self.estimate_at(init))
             .or_else(|| {
                 // Initiator gone (or value exhausted): read the first
-                // participating node among a few uniform probes.
+                // participating node among a few uniform probes. A shard
+                // can only read slots it hosts (in the DES that is all).
                 for _ in 0..64 {
                     let n = cx.graph.random_alive(cx.rng)?;
+                    if !self.deployment.hosts(n) {
+                        continue;
+                    }
                     if let Some(e) = self.estimate_at(n) {
                         return Some(e);
                     }
@@ -162,26 +169,33 @@ impl NodeProtocol for AsyncAggregation {
     fn on_step(&mut self, _step: u64, cx: &mut Cx<'_, AggMsg>) {
         self.nodes.ensure(cx.graph.num_slots());
         let epoch_len = self.config.rounds_per_estimate;
-        if self.epoch == 0 || self.rounds_done >= epoch_len {
-            self.finalize(cx); // in case the epoch's read timer has not fired yet
-            let Some(init) = cx.graph.random_alive(cx.rng) else {
-                cx.report(StepOutcome::Failed);
-                return;
-            };
-            self.epoch += 1;
-            self.rounds_done = 0;
-            self.reported = false;
-            self.initiator = Some(init);
-            let epoch = self.epoch;
-            let s = self.nodes.slot(init);
-            s.value = 1.0;
-            s.epoch = epoch;
-            s.joined_at = 0;
+        if self.deployment.leads() {
+            if self.epoch == 0 || self.rounds_done >= epoch_len {
+                self.finalize(cx); // in case the epoch's read timer has not fired yet
+                let Some(init) = self.deployment.pick_initiator(cx.graph, cx.rng) else {
+                    cx.report(StepOutcome::Failed);
+                    return;
+                };
+                self.epoch += 1;
+                self.rounds_done = 0;
+                self.reported = false;
+                self.initiator = Some(init);
+                let epoch = self.epoch;
+                let s = self.nodes.slot(init);
+                s.value = 1.0;
+                s.epoch = epoch;
+                s.joined_at = 0;
+            }
+        } else if self.epoch == 0 {
+            return; // relay shard no epoch has reached yet: nothing to do
         }
         // One gossip round: every node that joined in an earlier round
         // initiates one push-pull exchange with a uniform random neighbor.
         let round = self.rounds_done + 1;
         for v in cx.graph.alive_nodes() {
+            if !self.deployment.hosts(v) {
+                continue; // a shard paces only the slots it hosts
+            }
             // The arena's generation check makes a re-let slot read as
             // "never participated" until a Push reaches its new tenant.
             let Some(&s) = self.nodes.get(v) else {
@@ -217,7 +231,13 @@ impl NodeProtocol for AsyncAggregation {
         match msg {
             AggMsg::Push { epoch, value } => {
                 if epoch != self.epoch {
-                    return; // exchange of a restarted process
+                    // The DES instance knows the one true epoch; a cluster
+                    // shard learns of a restart from the first push carrying
+                    // a newer tag (§IV-D(k)) and adopts it.
+                    if self.deployment.is_simulated() || epoch < self.epoch {
+                        return; // exchange of a restarted process
+                    }
+                    self.epoch = epoch;
                 }
                 let rounds_done = self.rounds_done;
                 let s = self.nodes.slot(dst);

@@ -15,7 +15,7 @@
 //!   estimate. Latency and loss therefore *deepen* HopsSampling's
 //!   characteristic underestimation instead of failing it.
 
-use super::{Cx, NodeProtocol};
+use super::{Cx, Deployment, NodeProtocol};
 use crate::arena::NodeArena;
 use crate::hops_sampling::{pick_target, HopsSamplingConfig};
 use crate::protocol::StepOutcome;
@@ -30,6 +30,9 @@ pub enum HsMsg {
     Forward {
         /// Estimation id, so copies of a finished spread are ignored.
         run: u64,
+        /// The spread's initiator, to which poll replies return — carried
+        /// in the copy because a deployed relay holds no run state.
+        home: NodeId,
         /// Hop count of this copy.
         hops: u32,
     },
@@ -68,6 +71,8 @@ pub struct AsyncHopsSampling {
     /// event-driven variant implements the paper's `gossipFor = 1` turn
     /// structure: one forwarding turn, on first contact.
     pub config: HopsSamplingConfig,
+    /// Where this instance runs (DES or one cluster shard).
+    pub deployment: Deployment,
     run_id: u64,
     active: bool,
     initiator: NodeId,
@@ -86,6 +91,7 @@ impl AsyncHopsSampling {
         );
         AsyncHopsSampling {
             config,
+            deployment: Deployment::Simulated,
             run_id: 0,
             active: false,
             initiator: NodeId(0),
@@ -113,9 +119,9 @@ impl AsyncHopsSampling {
         }
     }
 
-    /// One forwarding turn: `gossipTo` copies at `hops`, drawn per the
-    /// configured target mode.
-    fn forward(&mut self, from: NodeId, hops: u32, cx: &mut Cx<'_, HsMsg>) {
+    /// One forwarding turn: `gossipTo` copies of run `run` at `hops`, drawn
+    /// per the configured target mode.
+    fn forward(&mut self, from: NodeId, run: u64, home: NodeId, hops: u32, cx: &mut Cx<'_, HsMsg>) {
         for _ in 0..self.config.gossip_to {
             let Some(target) = pick_target(cx.graph, from, self.config.target_mode, cx.rng) else {
                 break;
@@ -124,10 +130,7 @@ impl AsyncHopsSampling {
                 from,
                 target,
                 MessageKind::GossipForward,
-                HsMsg::Forward {
-                    run: self.run_id,
-                    hops,
-                },
+                HsMsg::Forward { run, home, hops },
             );
         }
     }
@@ -146,8 +149,11 @@ impl NodeProtocol for AsyncHopsSampling {
     }
 
     fn on_step(&mut self, _step: u64, cx: &mut Cx<'_, HsMsg>) {
+        if !self.deployment.leads() {
+            return; // relay shards only react to traffic
+        }
         self.finalize(cx);
-        let Some(initiator) = cx.graph.random_alive(cx.rng) else {
+        let Some(initiator) = self.deployment.pick_initiator(cx.graph, cx.rng) else {
             cx.report(StepOutcome::Failed);
             return;
         };
@@ -166,14 +172,22 @@ impl NodeProtocol for AsyncHopsSampling {
         // timeline's final estimation, this timer) publishes the sum.
         let window = cx.step_ticks();
         cx.timer_in(window, initiator, self.run_id);
-        self.forward(initiator, 1, cx);
+        self.forward(initiator, self.run_id, initiator, 1, cx);
     }
 
     fn on_message(&mut self, _src: NodeId, dst: NodeId, msg: HsMsg, cx: &mut Cx<'_, HsMsg>) {
         match msg {
-            HsMsg::Forward { run, hops } => {
-                if !self.active || run != self.run_id {
-                    return; // copy of an already-published spread
+            HsMsg::Forward { run, home, hops } => {
+                // The DES instance owns every spread and mutes copies of
+                // published runs. A cluster shard relays any run it has not
+                // yet seen a *newer* copy for (run ids are minted by the
+                // estimator, so they are comparable across shards).
+                if self.deployment.is_simulated() {
+                    if !self.active || run != self.run_id {
+                        return; // copy of an already-published spread
+                    }
+                } else if self.reached.get(dst).is_some_and(|s| s.run > run) {
+                    return; // stale copy racing a newer spread
                 }
                 let s = self.reached.slot(dst);
                 if s.run == run {
@@ -196,12 +210,12 @@ impl NodeProtocol for AsyncHopsSampling {
                 if let Some(weight) = weight {
                     cx.send(
                         dst,
-                        self.initiator,
+                        home,
                         MessageKind::PollReply,
                         HsMsg::Reply { run, weight },
                     );
                 }
-                self.forward(dst, hops + 1, cx);
+                self.forward(dst, run, home, hops + 1, cx);
             }
             HsMsg::Reply { run, weight } => {
                 if self.active && run == self.run_id {

@@ -47,6 +47,82 @@ use p2p_sim::{MessageCounter, MessageKind, NetEvent, Network, NetworkModel, SimT
 use rand::rngs::SmallRng;
 use std::collections::VecDeque;
 
+/// Where a protocol instance runs: the DES (one instance simulates every
+/// node) or one shard of a deployed cluster (the instance drives only the
+/// node slots its process hosts; everything else is reachable only through
+/// the network).
+///
+/// The default, [`Deployment::Simulated`], reproduces the historic DES
+/// behavior bit for bit — golden traces never see the other variant. The
+/// shard variant is what `p2p-node`'s runtime sets: per-step work iterates
+/// local slots only, estimations start from the shard's designated
+/// estimator node instead of a uniform draw (a deployed monitor initiates
+/// from itself — it cannot reach into a remote process's state), and
+/// reactive handlers accept traffic for runs they did not start.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Deployment {
+    /// The simulator: this instance hosts every node (bit-exact path).
+    #[default]
+    Simulated,
+    /// One shard of a real cluster.
+    Shard(ShardView),
+}
+
+/// A cluster shard's view of the overlay: which slots it hosts and whether
+/// it leads estimations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardView {
+    /// This shard's index in `0..procs`.
+    pub proc: u32,
+    /// Total shards; slot `s` is hosted by shard `s % procs`.
+    pub procs: u32,
+    /// The local node this shard starts estimations from (the deployed
+    /// monitoring node), or `None` for a purely reactive relay shard.
+    pub estimator: Option<NodeId>,
+}
+
+impl ShardView {
+    /// Whether this shard hosts `node`'s slot.
+    pub fn hosts(&self, node: NodeId) -> bool {
+        debug_assert!(self.procs > 0, "a shard view needs at least one shard");
+        node.index() as u32 % self.procs == self.proc
+    }
+}
+
+impl Deployment {
+    /// Whether this is the simulator's all-hosting instance.
+    pub fn is_simulated(&self) -> bool {
+        matches!(self, Deployment::Simulated)
+    }
+
+    /// Whether this instance hosts `node` (always true in the DES).
+    pub fn hosts(&self, node: NodeId) -> bool {
+        match self {
+            Deployment::Simulated => true,
+            Deployment::Shard(s) => s.hosts(node),
+        }
+    }
+
+    /// Whether this instance starts estimations (the DES instance always
+    /// does; a shard only if it carries the estimator role).
+    pub fn leads(&self) -> bool {
+        match self {
+            Deployment::Simulated => true,
+            Deployment::Shard(s) => s.estimator.is_some(),
+        }
+    }
+
+    /// Picks the initiator of a new estimation: a uniform alive draw in the
+    /// DES (identical to the historic behavior), the designated estimator
+    /// node on a leading shard — `None` if that node has departed.
+    pub fn pick_initiator(&self, graph: &Graph, rng: &mut SmallRng) -> Option<NodeId> {
+        match self {
+            Deployment::Simulated => graph.random_alive(rng),
+            Deployment::Shard(s) => s.estimator.filter(|&n| graph.is_alive(n)),
+        }
+    }
+}
+
 /// Everything a [`NodeProtocol`] handler may touch: the current overlay
 /// snapshot (immutable — churn is the driver's business), the network it
 /// sends through, the protocol RNG stream and the report sink.

@@ -16,7 +16,7 @@
 //! * churn can kill the node a walk currently sits on, with the same
 //!   effect.
 
-use super::{Cx, NodeProtocol};
+use super::{Cx, Deployment, NodeProtocol};
 use crate::protocol::StepOutcome;
 use crate::sample_collide::{CollisionCounter, SampleCollideConfig};
 use p2p_overlay::NodeId;
@@ -30,6 +30,9 @@ pub enum ScMsg {
     Walk {
         /// Estimation id, so stale tokens from a timed-out run are ignored.
         run: u64,
+        /// The initiator the terminal sample must be returned to — carried
+        /// in the token because a deployed relay holds no run state.
+        home: NodeId,
         /// Remaining walk budget.
         t: f64,
     },
@@ -61,6 +64,8 @@ pub struct AsyncSampleCollide {
     pub config: SampleCollideConfig,
     /// Step windows before an unfinished estimation is declared failed.
     pub timeout_steps: u64,
+    /// Where this instance runs (DES or one cluster shard).
+    pub deployment: Deployment,
     run_id: u64,
     active: Option<ScRun>,
 }
@@ -71,6 +76,7 @@ impl AsyncSampleCollide {
         AsyncSampleCollide {
             config,
             timeout_steps: 8,
+            deployment: Deployment::Simulated,
             run_id: 0,
             active: None,
         }
@@ -109,6 +115,7 @@ impl AsyncSampleCollide {
                 MessageKind::WalkStep,
                 ScMsg::Walk {
                     run: self.run_id,
+                    home: initiator,
                     t: self.config.timer,
                 },
             ),
@@ -129,13 +136,16 @@ impl NodeProtocol for AsyncSampleCollide {
     }
 
     fn on_step(&mut self, step: u64, cx: &mut Cx<'_, ScMsg>) {
+        if !self.deployment.leads() {
+            return; // relay shards only react to traffic
+        }
         if let Some(run) = &self.active {
             if step.saturating_sub(run.started_step) < self.timeout_steps {
                 return; // estimation still in flight; nothing to report yet
             }
             self.fail(cx); // stranded or outpaced by latency: give up
         }
-        let Some(initiator) = cx.graph.random_alive(cx.rng) else {
+        let Some(initiator) = self.deployment.pick_initiator(cx.graph, cx.rng) else {
             cx.report(StepOutcome::Failed);
             return;
         };
@@ -150,15 +160,23 @@ impl NodeProtocol for AsyncSampleCollide {
 
     fn on_message(&mut self, _src: NodeId, dst: NodeId, msg: ScMsg, cx: &mut Cx<'_, ScMsg>) {
         match msg {
-            ScMsg::Walk { run, mut t } => {
-                if self.active.is_none() || run != self.run_id {
+            ScMsg::Walk { run, home, mut t } => {
+                // The DES instance owns every run and discards tokens of
+                // timed-out estimations. A cluster shard cannot know about
+                // remote runs: it forwards any token (the initiator's
+                // run-id guard discards stale replies).
+                if self.deployment.is_simulated() && (self.active.is_none() || run != self.run_id) {
                     return; // token of a timed-out estimation
                 }
                 let degree = cx.graph.degree(dst);
                 if degree == 0 {
                     // Every link of the current node died while the hop was
                     // in flight: the token cannot move — churn ate the walk.
-                    self.fail(cx);
+                    // The owning instance fails the run; a relay drops the
+                    // stranded token and the initiator's timeout observes it.
+                    if self.active.is_some() && run == self.run_id {
+                        self.fail(cx);
+                    }
                     return;
                 }
                 // U ∈ (0, 1]: −ln(U)/d is an Exp(d) holding time (§III-A).
@@ -169,12 +187,16 @@ impl NodeProtocol for AsyncSampleCollide {
                         .graph
                         .random_neighbor(dst, cx.rng)
                         .expect("node with degree >= 1 has a neighbor");
-                    cx.send(dst, next, MessageKind::WalkStep, ScMsg::Walk { run, t });
-                } else {
-                    let initiator = self.active.as_ref().expect("run checked above").initiator;
                     cx.send(
                         dst,
-                        initiator,
+                        next,
+                        MessageKind::WalkStep,
+                        ScMsg::Walk { run, home, t },
+                    );
+                } else {
+                    cx.send(
+                        dst,
+                        home,
                         MessageKind::SampleReply,
                         ScMsg::Reply { run, sample: dst },
                     );

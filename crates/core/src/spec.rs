@@ -408,6 +408,16 @@ impl AsyncProtocol {
             AsyncProtocol::Aggregation(p) => p.name(),
         }
     }
+
+    /// Marks where this instance runs (DES or one cluster shard). The node
+    /// runtime calls this once before driving the protocol over sockets.
+    pub fn set_deployment(&mut self, deployment: crate::net_protocol::Deployment) {
+        match self {
+            AsyncProtocol::SampleCollide(p) => p.deployment = deployment,
+            AsyncProtocol::HopsSampling(p) => p.deployment = deployment,
+            AsyncProtocol::Aggregation(p) => p.deployment = deployment,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -19,8 +19,8 @@ use p2p_experiments::engine::{run_experiment, EngineOptions};
 use p2p_experiments::figures::{spec_for, ALL_FIGURES};
 use p2p_experiments::sink::{CsvSink, FigureSink, JsonLinesSink, ResultSink, Row, TeeSink};
 use p2p_experiments::spec::{
-    ExperimentSpec, NetworkSpec, Presentation, ProtocolRun, ScenarioSpec, Sweep, SweepAxis,
-    SweepMetric,
+    Backend, ExperimentSpec, NetworkSpec, Presentation, ProtocolRun, ScenarioSpec, Sweep,
+    SweepAxis, SweepMetric,
 };
 use p2p_experiments::table::table1;
 use p2p_experiments::ExperimentScale;
@@ -37,7 +37,8 @@ fn usage() -> &'static str {
   repro run --protocol SPEC [--protocol SPEC ...] [--mode async|sync]
             [--scenario SC] [--network NET] [--size N] [--steps K]
             [--reps R] [--heuristic one-shot|last10] [--sweep AXIS=V1,V2,...]
-            [--metric err|completed] [--churn WORKLOAD] [--reuse-slots]
+            [--metric err|completed] [--churn WORKLOAD] [--backend des]
+            [--reuse-slots]
             [--record-trace FILE | --replay-trace FILE] [common options]
   repro table [--scale ...] [--seed ...] [--out DIR]
   repro (--all | --fig N | --table 1) [...]        (legacy form)
@@ -57,7 +58,8 @@ specs:
   --protocol  sample-collide[:l=200,t=10,timeout=8] | hops-sampling[:to=2,for=1,until=1,min-hops=5]
               | aggregation[:rounds=50,epoched=true]
   --scenario  static | growing | shrinking | catastrophic | catastrophic-fig15
-              [:frac=0.5,topology=heterogeneous|scale-free]
+              [:frac=0.5,topology=heterogeneous|scale-free,backend=des|cluster]
+  --backend   des (the simulator; backend=cluster specs run under `node cluster`)
   --network   ideal | wan | drop=..,latency=..,jitter=..,link-spread=..,ticks=..
   --sweep     drop=0,0.001,0.01 | spread=0,40,80   (spread: ms around a 100 ms mean)
   --churn     streamed workload churn, composable with `+`:
@@ -117,9 +119,14 @@ impl ResultSink for ProgressPrinter {
     fn run_stats(&mut self, stats: &p2p_experiments::sink::RunStats<'_>) {
         if self.enabled {
             eprintln!(
-                "  [stats] {}: {} events dispatched, peak queue {}, {} sent, \
+                "  [stats] {} ({}): {} events dispatched, peak queue {}, {} sent, \
                  pool hit rate {:.4}",
-                stats.series, stats.events, stats.peak_queue, stats.sent, stats.pool_hit_rate
+                stats.series,
+                stats.backend,
+                stats.events,
+                stats.peak_queue,
+                stats.sent,
+                stats.pool_hit_rate
             );
         }
     }
@@ -149,6 +156,7 @@ fn parse_args() -> Result<Args, String> {
     let mut sweep: Option<(SweepAxis, Vec<f64>)> = None;
     let mut metric: Option<SweepMetric> = None;
     let mut churn: Option<WorkloadSpec> = None;
+    let mut backend: Option<Backend> = None;
     let mut reuse_slots = false;
     let mut record_trace: Option<PathBuf> = None;
     let mut replay_trace: Option<PathBuf> = None;
@@ -182,6 +190,7 @@ fn parse_args() -> Result<Args, String> {
                 | "--sweep"
                 | "--metric"
                 | "--churn"
+                | "--backend"
                 | "--reuse-slots"
                 | "--record-trace"
                 | "--replay-trace"
@@ -279,6 +288,12 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| e.to_string())?,
                 );
             }
+            "--backend" => {
+                backend = Some(
+                    Backend::parse(&next_value(&mut it, "--backend")?)
+                        .map_err(|e| e.to_string())?,
+                );
+            }
             "--reuse-slots" => reuse_slots = true,
             "--record-trace" => {
                 record_trace = Some(PathBuf::from(next_value(&mut it, "--record-trace")?));
@@ -349,6 +364,7 @@ fn parse_args() -> Result<Args, String> {
                 sweep,
                 metric,
                 churn,
+                backend,
                 reuse_slots,
                 record_trace,
                 replay_trace,
@@ -397,6 +413,7 @@ fn build_custom_spec(
     sweep: Option<(SweepAxis, Vec<f64>)>,
     metric: Option<SweepMetric>,
     churn: Option<WorkloadSpec>,
+    backend: Option<Backend>,
     reuse_slots: bool,
     record_trace: Option<PathBuf>,
     replay_trace: Option<PathBuf>,
@@ -405,6 +422,16 @@ fn build_custom_spec(
     let size = size.unwrap_or(scale.net_nodes);
     let steps = steps.unwrap_or(24);
     let reps = reps.unwrap_or(scale.replications);
+    // An explicit --backend wins over a `backend=` embedded in --scenario.
+    let backend = backend.unwrap_or(scenario.backend);
+    if backend == Backend::Cluster {
+        return Err(
+            "backend=cluster runs on real sockets and is driven by the `node` binary, not \
+             the repro engine; use `node cluster --nodes N --protocol ...` (repro runs \
+             backend=des)"
+                .to_string(),
+        );
+    }
     let mut scenario = scenario.resolve(size, steps).with_network(network.0);
     // Past this population the append-only slot table is the memory
     // bottleneck under churn: the huge scales run with slot reuse (bounded
@@ -557,6 +584,7 @@ fn build_custom_spec(
         }
     }
     let mut spec = ExperimentSpec {
+        backend,
         id: "custom".to_string(),
         title: String::new(),
         x_label: x_label.to_string(),

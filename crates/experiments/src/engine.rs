@@ -265,6 +265,7 @@ fn tracking(spec: &ExperimentSpec, exp_seed: u64, opts: &EngineOptions, sink: &m
                 if trace.net.sent > 0 {
                     sink.run_stats(&RunStats {
                         series: &trace.estimates.name,
+                        backend: spec.backend.as_str(),
                         events: trace.engine.dispatched,
                         peak_queue: trace.engine.peak_depth,
                         pool_hit_rate: trace.engine.pool_hit_rate(),
@@ -458,11 +459,12 @@ fn sweep_summary(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{ProtocolRun, Sweep, SweepAxis};
+    use crate::spec::{Backend, ProtocolRun, Sweep, SweepAxis};
     use crate::ExperimentScale;
 
     fn tracking_spec(reps: usize) -> ExperimentSpec {
         ExperimentSpec {
+            backend: Backend::Des,
             id: "t".to_string(),
             title: "t".to_string(),
             x_label: "step".to_string(),
@@ -549,6 +551,7 @@ mod tests {
         // Epoched aggregation on a 10-step timeline schedules zero epochs:
         // no NaN row, just no point.
         let spec = ExperimentSpec {
+            backend: Backend::Des,
             id: "x".to_string(),
             title: "t".to_string(),
             x_label: "x".to_string(),
@@ -604,6 +607,7 @@ mod tests {
         // this.
         let scale = ExperimentScale::tiny();
         let spec = ExperimentSpec {
+            backend: Backend::Des,
             id: "custom".to_string(),
             title: "S&C availability under loss, catastrophic churn".to_string(),
             x_label: "drop %".to_string(),

@@ -52,6 +52,8 @@ pub struct Row<'a> {
 pub struct RunStats<'a> {
     /// The series (replication) the run produced.
     pub series: &'a str,
+    /// The execution backend that ran it (`des` | `cluster`).
+    pub backend: &'a str,
     /// Events the run dispatched through the timing wheel.
     pub events: u64,
     /// Peak simultaneous pending events.

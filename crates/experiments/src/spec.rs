@@ -22,6 +22,48 @@ use p2p_sim::{HopLatency, NetworkModel};
 use p2p_workload::{WorkloadSource, WorkloadSpec};
 use std::fmt;
 
+/// Which execution backend runs an experiment: the discrete-event
+/// simulator (bit-deterministic per seed, the golden-trace oracle) or the
+/// `p2p-node` loopback cluster (real sockets on the wall clock,
+/// envelope-checked against a matched DES run). The experiments engine
+/// executes `des` itself; `cluster` specs are interpreted by the `node`
+/// binary, which uses the engine only for the matched oracle run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// The discrete-event simulator.
+    #[default]
+    Des,
+    /// The `p2p-node` loopback cluster over real UDP sockets.
+    Cluster,
+}
+
+impl Backend {
+    /// Parses `des` | `cluster`.
+    pub fn parse(s: &str) -> Result<Self, SpecError> {
+        match s.trim() {
+            "des" => Ok(Backend::Des),
+            "cluster" => Ok(Backend::Cluster),
+            other => Err(SpecError(format!(
+                "unknown backend `{other}` (des | cluster)"
+            ))),
+        }
+    }
+
+    /// The spec-grammar name (`des` | `cluster`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Backend::Des => "des",
+            Backend::Cluster => "cluster",
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Which execution form of a protocol an experiment drives.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ExecMode {
@@ -255,6 +297,10 @@ pub struct ExperimentSpec {
     pub sweep: Option<Sweep>,
     /// How results become curves.
     pub presentation: Presentation,
+    /// Which execution backend the spec targets. The engine runs
+    /// [`Backend::Des`] directly; [`Backend::Cluster`] specs are executed
+    /// by the `node` binary's loopback harness.
+    pub backend: Backend,
 }
 
 impl ExperimentSpec {
@@ -294,9 +340,18 @@ impl ExperimentSpec {
             }
             None => String::new(),
         };
+        let backend = match self.backend {
+            Backend::Des => String::new(),
+            Backend::Cluster => format!(" backend={}", self.backend),
+        };
         format!(
-            "{} · {} n={} steps={}{}",
-            protocols, self.scenario.name, self.scenario.initial_size, self.scenario.steps, sweep
+            "{} · {} n={} steps={}{}{}",
+            protocols,
+            self.scenario.name,
+            self.scenario.initial_size,
+            self.scenario.steps,
+            sweep,
+            backend
         )
     }
 }
@@ -319,6 +374,9 @@ pub struct ScenarioSpec {
     /// Streamed churn layered on top of the kind's schedule
     /// (`static:churn=pareto:alpha=1.5,mean=50` is the common pairing).
     pub churn: Option<WorkloadSpec>,
+    /// Execution backend (`backend=des|cluster`); flows into
+    /// [`ExperimentSpec::backend`] when the CLI assembles a spec.
+    pub backend: Backend,
 }
 
 /// The churn timeline families a [`ScenarioSpec`] can name.
@@ -372,6 +430,7 @@ impl ScenarioSpec {
             fraction: 0.5,
             topology: Topology::Heterogeneous,
             churn,
+            backend: Backend::Des,
         };
         for (k, v) in params {
             match k {
@@ -387,9 +446,10 @@ impl ScenarioSpec {
                         }
                     }
                 }
+                "backend" => spec.backend = Backend::parse(v)?,
                 other => {
                     return Err(SpecError(format!(
-                        "unknown scenario key `{other}` (frac | topology)"
+                        "unknown scenario key `{other}` (frac | topology | backend)"
                     )))
                 }
             }
@@ -432,6 +492,10 @@ impl fmt::Display for ScenarioSpec {
         }
         if self.topology != Topology::Heterogeneous {
             write!(f, "{sep}topology={}", self.topology.key())?;
+            sep = ',';
+        }
+        if self.backend != Backend::Des {
+            write!(f, "{sep}backend={}", self.backend)?;
             sep = ',';
         }
         // Last, always: the workload grammar consumes the rest of the
@@ -677,6 +741,7 @@ mod tests {
     #[test]
     fn summary_mentions_the_cell() {
         let spec = ExperimentSpec {
+            backend: Backend::Des,
             id: "x".to_string(),
             title: "t".to_string(),
             x_label: "x".to_string(),

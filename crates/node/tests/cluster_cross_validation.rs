@@ -1,0 +1,87 @@
+//! Tier-1 cross-validation: a real loopback cluster (sockets, threads,
+//! wall-clock pacing) must land inside the acceptance envelope derived
+//! from matched DES replications — and must get there with clean
+//! lifecycle behavior (every shard says `Bye`, no unclean exits).
+//!
+//! Kept deliberately small (8 nodes, 4 shards, ~2 s of wall time plus a
+//! handful of fast DES runs) so it runs un-ignored in tier 1.
+
+use p2p_estimation::ProtocolSpec;
+use p2p_experiments::sink::{ResultSink, Row};
+use p2p_node::cluster::{des_envelope, run_cluster, ClusterConfig, Launch};
+use p2p_node::runtime::bind_with_retry;
+
+/// Collects rows in memory; the tests only need counts and series names.
+#[derive(Default)]
+struct CollectSink {
+    rows: Vec<(String, f64, f64)>,
+}
+
+impl ResultSink for CollectSink {
+    fn row(&mut self, row: &Row<'_>) {
+        self.rows.push((row.series.to_string(), row.x, row.y));
+    }
+}
+
+#[test]
+fn loopback_cluster_converges_within_des_envelope() {
+    let protocol = ProtocolSpec::parse("aggregation:rounds=30").expect("spec parses");
+    let cfg = ClusterConfig::new(8, 4, protocol);
+
+    let mut sink = CollectSink::default();
+    let report = run_cluster(&cfg, &Launch::InProcess, &mut sink).expect("cluster runs");
+
+    // Lifecycle first: a run that can't shut down cleanly invalidates the
+    // estimate comparison.
+    assert_eq!(report.unclean_exits, 0, "all shards must exit cleanly");
+    assert_eq!(report.final_size, 8, "static scenario keeps its 8 nodes");
+    let exchanged: u64 = report.node_stats.iter().map(|s| s.sent).sum();
+    assert!(exchanged > 0, "shards must actually talk over UDP");
+    assert_eq!(
+        report.node_stats.iter().map(|s| s.malformed).sum::<u64>(),
+        0,
+        "no malformed frames on a healthy cluster"
+    );
+
+    let estimate = report
+        .summary_estimate()
+        .expect("aggregation produces an estimate");
+
+    // The envelope from matched DES replications: same scenario, same
+    // network model, same protocol parameters.
+    let envelope = des_envelope(&cfg, 5);
+    assert!(
+        !envelope.des_finals.is_empty(),
+        "the DES oracle must produce estimates for the matched scenario"
+    );
+    assert!(
+        envelope.contains(estimate),
+        "cluster estimate {estimate:.2} outside DES envelope [{:.2}, {:.2}] (truth {})",
+        envelope.lo,
+        envelope.hi,
+        envelope.truth,
+    );
+
+    // The streamed trajectories carried per-node series.
+    assert!(
+        sink.rows.iter().any(|(s, _, _)| s.starts_with('n')),
+        "per-node estimate trajectories must stream to the sink"
+    );
+}
+
+#[test]
+fn bind_with_retry_survives_port_collisions() {
+    // Occupy a fixed port, then ask for it: the helper must back off and
+    // come back with *some* bound socket (the ephemeral fallback) instead
+    // of erroring out.
+    let holder = bind_with_retry(0).expect("ephemeral bind");
+    let taken = holder.local_addr().expect("addr").port();
+    let sock = bind_with_retry(taken).expect("fallback bind succeeds");
+    let got = sock.local_addr().expect("addr").port();
+    assert_ne!(got, taken, "collision resolved to a different port");
+
+    // And an uncontended preferred port is honored.
+    drop(holder);
+    let direct = bind_with_retry(taken).expect("freed port binds");
+    assert_eq!(direct.local_addr().expect("addr").port(), taken);
+}

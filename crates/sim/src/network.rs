@@ -49,6 +49,12 @@ use rand::Rng;
 /// One tick is one abstract millisecond, matching [`HopLatency`]'s unit.
 /// [`NetworkModel::ideal`] (zero latency, zero loss, no heterogeneity)
 /// reproduces the paper's original instantaneous-message simulator.
+///
+/// This struct is the *shared* latency/loss vocabulary of both execution
+/// backends: the DES applies it inside [`Network::send`], and the
+/// `p2p-node` cluster runtime reads the same knobs to shape real loopback
+/// traffic (one tick = one wall-clock millisecond there), so a cluster run
+/// and its DES oracle are matched by construction.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NetworkModel {
     /// Base one-hop latency distribution (ms). Draws are rounded to whole
@@ -347,6 +353,13 @@ impl<M> Network<M> {
     /// Schedules a driver control event at absolute time `time`.
     pub fn schedule_control_at(&mut self, time: SimTime, tag: u64) {
         self.engine.schedule_at(time, QueuedEvent::Control { tag });
+    }
+
+    /// Timestamp of the earliest pending event, if any — what a wall-clock
+    /// pump needs to sleep precisely until the next due timer or delivery
+    /// without popping anything.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.engine.peek_time()
     }
 
     /// Pops the earliest event, advancing the clock to its timestamp.

@@ -21,6 +21,7 @@ pub mod dist;
 pub mod model;
 pub mod models;
 pub mod op;
+pub mod pace;
 pub mod spec;
 pub mod trace;
 
@@ -28,6 +29,7 @@ pub use dist::LifetimeDist;
 pub use model::{ChurnModel, CompositeModel, ScheduleModel};
 pub use models::{DiurnalModel, FlashCrowd, RegionalFailure, SessionModel, SteadyModel};
 pub use op::WorkloadOp;
+pub use pace::{PacedOps, WallPacer};
 pub use spec::{ModelSpec, WorkloadSpec};
 pub use trace::{TraceHeader, TraceModel, TraceReader, TraceWriter};
 

@@ -22,6 +22,9 @@ use p2p_overlay::Graph;
 use rand::rngs::SmallRng;
 
 /// A lazy churn source, stepped in lockstep with the scenario timeline.
+///
+/// Boxed models forward transparently (see the blanket impl below), so a
+/// spec-built `Box<dyn ChurnModel>` plugs into any generic driver.
 pub trait ChurnModel {
     /// Called once after the initial overlay is built, before step 1 —
     /// e.g. to assign session lifetimes to the initial population.
@@ -45,6 +48,24 @@ pub trait ChurnModel {
     /// workload). Session models adopt these joiners so scheduled arrivals
     /// live sessions too; most models ignore it.
     fn observe_external(&mut self, _step: u64, _delta: &ChurnDelta, _rng: &mut SmallRng) {}
+}
+
+impl<T: ChurnModel + ?Sized> ChurnModel for Box<T> {
+    fn on_init(&mut self, graph: &Graph, rng: &mut SmallRng) {
+        (**self).on_init(graph, rng);
+    }
+
+    fn ops_at(&mut self, step: u64, graph: &Graph, rng: &mut SmallRng, out: &mut Vec<WorkloadOp>) {
+        (**self).ops_at(step, graph, rng, out);
+    }
+
+    fn observe(&mut self, step: u64, delta: &ChurnDelta, rng: &mut SmallRng) {
+        (**self).observe(step, delta, rng);
+    }
+
+    fn observe_external(&mut self, step: u64, delta: &ChurnDelta, rng: &mut SmallRng) {
+        (**self).observe_external(step, delta, rng);
+    }
 }
 
 /// A materialized `(step, op)` schedule as a [`ChurnModel`] — the bridge

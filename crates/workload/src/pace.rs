@@ -1,0 +1,158 @@
+//! Wall-clock pacing: the step grid of the deployed (non-simulated) backend.
+//!
+//! The DES owns a virtual clock, so "one step every `step_ticks`" is free.
+//! A loopback cluster runs on the wall clock: the coordinator applies churn
+//! ops and the node runtimes fire protocol steps on a shared real-time
+//! cadence of one step per `step_ms` milliseconds (matching the network
+//! model's one-tick-per-millisecond convention). [`WallPacer`] is that
+//! metronome — anchored once, then queried either blockingly
+//! ([`wait_next`](WallPacer::wait_next)) or from an event loop
+//! ([`poll`](WallPacer::poll) / [`until_next`](WallPacer::until_next)).
+//!
+//! A pacer never skips steps: if the process falls behind (a long handler,
+//! a stopped laptop), due steps are yielded back-to-back until the grid is
+//! caught up, exactly like the DES dispatching every step control event.
+//! Churn models therefore see the same dense step sequence on both
+//! backends.
+
+use crate::model::ChurnModel;
+use crate::op::WorkloadOp;
+use p2p_overlay::Graph;
+use rand::rngs::SmallRng;
+use std::time::{Duration, Instant};
+
+/// A wall-clock metronome over the scenario's step grid.
+#[derive(Clone, Debug)]
+pub struct WallPacer {
+    start: Instant,
+    step: Duration,
+    next_step: u64,
+}
+
+impl WallPacer {
+    /// A pacer anchored *now*, firing step 1 after `step_ms` milliseconds.
+    ///
+    /// # Panics
+    /// Panics if `step_ms` is zero — a zero-width grid never sleeps.
+    pub fn new(step_ms: u64) -> Self {
+        assert!(step_ms > 0, "the wall-clock step cadence must be positive");
+        WallPacer {
+            start: Instant::now(),
+            step: Duration::from_millis(step_ms),
+            next_step: 1,
+        }
+    }
+
+    /// The step [`poll`](Self::poll)/[`wait_next`](Self::wait_next) yields
+    /// next (steps count from 1, like the DES timeline).
+    pub fn next_step(&self) -> u64 {
+        self.next_step
+    }
+
+    /// The wall-clock deadline of `step`.
+    pub fn deadline(&self, step: u64) -> Instant {
+        self.start + self.step.saturating_mul(step.min(u32::MAX as u64) as u32)
+    }
+
+    /// Time remaining until the next step boundary (zero if it is due).
+    pub fn until_next(&self) -> Duration {
+        self.deadline(self.next_step)
+            .saturating_duration_since(Instant::now())
+    }
+
+    /// Yields the next step if its boundary has passed, without blocking.
+    pub fn poll(&mut self) -> Option<u64> {
+        if Instant::now() < self.deadline(self.next_step) {
+            return None;
+        }
+        let step = self.next_step;
+        self.next_step += 1;
+        Some(step)
+    }
+
+    /// Sleeps to the next step boundary and yields the step number.
+    pub fn wait_next(&mut self) -> u64 {
+        std::thread::sleep(self.until_next());
+        let step = self.next_step;
+        self.next_step += 1;
+        step
+    }
+}
+
+/// A churn model driven by the wall clock: at each due step boundary it
+/// asks the wrapped [`ChurnModel`] for that step's ops — the deployed
+/// counterpart of the DES driver's per-step `ops_at` call. The coordinator
+/// applies the ops to its overlay replica and broadcasts them; every
+/// replica applies them with an identically seeded rng, keeping the graph
+/// views in lockstep without shipping graph state.
+pub struct PacedOps<M> {
+    /// The generating model.
+    pub model: M,
+    pacer: WallPacer,
+}
+
+impl<M: ChurnModel> PacedOps<M> {
+    /// Paces `model` at one step per `step_ms` wall milliseconds.
+    pub fn new(model: M, step_ms: u64) -> Self {
+        PacedOps {
+            model,
+            pacer: WallPacer::new(step_ms),
+        }
+    }
+
+    /// The underlying metronome.
+    pub fn pacer(&self) -> &WallPacer {
+        &self.pacer
+    }
+
+    /// If a step boundary has passed, returns `(step, ops)` for it —
+    /// `None` while the next boundary is still in the future. Call in a
+    /// loop: a process that fell behind catches up one step per call.
+    pub fn ops_due(&mut self, graph: &Graph, rng: &mut SmallRng) -> Option<(u64, Vec<WorkloadOp>)> {
+        let step = self.pacer.poll()?;
+        let mut ops = Vec::new();
+        self.model.ops_at(step, graph, rng, &mut ops);
+        Some((step, ops))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadSpec;
+    use p2p_sim::rng::small_rng;
+
+    #[test]
+    fn pacer_yields_the_dense_step_sequence() {
+        let mut pacer = WallPacer::new(1);
+        std::thread::sleep(Duration::from_millis(5));
+        // Behind by several steps: they come back-to-back, never skipped.
+        let a = pacer.poll().unwrap();
+        let b = pacer.poll().unwrap();
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(pacer.next_step(), 3);
+    }
+
+    #[test]
+    fn wait_next_blocks_until_the_boundary() {
+        let mut pacer = WallPacer::new(10);
+        let t0 = Instant::now();
+        assert_eq!(pacer.wait_next(), 1);
+        assert!(t0.elapsed() >= Duration::from_millis(9));
+    }
+
+    #[test]
+    fn paced_ops_pull_from_the_model_per_due_step() {
+        let model = WorkloadSpec::parse("steady:join=2,leave=2")
+            .unwrap()
+            .build(10);
+        let mut paced = PacedOps::new(model, 1);
+        let graph = Graph::with_nodes(50);
+        let mut rng = small_rng(7);
+        std::thread::sleep(Duration::from_millis(3));
+        let (step, ops) = paced.ops_due(&graph, &mut rng).unwrap();
+        assert_eq!(step, 1);
+        // steady:rate=2 swaps two nodes per step: one join op, departures.
+        assert!(!ops.is_empty());
+    }
+}
