@@ -422,6 +422,7 @@ fn workload_generation(c: &mut Criterion) {
 
     let mut ops = Vec::new();
     let mut delta = ChurnDelta::default();
+    let mut scratch = Vec::new();
     let mut step = 0u64;
     let mut drive = |steps: u64,
                      g: &mut p2p_overlay::Graph,
@@ -435,7 +436,7 @@ fn workload_generation(c: &mut Criterion) {
             model.ops_at(step, g, wl_rng, &mut ops);
             delta.clear();
             for op in &ops {
-                op.apply(g, apply_rng, &mut delta);
+                op.apply_with(g, apply_rng, &mut delta, &mut scratch);
             }
             events += delta.joined.len() + delta.left.len();
             model.observe(step, &delta, wl_rng);
@@ -797,11 +798,110 @@ fn bench5_snapshot(_c: &mut Criterion) {
     p2p_bench::write_bench5(&entries);
 }
 
+// ── PR 7 memory-scale ablation ──────────────────────────────────────────
+
+/// Collected measurements for the BENCH_6.json snapshot.
+static BENCH6: std::sync::Mutex<Vec<(String, String)>> = std::sync::Mutex::new(Vec::new());
+
+/// Engine memory at scale: full message-level `aggregation:rounds=30` runs
+/// across the size curve, reporting nodes × peak RSS × events/s — the
+/// PR 7 headline (CSR adjacency + flat views + batched dispatch). 100k and
+/// 1M always run; the 10M acceptance point (the ~2 GiB budget) takes
+/// minutes and is gated behind `P2P_BENCH_10M=1`.
+///
+/// Peak RSS is the *process* high-water (`VmHWM`), monotone across the
+/// loop — sizes run ascending so each point's reading is dominated by its
+/// own run, but the 100k row inherits whatever earlier ablations peaked at.
+fn engine_memory(c: &mut Criterion) {
+    use p2p_estimation::{AsyncProtocol, Heuristic, ProtocolSpec};
+    use p2p_experiments::runner::run_scenario_des;
+    use p2p_experiments::sink::peak_rss_kb;
+    use p2p_experiments::Scenario;
+    use std::time::Instant;
+
+    let spec = ProtocolSpec::parse("aggregation:rounds=30").expect("literal spec");
+    let mut sizes = vec![100_000usize, 1_000_000];
+    let ten_m = std::env::var("P2P_BENCH_10M").is_ok_and(|v| v == "1");
+    if ten_m {
+        sizes.push(10_000_000);
+    }
+    println!("\n[ablation] engine memory: DES aggregation:rounds=30 across the scale curve");
+    if !ten_m {
+        println!("  (set P2P_BENCH_10M=1 to include the 10M acceptance point)");
+    }
+    println!(
+        "{:>10} {:>14} {:>14} {:>12} {:>10}",
+        "nodes", "events", "events/s", "peak RSS MB", "wall s"
+    );
+    let mut points = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let scenario = Scenario::static_network(n, 30).with_slot_reuse();
+        let AsyncProtocol::Aggregation(mut p) = spec.build_async() else {
+            unreachable!("aggregation spec builds the aggregation protocol")
+        };
+        let t0 = Instant::now();
+        let trace = run_scenario_des(
+            &mut p,
+            &scenario,
+            Heuristic::OneShot,
+            derive_seed(BENCH_SEED, 22 + i as u64),
+            "engine-memory",
+        );
+        let wall = t0.elapsed().as_secs_f64();
+        let events = trace.engine.dispatched;
+        let rate = events as f64 / wall;
+        let rss_kb = peak_rss_kb().unwrap_or(0);
+        println!(
+            "{n:>10} {events:>14} {:>14.0} {:>12.1} {wall:>10.2}",
+            rate,
+            rss_kb as f64 / 1024.0
+        );
+        points.push(format!(
+            "{{\"nodes\": {n}, \"events\": {events}, \"events_per_s\": {rate:.0}, \
+             \"peak_rss_kb\": {rss_kb}, \"wall_s\": {wall:.2}}}"
+        ));
+    }
+    BENCH6.lock().unwrap().push((
+        "engine_memory".to_string(),
+        format!(
+            "{{\"protocol\": \"aggregation:rounds=30\", \"steps\": 30, \
+             \"includes_10m\": {ten_m}, \"points\": [{}]}}",
+            points.join(", ")
+        ),
+    ));
+
+    c.bench_function("ablation_engine_memory/des_aggregation_10k", |b| {
+        b.iter(|| {
+            let scenario = Scenario::static_network(10_000, 30).with_slot_reuse();
+            let AsyncProtocol::Aggregation(mut p) = spec.build_async() else {
+                unreachable!("aggregation spec builds the aggregation protocol")
+            };
+            black_box(run_scenario_des(
+                &mut p,
+                &scenario,
+                Heuristic::OneShot,
+                derive_seed(BENCH_SEED, 29),
+                "engine-memory-timed",
+            ))
+        });
+    });
+}
+
+/// Writes the memory-scale curve to `target/BENCH_6.json`. Registered last.
+fn bench6_snapshot(_c: &mut Criterion) {
+    let entries = BENCH6.lock().unwrap().clone();
+    if entries.is_empty() {
+        eprintln!("[bench6] no entries recorded (filtered run?) — snapshot skipped");
+        return;
+    }
+    p2p_bench::write_bench6(&entries);
+}
+
 criterion_group! {
     name = benches;
     config = criterion_config();
     targets = l_sweep, t_bias, topology, estimator, min_hops, hs_target_mode, oracle_distances,
         delay, churn_removal, ops_at_lookup, workload_generation,
-        event_queue, node_arena, message_pool, bench5_snapshot
+        event_queue, node_arena, message_pool, engine_memory, bench5_snapshot, bench6_snapshot
 }
 criterion_main!(benches);

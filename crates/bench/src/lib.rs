@@ -74,18 +74,37 @@ pub fn bench5_path() -> PathBuf {
 /// are pre-rendered JSON values; the writer is hand-rolled like every
 /// serializer in this workspace).
 pub fn write_bench5(entries: &[(String, String)]) {
+    write_snapshot("bench5", &bench5_path(), entries);
+}
+
+/// Where the memory-scale snapshot lands: `target/BENCH_6.json`, the
+/// nodes × peak-RSS × events/s curve from the `engine-memory` ablation.
+/// Same convention as [`bench5_path`]: CI uploads the fresh copy, the one
+/// committed at the repo root is the reference measurement.
+pub fn bench6_path() -> PathBuf {
+    figures_dir()
+        .parent()
+        .map(|p| p.join("BENCH_6.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_6.json"))
+}
+
+/// Writes the memory-scale snapshot (see [`write_bench5`] for the format).
+pub fn write_bench6(entries: &[(String, String)]) {
+    write_snapshot("bench6", &bench6_path(), entries);
+}
+
+fn write_snapshot(tag: &str, path: &std::path::Path, entries: &[(String, String)]) {
     let mut out = String::from("{\n");
     for (i, (key, value)) in entries.iter().enumerate() {
         out.push_str(&format!("  \"{key}\": {value}"));
         out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
     }
     out.push_str("}\n");
-    let path = bench5_path();
     if let Some(dir) = path.parent() {
         let _ = std::fs::create_dir_all(dir);
     }
-    match std::fs::write(&path, out) {
-        Ok(()) => println!("[bench5] snapshot -> {}", path.display()),
-        Err(e) => eprintln!("[bench5] {}: write failed: {e}", path.display()),
+    match std::fs::write(path, out) {
+        Ok(()) => println!("[{tag}] snapshot -> {}", path.display()),
+        Err(e) => eprintln!("[{tag}] {}: write failed: {e}", path.display()),
     }
 }

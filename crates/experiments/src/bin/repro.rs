@@ -118,9 +118,13 @@ impl ResultSink for ProgressPrinter {
     }
     fn run_stats(&mut self, stats: &p2p_experiments::sink::RunStats<'_>) {
         if self.enabled {
+            let rss = match stats.peak_rss_kb {
+                Some(kb) => format!("{kb} kB"),
+                None => "n/a".to_string(),
+            };
             eprintln!(
                 "  [stats] {} ({}): {} events dispatched, peak queue {}, {} sent, \
-                 pool hit rate {:.4}",
+                 pool hit rate {:.4}, peak RSS {rss}",
                 stats.series,
                 stats.backend,
                 stats.events,

@@ -270,6 +270,7 @@ fn tracking(spec: &ExperimentSpec, exp_seed: u64, opts: &EngineOptions, sink: &m
                         peak_queue: trace.engine.peak_depth,
                         pool_hit_rate: trace.engine.pool_hit_rate(),
                         sent: trace.net.sent,
+                        peak_rss_kb: crate::sink::peak_rss_kb(),
                     });
                 }
                 done += 1;

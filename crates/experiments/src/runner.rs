@@ -99,6 +99,9 @@ struct WorkloadRuntime {
     recorder: Option<TraceWriter<BufWriter<File>>>,
     ops: Vec<WorkloadOp>,
     delta: ChurnDelta,
+    /// Neighbor-list scratch reused across every op application
+    /// ([`WorkloadOp::apply_with`]): zero allocations per removal.
+    scratch: Vec<p2p_overlay::NodeId>,
 }
 
 impl WorkloadRuntime {
@@ -142,6 +145,7 @@ impl WorkloadRuntime {
             recorder,
             ops: Vec::new(),
             delta: ChurnDelta::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -161,7 +165,7 @@ impl WorkloadRuntime {
         }
         self.delta.clear();
         for op in &self.ops {
-            op.apply(graph, apply_rng, &mut self.delta);
+            op.apply_with(graph, apply_rng, &mut self.delta, &mut self.scratch);
         }
         self.model.observe(step, &self.delta, &mut self.rng);
     }
@@ -238,40 +242,47 @@ pub fn run_scenario_des<P: NodeProtocol>(
     let mut real_size = Series::new("real size");
     let mut completed = 0usize;
     let mut current_step = 0u64;
-    while let Some((_, event)) = net.pop() {
-        match event {
-            NetEvent::Control { tag } if tag & STEP_TAG != 0 => {
-                current_step = tag & !STEP_TAG;
-                // Streamed churn lands before the step's protocol step —
-                // the same "churn at s precedes step s" contract scheduled
-                // ops get from FIFO control ordering.
-                if let Some(w) = workload.as_mut() {
-                    w.step(current_step, &mut graph, &mut rng);
+    // Batched dispatch: drain one timestamp's bucket per pop_batch call
+    // instead of popping singly — same event order bit for bit (pinned by
+    // `pop_batch_matches_single_pops_event_for_event` and the engine's
+    // oracle tests), one wheel probe per batch instead of per event.
+    let mut batch: Vec<NetEvent<P::Msg>> = Vec::new();
+    while net.pop_batch(&mut batch).is_some() {
+        for event in batch.drain(..) {
+            match event {
+                NetEvent::Control { tag } if tag & STEP_TAG != 0 => {
+                    current_step = tag & !STEP_TAG;
+                    // Streamed churn lands before the step's protocol step —
+                    // the same "churn at s precedes step s" contract scheduled
+                    // ops get from FIFO control ordering.
+                    if let Some(w) = workload.as_mut() {
+                        w.step(current_step, &mut graph, &mut rng);
+                    }
+                    let mut cx = Cx::new(&graph, &mut net, &mut rng, &mut reports);
+                    protocol.on_step(current_step, &mut cx);
                 }
-                let mut cx = Cx::new(&graph, &mut net, &mut rng, &mut reports);
-                protocol.on_step(current_step, &mut cx);
-            }
-            NetEvent::Control { tag } => {
-                let (at, op) = scenario.schedule[tag as usize];
-                match workload.as_mut() {
-                    Some(w) => w.observe_scheduled(at, &op, &mut graph, &mut rng),
-                    None => {
-                        op.apply(&mut graph, &mut rng);
+                NetEvent::Control { tag } => {
+                    let (at, op) = scenario.schedule[tag as usize];
+                    match workload.as_mut() {
+                        Some(w) => w.observe_scheduled(at, &op, &mut graph, &mut rng),
+                        None => {
+                            op.apply(&mut graph, &mut rng);
+                        }
                     }
                 }
+                other => dispatch(protocol, other, &graph, &mut net, &mut rng, &mut reports),
             }
-            other => dispatch(protocol, other, &graph, &mut net, &mut rng, &mut reports),
-        }
-        for outcome in reports.drain(..) {
-            // Post-timeline completions (the queue drains after the last
-            // step) land at the final step's x position.
-            let x = current_step.max(1) as f64;
-            if let Some(raw) = outcome.estimate() {
-                estimates.push(x, smoother.apply(raw));
-                completed += 1;
-            }
-            if outcome.is_report() {
-                real_size.push(x, graph.alive_count() as f64);
+            for outcome in reports.drain(..) {
+                // Post-timeline completions (the queue drains after the last
+                // step) land at the final step's x position.
+                let x = current_step.max(1) as f64;
+                if let Some(raw) = outcome.estimate() {
+                    estimates.push(x, smoother.apply(raw));
+                    completed += 1;
+                }
+                if outcome.is_report() {
+                    real_size.push(x, graph.alive_count() as f64);
+                }
             }
         }
     }

@@ -62,6 +62,30 @@ pub struct RunStats<'a> {
     pub pool_hit_rate: f64,
     /// Messages sent over the network.
     pub sent: u64,
+    /// Process-wide peak resident set size in kB at the time the run
+    /// finished (`VmHWM` from `/proc/self/status`); `None` where the
+    /// platform has no cheap high-water readout.
+    pub peak_rss_kb: Option<u64>,
+}
+
+/// Reads the process peak resident set size (`VmHWM`, in kB) from
+/// `/proc/self/status`. Returns `None` off Linux or if the field is
+/// missing/unparsable — callers print `n/a` rather than fail.
+pub fn peak_rss_kb() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                return rest.trim().trim_end_matches(" kB").trim().parse().ok();
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
 }
 
 /// A consumer of streamed experiment results.

@@ -4,12 +4,39 @@ use crate::bitset::BitSet;
 use crate::node::NodeId;
 use rand::Rng;
 
+/// Per-slot window into the shared edge arena.
+///
+/// `arena[offset .. offset + len]` holds the slot's neighbor list;
+/// `arena[offset .. offset + cap]` is the region reserved for it. Entries
+/// between `len` and `cap` are uninitialized slack, never read.
+#[derive(Clone, Copy, Debug, Default)]
+struct Span {
+    offset: u32,
+    len: u32,
+    cap: u32,
+}
+
 /// An undirected, unstructured peer-to-peer overlay.
 ///
 /// Nodes are dense `u32` slots. Each slot is either *alive* (participating in
 /// the overlay) or *dead* (departed/failed). Dead slots keep their id so
 /// that samples and traces recorded before a departure stay meaningful, but
 /// they have no links and cannot be sampled.
+///
+/// # Adjacency storage (CSR arena)
+///
+/// Neighbor lists live in one shared arena (`Vec<NodeId>`) addressed by a
+/// per-slot span — `u32` offset/len/cap, 12 bytes per slot instead of a
+/// 24-byte `Vec` header plus a private heap block each. Appending past a
+/// span's capacity relocates that one region to the arena tail with ~1.5×
+/// capacity (the overflow path for churn-time insertions); removals swap
+/// with the region's last entry exactly like `Vec::swap_remove`. Abandoned
+/// regions accumulate as garbage until the dead fraction crosses one half,
+/// at which point [`compact_adjacency`](Self::compact_adjacency) rebuilds
+/// the arena in slot order. The trigger is purely edge-count based — never
+/// time- or address-based — and neither relocation nor compaction reorders
+/// a neighbor list, so iteration order is bit-for-bit the order the historic
+/// `Vec<Vec<NodeId>>` layout produced (property-tested against it).
 ///
 /// # Slot reuse (bounded-memory churn)
 ///
@@ -35,10 +62,14 @@ use rand::Rng;
 /// * `random_neighbor` — O(1),
 /// * `random_alive` (uniform over alive nodes) — O(1),
 /// * `remove_node` — O(degree²) worst case (degree · neighbor-list scan),
-/// * `add_edge`/`remove_edge` — O(degree).
+/// * `add_edge`/`remove_edge` — O(degree), amortizing the occasional
+///   region relocation and arena compaction.
 #[derive(Clone, Debug)]
 pub struct Graph {
-    adj: Vec<Vec<NodeId>>,
+    /// Per-slot neighbor-list windows into `arena`.
+    spans: Vec<Span>,
+    /// The shared edge arena all neighbor lists live in.
+    arena: Vec<NodeId>,
     alive: BitSet,
     /// Dense list of alive node ids, for O(1) uniform sampling.
     alive_list: Vec<NodeId>,
@@ -56,11 +87,19 @@ pub struct Graph {
 
 const NOT_ALIVE: u32 = u32::MAX;
 
+/// Arena entry used to fill uninitialized span slack; never read.
+const ARENA_SLACK: NodeId = NodeId(u32::MAX);
+
+/// Below this arena size compaction never fires: small graphs stay cheap
+/// and the historic many-tiny-graph tests never pay a rebuild.
+const COMPACT_FLOOR: usize = 4096;
+
 impl Graph {
     /// Creates an empty graph with capacity reserved for `n` nodes.
     pub fn with_capacity(n: usize) -> Self {
         Graph {
-            adj: Vec::with_capacity(n),
+            spans: Vec::with_capacity(n),
+            arena: Vec::new(),
             alive: BitSet::with_capacity(n),
             alive_list: Vec::with_capacity(n),
             alive_pos: Vec::with_capacity(n),
@@ -105,19 +144,19 @@ impl Graph {
             let generation = self.generation[slot].wrapping_add(1);
             self.generation[slot] = generation;
             let id = NodeId::from_parts(slot, generation);
-            debug_assert!(self.adj[slot].is_empty(), "re-let slot still wired");
+            debug_assert_eq!(self.spans[slot].len, 0, "re-let slot still wired");
             self.alive.set(slot, true);
             self.alive_pos[slot] = self.alive_list.len() as u32;
             self.alive_list.push(id);
             return id;
         }
         assert!(
-            self.adj.len() < crate::node::MAX_SLOTS,
+            self.spans.len() < crate::node::MAX_SLOTS,
             "slot table full ({} slots): enable_slot_reuse() bounds memory under churn",
-            self.adj.len()
+            self.spans.len()
         );
-        let id = NodeId::from_index(self.adj.len());
-        self.adj.push(Vec::new());
+        let id = NodeId::from_index(self.spans.len());
+        self.spans.push(Span::default());
         self.alive.set(id.index(), true);
         self.alive_pos.push(self.alive_list.len() as u32);
         self.alive_list.push(id);
@@ -128,7 +167,7 @@ impl Graph {
     /// Total number of node slots ever allocated (alive + dead).
     #[inline]
     pub fn num_slots(&self) -> usize {
-        self.adj.len()
+        self.spans.len()
     }
 
     /// Number of alive nodes — the ground-truth "system size" the estimation
@@ -144,6 +183,14 @@ impl Graph {
         self.edges
     }
 
+    /// Bytes currently held by the adjacency storage (span table + arena,
+    /// including arena garbage awaiting compaction). Instrumentation for
+    /// the `engine-memory` ablation; excludes alive/generation bookkeeping.
+    pub fn adjacency_bytes(&self) -> usize {
+        self.spans.len() * std::mem::size_of::<Span>()
+            + self.arena.len() * std::mem::size_of::<NodeId>()
+    }
+
     /// Whether `node` is currently alive. Generation-checked: an id whose
     /// slot has since been re-let to a newer tenant is dead, even though
     /// the slot itself is occupied.
@@ -156,16 +203,18 @@ impl Graph {
                 .is_some_and(|&g| g == node.generation())
     }
 
-    /// The neighbor view of `node`. Empty for dead nodes.
+    /// The neighbor view of `node`: a contiguous slice into the shared
+    /// arena. Empty for dead nodes.
     #[inline]
     pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
-        &self.adj[node.index()]
+        let span = self.spans[node.index()];
+        &self.arena[span.offset as usize..(span.offset + span.len) as usize]
     }
 
     /// Degree of `node` (0 for dead nodes).
     #[inline]
     pub fn degree(&self, node: NodeId) -> usize {
-        self.adj[node.index()].len()
+        self.spans[node.index()].len as usize
     }
 
     /// Iterates over all alive node ids (in sampling-list order, which is
@@ -200,7 +249,7 @@ impl Graph {
     /// Draws a uniform random neighbor of `node` in O(1), or `None` if the
     /// node is isolated.
     pub fn random_neighbor<R: Rng + ?Sized>(&self, node: NodeId, rng: &mut R) -> Option<NodeId> {
-        let nb = &self.adj[node.index()];
+        let nb = self.neighbors(node);
         if nb.is_empty() {
             None
         } else {
@@ -215,7 +264,7 @@ impl Graph {
         } else {
             (b, a)
         };
-        self.adj[fst.index()].contains(&snd)
+        self.neighbors(fst).contains(&snd)
     }
 
     /// Adds the undirected edge `a — b`.
@@ -226,32 +275,110 @@ impl Graph {
         if a == b || !self.is_alive(a) || !self.is_alive(b) || self.has_edge(a, b) {
             return false;
         }
-        self.adj[a.index()].push(b);
-        self.adj[b.index()].push(a);
+        self.push_neighbor(a.index(), b);
+        self.push_neighbor(b.index(), a);
         self.edges += 1;
+        self.maybe_compact();
         true
     }
 
     /// Removes the undirected edge `a — b`. Returns `false` if absent.
     pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> bool {
-        if !Self::remove_from_list(&mut self.adj[a.index()], b) {
+        if !self.remove_from_slot(a.index(), b) {
             return false;
         }
-        let removed = Self::remove_from_list(&mut self.adj[b.index()], a);
+        let removed = self.remove_from_slot(b.index(), a);
         debug_assert!(removed, "adjacency lists out of sync");
         self.edges -= 1;
+        self.maybe_compact();
         true
     }
 
+    /// Appends `id` to `slot`'s neighbor region, relocating the region to
+    /// the arena tail with grown capacity when full (the overflow path).
+    /// Relocation copies the list front-to-back: iteration order is exactly
+    /// what `Vec::push` produced.
+    fn push_neighbor(&mut self, slot: usize, id: NodeId) {
+        let span = self.spans[slot];
+        if span.len < span.cap {
+            self.arena[(span.offset + span.len) as usize] = id;
+            self.spans[slot].len += 1;
+            return;
+        }
+        // Region full: relocate to the tail with ~1.5× capacity. The old
+        // region becomes arena garbage reclaimed by the next compaction.
+        let new_cap = span.len + (span.len >> 1) + 2;
+        let new_off = self.arena.len();
+        assert!(
+            new_off + new_cap as usize <= u32::MAX as usize,
+            "edge arena exceeds u32 addressing"
+        );
+        self.arena
+            .extend_from_within(span.offset as usize..(span.offset + span.len) as usize);
+        self.arena.resize(new_off + new_cap as usize, ARENA_SLACK);
+        self.arena[new_off + span.len as usize] = id;
+        self.spans[slot] = Span {
+            offset: new_off as u32,
+            len: span.len + 1,
+            cap: new_cap,
+        };
+    }
+
+    /// Removes `target` from `slot`'s neighbor region with the positional
+    /// swap-with-last that `Vec::swap_remove` performs — bit-identical
+    /// resulting order.
     #[inline]
-    fn remove_from_list(list: &mut Vec<NodeId>, target: NodeId) -> bool {
+    fn remove_from_slot(&mut self, slot: usize, target: NodeId) -> bool {
+        let span = self.spans[slot];
+        let off = span.offset as usize;
+        let list = &mut self.arena[off..off + span.len as usize];
         match list.iter().position(|&x| x == target) {
             Some(pos) => {
-                list.swap_remove(pos);
+                list.swap(pos, span.len as usize - 1);
+                self.spans[slot].len -= 1;
                 true
             }
             None => false,
         }
+    }
+
+    /// Releases `slot`'s whole neighbor region to arena garbage.
+    fn release_region(&mut self, slot: usize) {
+        self.spans[slot] = Span::default();
+    }
+
+    /// Number of arena entries holding live neighbor-list data. Everything
+    /// else (abandoned regions, in-region slack) is garbage.
+    #[inline]
+    fn arena_live(&self) -> usize {
+        2 * self.edges
+    }
+
+    /// Rebuilds the arena when garbage outweighs live data. Deterministic:
+    /// the trigger depends only on edge/arena counts, and the rebuild is
+    /// order-preserving, so it is invisible to every observable API.
+    fn maybe_compact(&mut self) {
+        let live = self.arena_live();
+        if self.arena.len() >= COMPACT_FLOOR && self.arena.len() - live > live {
+            self.compact_adjacency();
+        }
+    }
+
+    /// Rebuilds the edge arena in slot order with exact-fit regions,
+    /// dropping all garbage. Neighbor-list contents and iteration order are
+    /// unchanged; only arena addresses move. O(V + E). Normally triggered
+    /// automatically; public so bulk loads and tests can force it.
+    pub fn compact_adjacency(&mut self) {
+        let mut new_arena = Vec::with_capacity(self.arena_live());
+        for span in self.spans.iter_mut() {
+            let off = new_arena.len() as u32;
+            new_arena.extend_from_slice(
+                &self.arena[span.offset as usize..(span.offset + span.len) as usize],
+            );
+            span.offset = off;
+            span.cap = span.len;
+        }
+        self.arena = new_arena;
     }
 
     /// Removes `node` from the overlay: all its links disappear and surviving
@@ -270,16 +397,18 @@ impl Graph {
         if !self.is_alive(node) {
             return None;
         }
-        let neighbors = std::mem::take(&mut self.adj[node.index()]);
+        let neighbors = self.neighbors(node).to_vec();
+        self.release_region(node.index());
         self.detach_links(node, &neighbors);
         self.mark_dead(node);
+        self.maybe_compact();
         Some(neighbors)
     }
 
     /// [`remove_node`](Self::remove_node) without the per-removal
     /// allocation: the victim's neighbor list is copied into `scratch`
-    /// (cleared first) and the victim's own adjacency allocation is kept in
-    /// place (dead slots never re-wire, so it is simply empty from then on).
+    /// (cleared first) and its arena region is released (dead slots never
+    /// re-wire, so it is garbage from then on).
     ///
     /// Returns `false` (leaving `scratch` untouched) if `node` was already
     /// dead; on `true`, `scratch` holds the former neighbors.
@@ -288,10 +417,11 @@ impl Graph {
             return false;
         }
         scratch.clear();
-        scratch.extend_from_slice(&self.adj[node.index()]);
-        self.adj[node.index()].clear();
+        scratch.extend_from_slice(self.neighbors(node));
+        self.release_region(node.index());
         self.detach_links(node, scratch);
         self.mark_dead(node);
+        self.maybe_compact();
         true
     }
 
@@ -299,7 +429,7 @@ impl Graph {
     /// edge counter.
     fn detach_links(&mut self, node: NodeId, neighbors: &[NodeId]) {
         for &w in neighbors {
-            let removed = Self::remove_from_list(&mut self.adj[w.index()], node);
+            let removed = self.remove_from_slot(w.index(), node);
             debug_assert!(removed, "adjacency lists out of sync");
         }
         self.edges -= neighbors.len();
@@ -334,11 +464,11 @@ impl Graph {
                 self.alive.count_ones()
             ));
         }
-        if self.generation.len() != self.adj.len() {
+        if self.generation.len() != self.spans.len() {
             return Err(format!(
                 "generation table covers {} of {} slots",
                 self.generation.len(),
-                self.adj.len()
+                self.spans.len()
             ));
         }
         for (pos, &n) in self.alive_list.iter().enumerate() {
@@ -362,10 +492,41 @@ impl Graph {
                 return Err(format!("slot {slot} both free and alive"));
             }
         }
+        // CSR structure: every span in bounds, regions pairwise disjoint.
+        let mut regions: Vec<(u32, u32)> = Vec::new();
+        for (i, span) in self.spans.iter().enumerate() {
+            if span.len > span.cap {
+                return Err(format!(
+                    "slot {i}: len {} exceeds cap {}",
+                    span.len, span.cap
+                ));
+            }
+            if span.offset as usize + span.cap as usize > self.arena.len() {
+                return Err(format!(
+                    "slot {i}: region [{}, +{}) outside arena of {}",
+                    span.offset,
+                    span.cap,
+                    self.arena.len()
+                ));
+            }
+            if span.cap > 0 {
+                regions.push((span.offset, span.cap));
+            }
+        }
+        regions.sort_unstable();
+        for w in regions.windows(2) {
+            if w[0].0 + w[0].1 > w[1].0 {
+                return Err(format!(
+                    "overlapping arena regions at {} (+{}) and {}",
+                    w[0].0, w[0].1, w[1].0
+                ));
+            }
+        }
         let mut half_edges = 0usize;
-        for (i, nb) in self.adj.iter().enumerate() {
+        for i in 0..self.spans.len() {
             // The slot's *current* tenant id: backlinks are stored under it.
             let id = NodeId::from_parts(i, self.generation[i]);
+            let nb = self.neighbors(id);
             if !self.alive.get(i) && !nb.is_empty() {
                 return Err(format!("dead node {id:?} still has links"));
             }
@@ -376,11 +537,11 @@ impl Graph {
                 if w == id {
                     return Err(format!("self-loop at {id:?}"));
                 }
-                if !self.adj[w.index()].contains(&id) {
+                if !self.neighbors(w).contains(&id) {
                     return Err(format!("asymmetric edge {id:?} -> {w:?}"));
                 }
             }
-            let mut sorted: Vec<NodeId> = nb.clone();
+            let mut sorted: Vec<NodeId> = nb.to_vec();
             sorted.sort_unstable();
             sorted.dedup();
             if sorted.len() != nb.len() {
@@ -395,6 +556,164 @@ impl Graph {
             ));
         }
         Ok(())
+    }
+}
+
+/// The pre-CSR `Vec<Vec<NodeId>>` graph, retained verbatim as the
+/// determinism oracle: the CSR layout must reproduce its neighbor
+/// iteration order bit for bit under any operation interleaving.
+#[cfg(test)]
+pub(crate) mod oracle {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    pub struct VecGraph {
+        adj: Vec<Vec<NodeId>>,
+        alive: BitSet,
+        alive_list: Vec<NodeId>,
+        alive_pos: Vec<u32>,
+        generation: Vec<u8>,
+        free_slots: Vec<u32>,
+        reuse_slots: bool,
+        edges: usize,
+    }
+
+    impl VecGraph {
+        pub fn with_nodes(n: usize) -> Self {
+            let mut g = VecGraph {
+                adj: Vec::with_capacity(n),
+                alive: BitSet::with_capacity(n),
+                alive_list: Vec::with_capacity(n),
+                alive_pos: Vec::with_capacity(n),
+                generation: Vec::with_capacity(n),
+                free_slots: Vec::new(),
+                reuse_slots: false,
+                edges: 0,
+            };
+            for _ in 0..n {
+                g.add_node();
+            }
+            g
+        }
+
+        pub fn enable_slot_reuse(&mut self) {
+            self.reuse_slots = true;
+        }
+
+        pub fn add_node(&mut self) -> NodeId {
+            if let Some(slot) = self.free_slots.pop() {
+                let slot = slot as usize;
+                let generation = self.generation[slot].wrapping_add(1);
+                self.generation[slot] = generation;
+                let id = NodeId::from_parts(slot, generation);
+                self.alive.set(slot, true);
+                self.alive_pos[slot] = self.alive_list.len() as u32;
+                self.alive_list.push(id);
+                return id;
+            }
+            let id = NodeId::from_index(self.adj.len());
+            self.adj.push(Vec::new());
+            self.alive.set(id.index(), true);
+            self.alive_pos.push(self.alive_list.len() as u32);
+            self.alive_list.push(id);
+            self.generation.push(0);
+            id
+        }
+
+        pub fn num_slots(&self) -> usize {
+            self.adj.len()
+        }
+
+        pub fn alive_count(&self) -> usize {
+            self.alive_list.len()
+        }
+
+        pub fn edge_count(&self) -> usize {
+            self.edges
+        }
+
+        pub fn alive_slice(&self) -> &[NodeId] {
+            &self.alive_list
+        }
+
+        pub fn is_alive(&self, node: NodeId) -> bool {
+            self.alive.get(node.index())
+                && self
+                    .generation
+                    .get(node.index())
+                    .is_some_and(|&g| g == node.generation())
+        }
+
+        pub fn neighbors_of_slot(&self, slot: usize) -> &[NodeId] {
+            &self.adj[slot]
+        }
+
+        pub fn degree(&self, node: NodeId) -> usize {
+            self.adj[node.index()].len()
+        }
+
+        pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+            let (fst, snd) = if self.degree(a) <= self.degree(b) {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            self.adj[fst.index()].contains(&snd)
+        }
+
+        pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+            if a == b || !self.is_alive(a) || !self.is_alive(b) || self.has_edge(a, b) {
+                return false;
+            }
+            self.adj[a.index()].push(b);
+            self.adj[b.index()].push(a);
+            self.edges += 1;
+            true
+        }
+
+        pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+            if !Self::remove_from_list(&mut self.adj[a.index()], b) {
+                return false;
+            }
+            let removed = Self::remove_from_list(&mut self.adj[b.index()], a);
+            debug_assert!(removed);
+            self.edges -= 1;
+            true
+        }
+
+        fn remove_from_list(list: &mut Vec<NodeId>, target: NodeId) -> bool {
+            match list.iter().position(|&x| x == target) {
+                Some(pos) => {
+                    list.swap_remove(pos);
+                    true
+                }
+                None => false,
+            }
+        }
+
+        pub fn remove_node(&mut self, node: NodeId) -> Option<Vec<NodeId>> {
+            if !self.is_alive(node) {
+                return None;
+            }
+            let neighbors = std::mem::take(&mut self.adj[node.index()]);
+            for &w in &neighbors {
+                let removed = Self::remove_from_list(&mut self.adj[w.index()], node);
+                debug_assert!(removed);
+            }
+            self.edges -= neighbors.len();
+            self.alive.set(node.index(), false);
+            let pos = self.alive_pos[node.index()];
+            let last = *self.alive_list.last().unwrap();
+            self.alive_list.swap_remove(pos as usize);
+            if last != node {
+                self.alive_pos[last.index()] = pos;
+            }
+            self.alive_pos[node.index()] = NOT_ALIVE;
+            if self.reuse_slots {
+                self.free_slots.push(node.index() as u32);
+            }
+            Some(neighbors)
+        }
     }
 }
 
@@ -635,5 +954,136 @@ mod tests {
         for n in alive {
             assert!(g.is_alive(n));
         }
+    }
+
+    // ── CSR vs the Vec-of-Vecs oracle ───────────────────────────────────
+
+    /// Applies one identical operation stream to the CSR graph and the
+    /// retained historic implementation and asserts every observable —
+    /// return values, alive-list order, and per-slot neighbor *iteration
+    /// order* — stays bit-identical throughout.
+    #[test]
+    fn csr_matches_vec_oracle_under_churn_storms() {
+        for seed in 0..10u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut csr = Graph::with_nodes(48);
+            let mut old = oracle::VecGraph::with_nodes(48);
+            if seed % 2 == 0 {
+                csr.enable_slot_reuse();
+                old.enable_slot_reuse();
+            }
+            for step in 0..800 {
+                match rng.gen_range(0..10u32) {
+                    // Wire a random pair (often a duplicate or self edge).
+                    0..=4 => {
+                        let a = csr.random_alive(&mut rng);
+                        let b = csr.random_alive(&mut rng);
+                        if let (Some(a), Some(b)) = (a, b) {
+                            assert_eq!(csr.add_edge(a, b), old.add_edge(a, b));
+                        }
+                    }
+                    // Unwire an existing link.
+                    5..=6 => {
+                        if let Some(a) = csr.random_alive(&mut rng) {
+                            if let Some(b) = csr.random_neighbor(a, &mut rng) {
+                                assert_eq!(csr.remove_edge(a, b), old.remove_edge(a, b));
+                            }
+                        }
+                    }
+                    // Depart.
+                    7..=8 => {
+                        if let Some(v) = csr.random_alive(&mut rng) {
+                            assert_eq!(csr.remove_node(v), old.remove_node(v));
+                        }
+                    }
+                    // Join and wire to up to 3 peers.
+                    _ => {
+                        let a = csr.add_node();
+                        assert_eq!(a, old.add_node(), "arrival ids diverged");
+                        for _ in 0..3 {
+                            if let Some(p) = csr.random_alive(&mut rng) {
+                                assert_eq!(csr.add_edge(a, p), old.add_edge(a, p));
+                            }
+                        }
+                    }
+                }
+                // A mid-storm forced compaction must be invisible.
+                if step % 97 == 0 {
+                    csr.compact_adjacency();
+                }
+                assert_eq!(csr.num_slots(), old.num_slots());
+                assert_eq!(csr.alive_count(), old.alive_count());
+                assert_eq!(csr.edge_count(), old.edge_count());
+                assert_eq!(csr.alive_slice(), old.alive_slice());
+                for slot in 0..csr.num_slots() {
+                    assert_eq!(
+                        csr.neighbors(NodeId::from_index(slot)),
+                        old.neighbors_of_slot(slot),
+                        "slot {slot} neighbor order diverged (seed {seed}, step {step})"
+                    );
+                }
+            }
+            csr.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn compaction_is_invisible_and_reclaims_garbage() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut g = Graph::with_nodes(200);
+        g.enable_slot_reuse();
+        // Churn hard enough to force relocations and automatic compactions.
+        for _ in 0..50 {
+            for _ in 0..40 {
+                if let (Some(a), Some(b)) = (g.random_alive(&mut rng), g.random_alive(&mut rng)) {
+                    g.add_edge(a, b);
+                }
+            }
+            for _ in 0..20 {
+                if let Some(v) = g.random_alive(&mut rng) {
+                    g.remove_node(v);
+                }
+            }
+            for _ in 0..20 {
+                let n = g.add_node();
+                if let Some(p) = g.random_alive(&mut rng) {
+                    g.add_edge(n, p);
+                }
+            }
+            g.check_invariants().unwrap();
+        }
+        // Forcing a rebuild changes no neighbor list and leaves zero garbage.
+        let before: Vec<Vec<NodeId>> = (0..g.num_slots())
+            .map(|s| g.neighbors(NodeId::from_index(s)).to_vec())
+            .collect();
+        let bytes_before = g.adjacency_bytes();
+        g.compact_adjacency();
+        for (s, want) in before.iter().enumerate() {
+            assert_eq!(g.neighbors(NodeId::from_index(s)), &want[..]);
+        }
+        assert!(g.adjacency_bytes() <= bytes_before);
+        g.check_invariants().unwrap();
+        // After an exact-fit rebuild the arena holds only live entries.
+        assert_eq!(
+            g.adjacency_bytes(),
+            g.num_slots() * 12 + 2 * g.edge_count() * 4
+        );
+    }
+
+    #[test]
+    fn overflow_path_grows_one_hub_without_disturbing_others() {
+        // One hub accumulates degree far past any initial capacity while
+        // spokes stay tiny: exercises repeated region relocation.
+        let n = 600;
+        let mut g = Graph::with_nodes(n);
+        let hub = NodeId(0);
+        for i in 1..n as u32 {
+            assert!(g.add_edge(hub, NodeId(i)));
+        }
+        assert_eq!(g.degree(hub), n - 1);
+        // Push order preserved: neighbors are exactly 1..n in order.
+        let want: Vec<NodeId> = (1..n as u32).map(NodeId).collect();
+        assert_eq!(g.neighbors(hub), &want[..]);
+        g.check_invariants().unwrap();
     }
 }

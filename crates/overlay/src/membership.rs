@@ -21,7 +21,18 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+/// Flat-buffer filler for entries past a view's live length; never read.
+const VIEW_SLACK: NodeId = NodeId(u32::MAX);
+
 /// A simulated gossip membership service over the overlay's node slots.
+///
+/// Views are degree-bounded by construction (≤ `view_size` entries each),
+/// so they live in one flat buffer with a fixed stride of `view_size`
+/// entries per slot plus a `u32` length — 4 bytes of bookkeeping per node
+/// instead of a 24-byte `Vec` header and a private heap block each. Entry
+/// order within a view, and therefore every RNG draw the shuffle protocol
+/// makes, is bit-for-bit what the historic `Vec<Vec<NodeId>>` layout
+/// produced.
 ///
 /// Generation-aware: on a slot-reusing overlay
 /// ([`Graph::enable_slot_reuse`]) a re-let slot's new tenant gets a fresh
@@ -31,7 +42,11 @@ use rand::Rng;
 /// happens — ordinary gossip lossiness.)
 #[derive(Clone, Debug)]
 pub struct PeerSamplingService {
-    views: Vec<Vec<NodeId>>,
+    /// All views, `view_size` entries per slot; `views[slot * view_size ..]`
+    /// holds slot's view, live up to `view_lens[slot]`.
+    views: Vec<NodeId>,
+    /// Live entry count per slot (≤ `view_size`).
+    view_lens: Vec<u32>,
     /// Generation whose tenant each slot's view belongs to.
     view_gens: Vec<u8>,
     view_size: usize,
@@ -54,34 +69,36 @@ impl PeerSamplingService {
     ) -> Self {
         assert!(view_size >= 2, "view size must be at least 2");
         let shuffle_len = shuffle_len.clamp(1, view_size);
-        let mut views = vec![Vec::new(); graph.num_slots()];
-        let mut view_gens = vec![0u8; graph.num_slots()];
+        let mut svc = PeerSamplingService {
+            views: vec![VIEW_SLACK; graph.num_slots() * view_size],
+            view_lens: vec![0; graph.num_slots()],
+            view_gens: vec![0u8; graph.num_slots()],
+            view_size,
+            shuffle_len,
+            rounds: 0,
+        };
         for node in graph.alive_nodes() {
-            view_gens[node.index()] = node.generation();
-            let view = &mut views[node.index()];
+            let slot = node.index();
+            svc.view_gens[slot] = node.generation();
             for &nb in graph.neighbors(node) {
-                if view.len() == view_size {
+                if svc.view_lens[slot] as usize == view_size {
                     break;
                 }
-                if nb != node && !view.contains(&nb) {
-                    view.push(nb);
+                if nb != node && !svc.view_slice(slot).contains(&nb) {
+                    svc.push_entry(slot, nb);
                 }
             }
-            while view.len() < view_size {
+            while (svc.view_lens[slot] as usize) < view_size {
                 match graph.random_alive(rng) {
-                    Some(p) if p != node && !view.contains(&p) => view.push(p),
+                    Some(p) if p != node && !svc.view_slice(slot).contains(&p) => {
+                        svc.push_entry(slot, p)
+                    }
                     Some(_) => continue,
                     None => break,
                 }
             }
         }
-        PeerSamplingService {
-            views,
-            view_gens,
-            view_size,
-            shuffle_len,
-            rounds: 0,
-        }
+        svc
     }
 
     /// Completed shuffle rounds.
@@ -89,14 +106,39 @@ impl PeerSamplingService {
         self.rounds
     }
 
+    /// The live view of `slot` as a slice of the flat buffer.
+    #[inline]
+    fn view_slice(&self, slot: usize) -> &[NodeId] {
+        let off = slot * self.view_size;
+        &self.views[off..off + self.view_lens[slot] as usize]
+    }
+
+    /// Appends `p` to `slot`'s view (caller guarantees room).
+    #[inline]
+    fn push_entry(&mut self, slot: usize, p: NodeId) {
+        let len = self.view_lens[slot] as usize;
+        debug_assert!(len < self.view_size);
+        self.views[slot * self.view_size + len] = p;
+        self.view_lens[slot] = (len + 1) as u32;
+    }
+
+    /// `Vec::swap_remove` on `slot`'s view — bit-identical resulting order.
+    #[inline]
+    fn swap_remove_entry(&mut self, slot: usize, idx: usize) {
+        let off = slot * self.view_size;
+        let len = self.view_lens[slot] as usize;
+        self.views.swap(off + idx, off + len - 1);
+        self.view_lens[slot] = (len - 1) as u32;
+    }
+
     /// The current partial view of `node`.
     pub fn view(&self, node: NodeId) -> &[NodeId] {
-        &self.views[node.index()]
+        self.view_slice(node.index())
     }
 
     /// Draws a peer uniformly from `node`'s view (`None` for an empty view).
     pub fn sample(&self, node: NodeId, rng: &mut SmallRng) -> Option<NodeId> {
-        let view = &self.views[node.index()];
+        let view = self.view_slice(node.index());
         if view.is_empty() {
             None
         } else {
@@ -108,20 +150,21 @@ impl PeerSamplingService {
     /// view slot and seeds it from their overlay neighbors (the contacts a
     /// joining node actually knows).
     fn admit_new_nodes(&mut self, graph: &Graph) {
-        if self.views.len() >= graph.num_slots() {
+        if self.view_lens.len() >= graph.num_slots() {
             return;
         }
-        let first_new = self.views.len();
-        self.views.resize(graph.num_slots(), Vec::new());
+        let first_new = self.view_lens.len();
+        self.views
+            .resize(graph.num_slots() * self.view_size, VIEW_SLACK);
+        self.view_lens.resize(graph.num_slots(), 0);
         self.view_gens.resize(graph.num_slots(), 0);
         for slot in first_new..graph.num_slots() {
             let node = NodeId::from_index(slot);
             if !graph.is_alive(node) {
                 continue;
             }
-            let view = &mut self.views[slot];
             for &nb in graph.neighbors(node).iter().take(self.view_size) {
-                view.push(nb);
+                self.push_entry(slot, nb);
             }
         }
     }
@@ -137,10 +180,9 @@ impl PeerSamplingService {
             return;
         }
         self.view_gens[slot] = node.generation();
-        let view = &mut self.views[slot];
-        view.clear();
+        self.view_lens[slot] = 0;
         for &nb in graph.neighbors(node).iter().take(self.view_size) {
-            view.push(nb);
+            self.push_entry(slot, nb);
         }
     }
 
@@ -151,43 +193,54 @@ impl PeerSamplingService {
     /// that joined the overlay since the last round are admitted first.
     pub fn shuffle_round(&mut self, graph: &Graph, rng: &mut SmallRng) {
         self.admit_new_nodes(graph);
+        let mut to_partner: Vec<NodeId> = Vec::with_capacity(self.shuffle_len);
+        let mut to_node: Vec<NodeId> = Vec::with_capacity(self.shuffle_len);
         for node in graph.alive_nodes() {
             self.reseed_if_relet(node, graph);
+            let slot = node.index();
             // Pick an alive partner, dropping dead entries as we meet them.
             let partner = loop {
-                let view = &mut self.views[node.index()];
-                if view.is_empty() {
+                let len = self.view_lens[slot] as usize;
+                if len == 0 {
                     break None;
                 }
-                let idx = rng.gen_range(0..view.len());
-                let cand = view[idx];
+                let idx = rng.gen_range(0..len);
+                let cand = self.views[slot * self.view_size + idx];
                 if graph.is_alive(cand) {
                     break Some(cand);
                 }
-                view.swap_remove(idx);
+                self.swap_remove_entry(slot, idx);
             };
             let Some(partner) = partner else { continue };
 
-            let to_partner = self.pick_exchange(node, partner, rng);
-            let to_node = self.pick_exchange(partner, node, rng);
+            self.pick_exchange_into(node, partner, rng, &mut to_partner);
+            self.pick_exchange_into(partner, node, rng, &mut to_node);
             self.merge(node, &to_node, rng);
             self.merge(partner, &to_partner, rng);
         }
         self.rounds += 1;
     }
 
-    /// Chooses the entries `from` sends to `to`: up to `shuffle_len − 1`
-    /// random view entries (excluding `to` itself) plus `from`'s own address.
-    fn pick_exchange(&self, from: NodeId, to: NodeId, rng: &mut SmallRng) -> Vec<NodeId> {
-        let mut pool: Vec<NodeId> = self.views[from.index()]
-            .iter()
-            .copied()
-            .filter(|&p| p != to)
-            .collect();
-        pool.shuffle(rng);
-        pool.truncate(self.shuffle_len.saturating_sub(1));
-        pool.push(from);
-        pool
+    /// Chooses the entries `from` sends to `to` into `out` (cleared first):
+    /// up to `shuffle_len − 1` random view entries (excluding `to` itself)
+    /// plus `from`'s own address.
+    fn pick_exchange_into(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        rng: &mut SmallRng,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        out.extend(
+            self.view_slice(from.index())
+                .iter()
+                .copied()
+                .filter(|&p| p != to),
+        );
+        out.shuffle(rng);
+        out.truncate(self.shuffle_len.saturating_sub(1));
+        out.push(from);
     }
 
     /// Merges received entries into `node`'s view: no self, no duplicates;
@@ -195,34 +248,41 @@ impl PeerSamplingService {
     /// eviction keeps the stationary view distribution unbiased — a
     /// deterministic victim rule measurably skews in-degrees).
     fn merge(&mut self, node: NodeId, incoming: &[NodeId], rng: &mut SmallRng) {
+        let slot = node.index();
         for &p in incoming {
             if p == node {
                 continue;
             }
-            let view = &mut self.views[node.index()];
-            if view.contains(&p) {
+            if self.view_slice(slot).contains(&p) {
                 continue;
             }
-            if view.len() == self.view_size {
-                let evict = rng.gen_range(0..view.len());
-                view.swap_remove(evict);
+            let len = self.view_lens[slot] as usize;
+            if len == self.view_size {
+                // swap_remove(evict) then push(p): the evictee's position
+                // takes the old tail entry and p lands at the tail.
+                let evict = rng.gen_range(0..len);
+                let off = slot * self.view_size;
+                self.views[off + evict] = self.views[off + len - 1];
+                self.views[off + len - 1] = p;
+            } else {
+                self.push_entry(slot, p);
             }
-            self.views[node.index()].push(p);
         }
     }
 
     /// Checks the service's structural invariants (for tests): views contain
     /// no self-pointers, no duplicates, and never exceed the size cap.
     pub fn check_invariants(&self) -> Result<(), String> {
-        for (i, view) in self.views.iter().enumerate() {
-            let node = NodeId::from_index(i);
+        for slot in 0..self.view_lens.len() {
+            let node = NodeId::from_index(slot);
+            let view = self.view_slice(slot);
             if view.len() > self.view_size {
                 return Err(format!("{node:?}: view over capacity ({})", view.len()));
             }
             if view.contains(&node) {
                 return Err(format!("{node:?}: self-pointer in view"));
             }
-            let mut sorted = view.clone();
+            let mut sorted = view.to_vec();
             sorted.sort_unstable();
             sorted.dedup();
             if sorted.len() != view.len() {

@@ -234,7 +234,16 @@ pub struct Network<M> {
     link_salt: u64,
     counter: MessageCounter,
     stats: NetStats,
+    /// Reused scratch for [`pop_batch`](Self::pop_batch) (no steady-state
+    /// allocation).
+    batch_buf: Vec<QueuedEvent>,
 }
+
+/// Cap on events drained per [`Network::pop_batch`] call. Bounds the
+/// transient batch buffer on dense ticks (a 10M-node round can put the
+/// whole population's messages on one tick) while amortizing the wheel's
+/// bitmap probes over thousands of events.
+const BATCH_EVENTS: usize = 4096;
 
 impl<M> Network<M> {
     /// A network under `model`, with all latency/loss draws seeded by
@@ -250,6 +259,7 @@ impl<M> Network<M> {
             link_salt: seed,
             counter: MessageCounter::new(),
             stats: NetStats::default(),
+            batch_buf: Vec::new(),
         }
     }
 
@@ -362,10 +372,11 @@ impl<M> Network<M> {
         self.engine.peek_time()
     }
 
-    /// Pops the earliest event, advancing the clock to its timestamp.
-    pub fn pop(&mut self) -> Option<(SimTime, NetEvent<M>)> {
-        let (t, ev) = self.engine.pop()?;
-        let ev = match ev {
+    /// Resolves a queued event into its caller-facing form, reclaiming the
+    /// payload slot and bumping the delivery/drop counters.
+    #[inline]
+    fn resolve(&mut self, ev: QueuedEvent) -> NetEvent<M> {
+        match ev {
             QueuedEvent::Deliver { src, dst, payload } => {
                 self.stats.delivered += 1;
                 NetEvent::Deliver {
@@ -384,8 +395,40 @@ impl<M> Network<M> {
             }
             QueuedEvent::Timer { node, tag } => NetEvent::Timer { node, tag },
             QueuedEvent::Control { tag } => NetEvent::Control { tag },
-        };
+        }
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, NetEvent<M>)> {
+        let (t, ev) = self.engine.pop()?;
+        let ev = self.resolve(ev);
         Some((t, ev))
+    }
+
+    /// Drains the next batch of simultaneous events into `out` (cleared
+    /// first), advancing the clock to their shared timestamp. Returns that
+    /// timestamp, or `None` when the queue is empty.
+    ///
+    /// Event order across successive calls is bit-for-bit what repeated
+    /// [`pop`](Self::pop) calls produce (the wheel drains one level-0
+    /// bucket front-to-back; see [`Engine::pop_bucket`]), so a driver may
+    /// handle the batch in a plain `for` loop — including calling
+    /// [`note_churn_loss`](Self::note_churn_loss) per delivery and sending
+    /// follow-ups, which land in later batches. Dense ticks larger than
+    /// the internal cap are split over several calls.
+    pub fn pop_batch(&mut self, out: &mut Vec<NetEvent<M>>) -> Option<SimTime> {
+        out.clear();
+        let mut buf = std::mem::take(&mut self.batch_buf);
+        let t = self.engine.pop_bucket(&mut buf, BATCH_EVENTS);
+        if t.is_some() {
+            out.reserve(buf.len());
+            for ev in buf.drain(..) {
+                let resolved = self.resolve(ev);
+                out.push(resolved);
+            }
+        }
+        self.batch_buf = buf;
+        t
     }
 
     /// Pops the earliest event not later than `horizon`, or returns `None`
@@ -593,6 +636,40 @@ mod tests {
         assert!(s.pool_hit_rate() > 0.98, "hit rate {}", s.pool_hit_rate());
         assert_eq!(s.dispatched, net.stats().delivered);
         assert!(s.peak_depth >= 10);
+    }
+
+    #[test]
+    fn pop_batch_matches_single_pops_event_for_event() {
+        let model = NetworkModel::wan().with_drop_rate(0.1);
+        let build = || {
+            let mut net: Network<u64> = Network::new(model, 13);
+            for i in 0..500u64 {
+                net.send(
+                    (i % 9) as u32,
+                    ((i + 1) % 9) as u32,
+                    MessageKind::Control,
+                    i,
+                );
+                if i % 7 == 0 {
+                    net.schedule_timer_in(i, (i % 9) as u32, i);
+                }
+                if i % 11 == 0 {
+                    net.schedule_control_at(SimTime(i), i);
+                }
+            }
+            net
+        };
+        let mut single = build();
+        let mut batched = build();
+        let mut batch: Vec<NetEvent<u64>> = Vec::new();
+        while let Some(t) = batched.pop_batch(&mut batch) {
+            for ev in batch.drain(..) {
+                let (ts, es) = single.pop().expect("single-pop net drained early");
+                assert_eq!((ts, &es), (t, &ev));
+            }
+        }
+        assert!(single.pop().is_none(), "batched net drained early");
+        assert_eq!(single.stats(), batched.stats());
     }
 
     #[test]

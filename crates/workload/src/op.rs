@@ -27,12 +27,25 @@ impl WorkloadOp {
     /// *main* stream, exactly like scheduled ops, which is what makes a
     /// recorded op sequence replayable without the generating model.
     pub fn apply<R: Rng + ?Sized>(&self, g: &mut Graph, rng: &mut R, delta: &mut ChurnDelta) {
+        let mut scratch = Vec::new();
+        self.apply_with(g, rng, delta, &mut scratch);
+    }
+
+    /// [`apply`](Self::apply) with a caller-owned scratch buffer for the
+    /// departing nodes' neighbor lists: drivers that apply a stream of ops
+    /// every step reuse one buffer instead of allocating per op.
+    pub fn apply_with<R: Rng + ?Sized>(
+        &self,
+        g: &mut Graph,
+        rng: &mut R,
+        delta: &mut ChurnDelta,
+        scratch: &mut Vec<NodeId>,
+    ) {
         match self {
             WorkloadOp::Churn(op) => op.apply_into(g, rng, delta),
             WorkloadOp::LeaveNodes(nodes) => {
-                let mut scratch = Vec::new();
                 for &n in nodes {
-                    if g.remove_node_with(n, &mut scratch) {
+                    if g.remove_node_with(n, scratch) {
                         delta.left.push(n);
                     }
                 }
@@ -85,6 +98,34 @@ mod tests {
         let mut g = HeterogeneousRandom::paper(50).build(&mut small_rng(13));
         let mut delta = ChurnDelta::default();
         WorkloadOp::LeaveNodes(vec![NodeId(1), NodeId(2)]).apply(&mut g, &mut rng_a, &mut delta);
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    }
+
+    #[test]
+    fn apply_with_matches_apply() {
+        let build = || HeterogeneousRandom::paper(80).build(&mut small_rng(14));
+        let mut a = build();
+        let mut b = build();
+        let mut rng_a = small_rng(15);
+        let mut rng_b = small_rng(15);
+        let mut delta_a = ChurnDelta::default();
+        let mut delta_b = ChurnDelta::default();
+        let mut scratch = Vec::new();
+        let ops = [
+            WorkloadOp::LeaveNodes(vec![NodeId(5), NodeId(9), NodeId(5)]),
+            WorkloadOp::Churn(ChurnOp::Leave { count: 7 }),
+            WorkloadOp::Churn(ChurnOp::Join {
+                count: 4,
+                max_degree: 10,
+            }),
+        ];
+        for op in &ops {
+            op.apply(&mut a, &mut rng_a, &mut delta_a);
+            op.apply_with(&mut b, &mut rng_b, &mut delta_b, &mut scratch);
+        }
+        assert_eq!(delta_a, delta_b);
+        assert_eq!(a.alive_count(), b.alive_count());
+        assert_eq!(a.edge_count(), b.edge_count());
         assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
     }
 

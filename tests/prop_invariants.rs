@@ -603,3 +603,116 @@ proptest! {
         }
     }
 }
+
+// ── CSR adjacency & batched dispatch (PR 7) ─────────────────────────────
+//
+// The CSR arena accumulates garbage under churn (relocated regions, dead
+// nodes' half-edges) that compaction rebuilds away. Compaction must be
+// *invisible*: the incrementally-churned graph and its compacted clone
+// must agree on every observable — alive set, edge count, and each slot's
+// neighbor slice in iteration order — while the clone's arena holds
+// exactly the live half-edges.
+//
+// The timing wheel's batched drain (`pop_bucket`) must dispatch in the
+// identical order as single pops, which the heap oracle pins on schedules
+// built to maximize timestamp ties.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csr_churn_storm_matches_from_scratch_rebuild(
+        seed in any::<u64>(),
+        storms in prop::collection::vec((1u8..20, 1u8..20), 1..25),
+    ) {
+        let mut rng = small_rng(seed);
+        let mut g = HeterogeneousRandom::new(50, 6).build(&mut rng);
+        g.enable_slot_reuse();
+        for (leaves, joins) in storms {
+            churn::remove_random_nodes(&mut g, leaves as usize, &mut rng);
+            churn::join_nodes(&mut g, joins as usize, 6, &mut rng);
+
+            // From-scratch rebuild: compaction rewrites the whole arena
+            // slot by slot, dropping every relocated / dead region.
+            let mut rebuilt = g.clone();
+            rebuilt.compact_adjacency();
+            rebuilt.check_invariants().map_err(TestCaseError::fail)?;
+
+            prop_assert_eq!(rebuilt.alive_count(), g.alive_count());
+            prop_assert_eq!(rebuilt.edge_count(), g.edge_count());
+            prop_assert_eq!(rebuilt.alive_slice(), g.alive_slice());
+            for slot in 0..g.num_slots() {
+                let id = NodeId::from_index(slot);
+                prop_assert_eq!(
+                    rebuilt.neighbors(id),
+                    g.neighbors(id),
+                    "slot {} neighbor order changed under compaction",
+                    slot
+                );
+            }
+            // The rebuilt arena is exactly the live half-edges: spans plus
+            // 2·edges u32 entries, nothing else.
+            prop_assert_eq!(
+                rebuilt.adjacency_bytes(),
+                g.num_slots() * std::mem::size_of::<u32>() * 3
+                    + 2 * rebuilt.edge_count() * std::mem::size_of::<u32>()
+            );
+        }
+    }
+
+    #[test]
+    fn batched_wheel_drain_matches_heap_on_tie_heavy_schedules(
+        cap in 1usize..9,
+        ops in prop::collection::vec(
+            // (do_drain, delay_class, raw_delay): class 0 pins delays to
+            // {0,1,2} so most entries share a timestamp — the regime where
+            // a FIFO bug in the batched drain would show.
+            (any::<bool>(), 0u8..3, any::<u64>()),
+            1..250,
+        ),
+    ) {
+        use p2p_size_estimation::sim::engine::Engine;
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut wheel: Engine<u64> = Engine::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut batch = Vec::new();
+        for (do_drain, class, raw) in ops {
+            if do_drain && !wheel.is_empty() {
+                let t = wheel
+                    .pop_bucket(&mut batch, cap)
+                    .expect("non-empty wheel yields a batch");
+                for &payload in &batch {
+                    let Some(Reverse((ht, hp))) = heap.pop() else {
+                        return Err(TestCaseError::fail("wheel yielded more than the heap"));
+                    };
+                    prop_assert_eq!((t.ticks(), payload), (ht, hp),
+                        "batched drain diverged from the heap oracle");
+                }
+            } else {
+                let delay = match class {
+                    0 => raw % 3,
+                    1 => raw % 1_000,
+                    _ => raw % (1 << 45),
+                };
+                let t = wheel.now().ticks() + delay;
+                wheel.schedule_in(delay, seq);
+                heap.push(Reverse((t, seq)));
+                seq += 1;
+            }
+        }
+        // Drain the tail batched too.
+        while let Some(t) = wheel.pop_bucket(&mut batch, cap) {
+            for &payload in &batch {
+                let Some(Reverse((ht, hp))) = heap.pop() else {
+                    return Err(TestCaseError::fail("wheel yielded more than the heap"));
+                };
+                prop_assert_eq!((t.ticks(), payload), (ht, hp),
+                    "tail drain diverged from the heap oracle");
+            }
+        }
+        prop_assert!(heap.is_empty(), "heap retained entries the wheel lost");
+    }
+}
