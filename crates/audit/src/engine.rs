@@ -1,0 +1,552 @@
+//! The audit engine: walks the workspace, runs every rule over lexed
+//! sources, matches `audit:allow` annotations to the violations they
+//! legitimize, and renders text or JSONL reports.
+//!
+//! Determinism discipline applies to the auditor itself: files are walked
+//! in sorted order, violations are sorted by `(file, line, rule)`, and the
+//! JSONL output follows the same hand-rolled escaping conventions as the
+//! experiment sinks, so two runs over the same tree emit identical bytes.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::lexer::{lex, Allow, Lexed};
+use crate::rules::{rules, FileCtx, FileMeta, Finding, RuleKind};
+
+/// A source file presented to the auditor: workspace-relative path plus
+/// contents. Tests feed synthetic files; real runs use [`walk_workspace`].
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Full file contents.
+    pub source: String,
+}
+
+/// One rule match, resolved against allow annotations.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Rule name (`wall-clock`, …, or the engine-level `malformed-allow`).
+    pub rule: &'static str,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// `Some(reason)` when a well-formed `audit:allow` covers this line.
+    pub allow_reason: Option<String>,
+}
+
+impl Violation {
+    /// Whether an allow annotation (with a reason) legitimizes this.
+    pub fn is_allowed(&self) -> bool {
+        self.allow_reason.is_some()
+    }
+}
+
+/// An `audit:allow` that matched no violation — usually stale after a
+/// refactor, worth pruning but not a failure.
+#[derive(Clone, Debug)]
+pub struct UnusedAllow {
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the annotation.
+    pub line: u32,
+    /// The rule it names.
+    pub rule: String,
+}
+
+/// The outcome of an audit run.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// All violations, sorted by `(file, line, rule)`.
+    pub violations: Vec<Violation>,
+    /// Allow annotations that suppressed nothing.
+    pub unused_allows: Vec<UnusedAllow>,
+    /// Number of files scanned.
+    pub files: usize,
+    /// Number of active rules.
+    pub rule_count: usize,
+}
+
+impl AuditReport {
+    /// Violations not covered by a reasoned `audit:allow` — what CI fails on.
+    pub fn unannotated(&self) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(|v| !v.is_allowed())
+    }
+
+    /// Human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = write!(out, "{}:{}: {}: {}", v.file, v.line, v.rule, v.snippet);
+            if let Some(reason) = &v.allow_reason {
+                let _ = write!(out, "  [allowed: {reason}]");
+            }
+            out.push('\n');
+        }
+        for u in &self.unused_allows {
+            let _ = writeln!(
+                out,
+                "{}:{}: note: unused audit:allow({})",
+                u.file, u.line, u.rule
+            );
+        }
+        let allowed = self.violations.iter().filter(|v| v.is_allowed()).count();
+        let _ = writeln!(
+            out,
+            "audit: {} rules, {} files, {} violations ({} allowed, {} unannotated)",
+            self.rule_count,
+            self.files,
+            self.violations.len(),
+            allowed,
+            self.violations.len() - allowed,
+        );
+        out
+    }
+
+    /// Machine-diffable report following the experiment sinks' JSONL
+    /// conventions: a `meta` line, one object per violation, a `done`
+    /// trailer.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"event\":\"meta\",\"tool\":\"audit\",\"rules\":{},\"files\":{}}}",
+            self.rule_count, self.files
+        );
+        for v in &self.violations {
+            let _ = write!(
+                out,
+                "{{\"event\":\"violation\",\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"snippet\":\"{}\",\"allowed\":{}",
+                json_escape(v.rule),
+                json_escape(&v.file),
+                v.line,
+                json_escape(&v.snippet),
+                v.is_allowed(),
+            );
+            if let Some(reason) = &v.allow_reason {
+                let _ = write!(out, ",\"reason\":\"{}\"", json_escape(reason));
+            }
+            out.push_str("}\n");
+        }
+        for u in &self.unused_allows {
+            let _ = writeln!(
+                out,
+                "{{\"event\":\"unused-allow\",\"rule\":\"{}\",\"file\":\"{}\",\"line\":{}}}",
+                json_escape(&u.rule),
+                json_escape(&u.file),
+                u.line
+            );
+        }
+        let allowed = self.violations.iter().filter(|v| v.is_allowed()).count();
+        let _ = writeln!(
+            out,
+            "{{\"event\":\"done\",\"violations\":{},\"allowed\":{},\"unannotated\":{}}}",
+            self.violations.len(),
+            allowed,
+            self.violations.len() - allowed,
+        );
+        out
+    }
+}
+
+/// `--list-rules` output: name, scope, summary per rule.
+pub fn list_rules() -> String {
+    let mut out = String::new();
+    for r in rules() {
+        let _ = writeln!(out, "{:<15} [{}]", r.name, r.scope);
+        let _ = writeln!(out, "{:<15} {}", "", r.summary);
+    }
+    let _ = writeln!(
+        out,
+        "{:<15} escape hatch: `// audit:allow(rule-name): reason` on or above the line",
+        ""
+    );
+    out
+}
+
+/// Derives scoping facts from a workspace-relative path.
+pub fn file_meta(path: &str) -> FileMeta {
+    let parts: Vec<&str> = path.split('/').collect();
+    let (crate_name, rest) = if parts.first() == Some(&"crates") && parts.len() >= 2 {
+        (parts[1].to_string(), &parts[2..])
+    } else if parts.first() == Some(&"examples") {
+        ("examples".to_string(), &parts[..])
+    } else {
+        ("root".to_string(), &parts[..])
+    };
+    FileMeta {
+        path: path.to_string(),
+        is_bin: crate_name == "examples" || rest.windows(2).any(|w| w[0] == "src" && w[1] == "bin"),
+        is_test_file: rest.first() == Some(&"tests"),
+        is_bench: rest.first() == Some(&"benches"),
+        crate_name,
+    }
+}
+
+/// Runs every rule over `files` and resolves allow annotations.
+pub fn audit_files(files: &[SourceFile]) -> AuditReport {
+    let mut files: Vec<&SourceFile> = files.iter().collect();
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+
+    let metas: Vec<FileMeta> = files.iter().map(|f| file_meta(&f.path)).collect();
+    let lexed: Vec<Lexed> = files.iter().map(|f| lex(&f.source)).collect();
+    let ctxs: Vec<FileCtx<'_>> = metas
+        .iter()
+        .zip(lexed.iter())
+        .map(|(meta, lex)| FileCtx { meta, lex })
+        .collect();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for rule in rules() {
+        match rule.kind {
+            RuleKind::PerFile { applies, check } => {
+                for cx in &ctxs {
+                    if !applies(cx.meta) {
+                        continue;
+                    }
+                    if rule.skip_test_code && (cx.meta.is_test_file || cx.meta.is_bench) {
+                        continue;
+                    }
+                    let mut lines = Vec::new();
+                    check(cx, &mut lines);
+                    for line in lines {
+                        if rule.skip_test_code && cx.lex.in_test_span(line) {
+                            continue;
+                        }
+                        findings.push(Finding {
+                            rule: rule.name,
+                            file: cx.meta.path.clone(),
+                            line,
+                        });
+                    }
+                }
+            }
+            RuleKind::Workspace(check) => check(&ctxs, &mut findings),
+        }
+    }
+
+    resolve(files.as_slice(), &ctxs, findings)
+}
+
+/// Matches findings against allow annotations and builds the report.
+fn resolve(files: &[&SourceFile], ctxs: &[FileCtx<'_>], findings: Vec<Finding>) -> AuditReport {
+    let mut report = AuditReport {
+        files: files.len(),
+        rule_count: rules().len(),
+        ..AuditReport::default()
+    };
+
+    // Per-file allow table: (annotation, scope line, used).
+    struct Scoped<'a> {
+        allow: &'a Allow,
+        scope: u32,
+        used: bool,
+    }
+    let mut tables: Vec<Vec<Scoped<'_>>> = ctxs
+        .iter()
+        .map(|cx| {
+            cx.lex
+                .allows
+                .iter()
+                .map(|a| Scoped {
+                    allow: a,
+                    scope: scope_line(cx.lex, a.line),
+                    used: false,
+                })
+                .collect()
+        })
+        .collect();
+
+    let index_of = |path: &str| files.iter().position(|f| f.path == path);
+
+    for finding in findings {
+        let Some(fi) = index_of(&finding.file) else {
+            continue;
+        };
+        let snippet = snippet_at(&files[fi].source, finding.line);
+        let mut allow_reason = None;
+        for entry in &mut tables[fi] {
+            if entry.allow.rule == finding.rule
+                && entry.scope == finding.line
+                && !entry.allow.reason.is_empty()
+            {
+                allow_reason = Some(entry.allow.reason.clone());
+                entry.used = true;
+                break;
+            }
+        }
+        report.violations.push(Violation {
+            rule: finding.rule,
+            file: finding.file,
+            line: finding.line,
+            snippet,
+            allow_reason,
+        });
+    }
+
+    // Annotations that carry no reason are malformed: reported, never
+    // honored — the acceptance contract is that every allow is justified.
+    for (fi, table) in tables.iter().enumerate() {
+        for entry in table {
+            if entry.allow.reason.is_empty() {
+                report.violations.push(Violation {
+                    rule: "malformed-allow",
+                    file: files[fi].path.clone(),
+                    line: entry.allow.line,
+                    snippet: snippet_at(&files[fi].source, entry.allow.line),
+                    allow_reason: None,
+                });
+            } else if !entry.used {
+                report.unused_allows.push(UnusedAllow {
+                    file: files[fi].path.clone(),
+                    line: entry.allow.line,
+                    rule: entry.allow.rule.clone(),
+                });
+            }
+        }
+    }
+
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+        .unused_allows
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report
+}
+
+/// The line an allow annotation governs: the first line at or after the
+/// comment that carries a token. A trailing comment covers its own line;
+/// a standalone comment covers the next line of code.
+fn scope_line(lex: &Lexed, allow_line: u32) -> u32 {
+    lex.tokens
+        .iter()
+        .map(|t| t.line)
+        .filter(|&l| l >= allow_line)
+        .min()
+        .unwrap_or(allow_line)
+}
+
+fn snippet_at(source: &str, line: u32) -> String {
+    source
+        .lines()
+        .nth(line.saturating_sub(1) as usize)
+        .unwrap_or("")
+        .trim()
+        .to_string()
+}
+
+/// Collects every auditable `.rs` file under `root` (the workspace
+/// checkout): `src/`, `tests/`, `examples/`, and `crates/*/…`, skipping
+/// `vendor/` and build output. Paths come back sorted and relative.
+pub fn walk_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    for top in ["src", "tests", "examples", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, root, &mut out)?;
+        }
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(SourceFile {
+                path: rel,
+                source: fs::read_to_string(&path)?,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Walks and audits the workspace at `root` in one call.
+pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
+    Ok(audit_files(&walk_workspace(root)?))
+}
+
+/// Escapes a string for inclusion in a JSON string literal — same table
+/// as the experiment JSONL sink.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, source: &str) -> SourceFile {
+        SourceFile {
+            path: path.to_string(),
+            source: source.to_string(),
+        }
+    }
+
+    #[test]
+    fn clean_file_reports_nothing() {
+        let report = audit_files(&[file(
+            "crates/sim/src/lib.rs",
+            "pub fn step(t: u64) -> u64 { t + 1 }\n",
+        )]);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.files, 1);
+        assert!(report.rule_count >= 10);
+    }
+
+    #[test]
+    fn violation_without_allow_is_unannotated() {
+        let report = audit_files(&[file(
+            "crates/sim/src/lib.rs",
+            "fn f() { let t = Instant::now(); }\n",
+        )]);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "wall-clock");
+        assert_eq!(report.violations[0].line, 1);
+        assert_eq!(report.unannotated().count(), 1);
+    }
+
+    #[test]
+    fn trailing_allow_with_reason_suppresses() {
+        let report = audit_files(&[file(
+            "crates/sim/src/lib.rs",
+            "fn f() { let t = Instant::now(); } // audit:allow(wall-clock): progress meter\n",
+        )]);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(
+            report.violations[0].allow_reason.as_deref(),
+            Some("progress meter")
+        );
+        assert_eq!(report.unannotated().count(), 0);
+        assert!(report.unused_allows.is_empty());
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_code_line() {
+        let report = audit_files(&[file(
+            "crates/sim/src/lib.rs",
+            "// audit:allow(wall-clock): progress meter\nfn f() { let t = Instant::now(); }\n",
+        )]);
+        assert_eq!(report.unannotated().count(), 0);
+    }
+
+    #[test]
+    fn allow_for_wrong_rule_does_not_suppress() {
+        let report = audit_files(&[file(
+            "crates/sim/src/lib.rs",
+            "// audit:allow(env-read): wrong rule\nfn f() { let t = Instant::now(); }\n",
+        )]);
+        assert_eq!(report.unannotated().count(), 1);
+        assert_eq!(report.unused_allows.len(), 1);
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed_and_does_not_suppress() {
+        let report = audit_files(&[file(
+            "crates/sim/src/lib.rs",
+            "fn f() { let t = Instant::now(); } // audit:allow(wall-clock)\n",
+        )]);
+        let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"wall-clock"));
+        assert!(rules.contains(&"malformed-allow"));
+        assert_eq!(report.unannotated().count(), 2);
+    }
+
+    #[test]
+    fn test_spans_are_exempt_for_scoped_rules() {
+        let report = audit_files(&[file(
+            "crates/sim/src/lib.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { let t = Instant::now(); }\n}\n",
+        )]);
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn test_files_are_exempt_for_scoped_rules() {
+        let report = audit_files(&[file(
+            "crates/sim/tests/clock.rs",
+            "fn t() { let t = Instant::now(); }\n",
+        )]);
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn jsonl_report_is_parseable_shape() {
+        let report = audit_files(&[file(
+            "crates/sim/src/lib.rs",
+            "fn f() { let t = Instant::now(); }\n",
+        )]);
+        let jsonl = report.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines[0].starts_with("{\"event\":\"meta\""));
+        assert!(lines[1].contains("\"rule\":\"wall-clock\""));
+        assert!(lines[1].contains("\"allowed\":false"));
+        assert!(lines.last().unwrap().starts_with("{\"event\":\"done\""));
+        // Deterministic: same input, same bytes.
+        let report2 = audit_files(&[file(
+            "crates/sim/src/lib.rs",
+            "fn f() { let t = Instant::now(); }\n",
+        )]);
+        assert_eq!(jsonl, report2.to_jsonl());
+    }
+
+    #[test]
+    fn meta_classifies_paths() {
+        let m = file_meta("crates/experiments/src/bin/repro.rs");
+        assert_eq!(m.crate_name, "experiments");
+        assert!(m.is_bin);
+        let m = file_meta("tests/audit_clean.rs");
+        assert_eq!(m.crate_name, "root");
+        assert!(m.is_test_file);
+        let m = file_meta("examples/quickstart.rs");
+        assert!(m.is_bin);
+        let m = file_meta("crates/sim/benches/engine.rs");
+        assert!(m.is_bench);
+    }
+
+    #[test]
+    fn list_rules_names_every_rule() {
+        let listing = list_rules();
+        for r in rules() {
+            assert!(listing.contains(r.name), "{} missing", r.name);
+        }
+    }
+}

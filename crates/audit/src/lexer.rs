@@ -1,0 +1,621 @@
+//! A small Rust lexer, just deep enough that audit rules never fire on
+//! commented-out or quoted text.
+//!
+//! The token model is deliberately coarse — identifiers, single-character
+//! punctuation, and opaque literals — because every rule the engine ships
+//! matches short identifier/punctuation sequences (`Instant :: now`,
+//! `. unwrap (`, `static mut`). What must be *exact* is what gets skipped:
+//! line comments, nested block comments, string/char/byte literals, and
+//! raw strings with arbitrary `#` fences, so that a forbidden name inside
+//! any of them is invisible to the rules.
+//!
+//! Beyond tokens, the lexer extracts the two pieces of structure the
+//! engine needs:
+//!
+//! * [`Allow`] annotations — `// audit:allow(rule-name): reason` line
+//!   comments, the escape hatch that legitimizes a violation on the same
+//!   line (trailing comment) or on the next line carrying code;
+//! * `#[cfg(test)]` item spans, so rules that only govern production code
+//!   can skip test modules without a full parser.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`Instant`, `static`, `fn`, …).
+    Ident,
+    /// A single punctuation character (`:`, `.`, `(`, `#`, …).
+    Punct(char),
+    /// A numeric literal, consumed opaquely.
+    Number,
+    /// A string literal of any flavor (`"…"`, `r#"…"#`, `b"…"`), contents
+    /// discarded.
+    Str,
+    /// A char or byte-char literal (`'a'`, `b'\n'`), contents discarded.
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexeme with its source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The kind; [`TokenKind::Punct`] carries the character.
+    pub kind: TokenKind,
+    /// Identifier text (empty for every other kind, so matching never
+    /// allocates per literal).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// A parsed `// audit:allow(rule-name): reason` annotation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Allow {
+    /// The rule the annotation suppresses.
+    pub rule: String,
+    /// The justification after the colon; empty means the annotation is
+    /// malformed and the engine reports it instead of honoring it.
+    pub reason: String,
+    /// 1-based line the comment sits on.
+    pub line: u32,
+}
+
+/// A lexed source file: tokens, allow annotations, and `#[cfg(test)]`
+/// line spans.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and literal contents stripped.
+    pub tokens: Vec<Token>,
+    /// Every `audit:allow` annotation found in line comments.
+    pub allows: Vec<Allow>,
+    /// Inclusive 1-based line ranges covered by `#[cfg(test)]` items.
+    pub test_spans: Vec<(u32, u32)>,
+}
+
+impl Lexed {
+    /// Whether `line` falls inside a `#[cfg(test)]` item.
+    pub fn in_test_span(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+}
+
+/// Lexes `source`, returning tokens, allow annotations, and test spans.
+pub fn lex(source: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                // Line comment (incl. /// and //!): scan for an allow
+                // annotation, then skip to end of line.
+                let start = i + 2;
+                let mut end = start;
+                while end < chars.len() && chars[end] != '\n' {
+                    end += 1;
+                }
+                let text: String = chars[start..end].iter().collect();
+                if let Some(allow) = parse_allow(&text, line) {
+                    out.allows.push(allow);
+                }
+                i = end;
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment, nested per the Rust grammar.
+                let mut depth = 1usize;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let (ni, nl) = skip_string(&chars, i, line);
+                out.tokens.push(tok(TokenKind::Str, line));
+                i = ni;
+                line = nl;
+            }
+            '\'' => {
+                // Lifetime or char literal. `'x'` is a char; `'x` (no
+                // closing quote after one ident char run) is a lifetime;
+                // `'\…'` is always a char.
+                let c1 = chars.get(i + 1).copied();
+                let is_lifetime = match c1 {
+                    Some('\\') => false,
+                    Some(c1) if c1 == '_' || c1.is_alphabetic() => chars.get(i + 2) != Some(&'\''),
+                    _ => false,
+                };
+                if is_lifetime {
+                    let mut end = i + 1;
+                    while end < chars.len() && (chars[end] == '_' || chars[end].is_alphanumeric()) {
+                        end += 1;
+                    }
+                    out.tokens.push(tok(TokenKind::Lifetime, line));
+                    i = end;
+                } else {
+                    let (ni, nl) = skip_char(&chars, i, line);
+                    out.tokens.push(tok(TokenKind::Char, line));
+                    i = ni;
+                    line = nl;
+                }
+            }
+            c if c == '_' || c.is_alphabetic() => {
+                // Raw-string / byte-literal prefixes first: r"…", r#"…"#,
+                // br"…", b"…", b'…'. Anything else is a plain identifier.
+                if let Some((ni, nl)) = try_raw_or_byte(&chars, i, line) {
+                    out.tokens.push(tok(TokenKind::Str, line));
+                    i = ni;
+                    line = nl;
+                    continue;
+                }
+                if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+                    let (ni, nl) = skip_char(&chars, i + 1, line);
+                    out.tokens.push(tok(TokenKind::Char, line));
+                    i = ni;
+                    line = nl;
+                    continue;
+                }
+                let mut end = i;
+                while end < chars.len() && (chars[end] == '_' || chars[end].is_alphanumeric()) {
+                    end += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: chars[i..end].iter().collect(),
+                    line,
+                });
+                i = end;
+            }
+            c if c.is_ascii_digit() => {
+                // Opaque: good enough for rules that never match numbers.
+                let mut end = i;
+                while end < chars.len() && (chars[end] == '_' || chars[end].is_alphanumeric()) {
+                    end += 1;
+                }
+                out.tokens.push(tok(TokenKind::Number, line));
+                i = end;
+            }
+            c => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(c),
+                    text: String::new(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+
+    out.test_spans = find_test_spans(&out.tokens);
+    out
+}
+
+fn tok(kind: TokenKind, line: u32) -> Token {
+    Token {
+        kind,
+        text: String::new(),
+        line,
+    }
+}
+
+/// Consumes a normal (escape-aware) string literal starting at the opening
+/// quote; returns (next index, next line).
+fn skip_string(chars: &[char], mut i: usize, mut line: u32) -> (usize, u32) {
+    i += 1; // opening quote
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => {
+                // Escapes are two chars — including `\` + newline (string
+                // line-continuation), which still ends a source line.
+                if chars.get(i + 1) == Some(&'\n') {
+                    line += 1;
+                }
+                i += 2;
+            }
+            '"' => return (i + 1, line),
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, line)
+}
+
+/// Consumes a char/byte-char literal starting at the opening `'`.
+fn skip_char(chars: &[char], mut i: usize, line: u32) -> (usize, u32) {
+    i += 1; // opening quote
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\'' => return (i + 1, line),
+            '\n' => {
+                // Unterminated char on this line; bail so a stray quote
+                // cannot swallow the rest of the file.
+                return (i, line);
+            }
+            _ => i += 1,
+        }
+    }
+    (i, line)
+}
+
+/// Tries to consume a raw string (`r"…"`, `r#"…"#`, `br##"…"##`) or byte
+/// string (`b"…"`) starting at `i`; `None` if the prefix does not match.
+fn try_raw_or_byte(chars: &[char], i: usize, line: u32) -> Option<(usize, u32)> {
+    let mut j = i;
+    let mut raw = false;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        raw = true;
+        j += 1;
+    }
+    if j == i {
+        return None; // neither b nor r prefix
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if chars.get(j) != Some(&'"') {
+            return None; // e.g. a raw identifier r#foo, or the ident `br`
+        }
+        j += 1;
+        let mut l = line;
+        // Scan for `"` followed by `hashes` `#`s; no escapes in raw strings.
+        while j < chars.len() {
+            if chars[j] == '\n' {
+                l += 1;
+                j += 1;
+                continue;
+            }
+            if chars[j] == '"' && chars[j + 1..].iter().take_while(|&&c| c == '#').count() >= hashes
+            {
+                return Some((j + 1 + hashes, l));
+            }
+            j += 1;
+        }
+        Some((j, l))
+    } else {
+        // `b` prefix without `r`: only a byte string counts here (byte
+        // chars are handled by the caller).
+        if chars.get(j) != Some(&'"') {
+            return None;
+        }
+        let (ni, nl) = skip_string(chars, j, line);
+        Some((ni, nl))
+    }
+}
+
+/// Parses one line comment's text as an allow annotation. Accepts doc
+/// comment sigils (the text arrives after `//`, so a leading `/` or `!`
+/// may remain) and surrounding whitespace.
+fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
+    let text = comment.trim_start_matches(['/', '!']).trim();
+    let rest = text.strip_prefix("audit:allow(")?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let after = rest[close + 1..].trim_start();
+    let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+    Some(Allow {
+        rule,
+        reason: reason.to_string(),
+        line,
+    })
+}
+
+/// Finds the line spans of items annotated `#[cfg(test)]` (or any
+/// `#[cfg(...)]` whose argument list mentions `test`): the attribute, any
+/// stacked attributes after it, and the item body through its matching
+/// closing brace (or terminating semicolon).
+fn find_test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some((attr_end, mentions_test)) = match_cfg_attr(tokens, i) {
+            if mentions_test {
+                let start_line = tokens[i].line;
+                let end = skip_item(tokens, attr_end);
+                let end_line = tokens
+                    .get(end.saturating_sub(1))
+                    .map_or(start_line, |t| t.line);
+                spans.push((start_line, end_line));
+                i = end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// If tokens at `i` start a `#[cfg(...)]` attribute, returns the index
+/// past the closing `]` and whether the cfg arguments mention `test`.
+fn match_cfg_attr(tokens: &[Token], i: usize) -> Option<(usize, bool)> {
+    if !(tokens.get(i)?.is_punct('#')
+        && tokens.get(i + 1)?.is_punct('[')
+        && tokens.get(i + 2)?.is_ident("cfg")
+        && tokens.get(i + 3)?.is_punct('('))
+    {
+        return None;
+    }
+    let mut depth = 1usize;
+    let mut j = i + 4;
+    let mut mentions_test = false;
+    while j < tokens.len() && depth > 0 {
+        if tokens[j].is_punct('(') {
+            depth += 1;
+        } else if tokens[j].is_punct(')') {
+            depth -= 1;
+        } else if tokens[j].is_ident("test") {
+            mentions_test = true;
+        }
+        j += 1;
+    }
+    // Expect the closing `]`.
+    if tokens.get(j).is_some_and(|t| t.is_punct(']')) {
+        j += 1;
+    }
+    Some((j, mentions_test))
+}
+
+/// Skips one item starting at `i` (past its attributes): any further
+/// `#[...]` attributes, then tokens up to a top-level `;` or through a
+/// top-level `{ ... }` body. Returns the index past the item.
+fn skip_item(tokens: &[Token], mut i: usize) -> usize {
+    // Stacked attributes.
+    while tokens.get(i).is_some_and(|t| t.is_punct('#'))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        let mut depth = 1usize;
+        i += 2;
+        while i < tokens.len() && depth > 0 {
+            if tokens[i].is_punct('[') {
+                depth += 1;
+            } else if tokens[i].is_punct(']') {
+                depth -= 1;
+            }
+            i += 1;
+        }
+    }
+    // Header up to `{` or `;` at delimiter depth 0.
+    let mut depth = 0isize;
+    while i < tokens.len() {
+        match tokens[i].kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+            TokenKind::Punct(';') if depth == 0 => return i + 1,
+            TokenKind::Punct('{') if depth == 0 => {
+                // Body: match braces.
+                let mut braces = 1usize;
+                i += 1;
+                while i < tokens.len() && braces > 0 {
+                    if tokens[i].is_punct('{') {
+                        braces += 1;
+                    } else if tokens[i].is_punct('}') {
+                        braces -= 1;
+                    }
+                    i += 1;
+                }
+                return i;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// The spans of every `fn` in the token stream: `(name, header index,
+/// body token range)`. Bodyless fns (trait methods) report an empty range.
+pub fn fn_spans(tokens: &[Token]) -> Vec<(String, usize, std::ops::Range<usize>)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn")
+            && tokens
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            let name = tokens[i + 1].text.clone();
+            // Find the body `{` (or a `;` for bodyless declarations) at
+            // delimiter depth 0.
+            let mut depth = 0isize;
+            let mut j = i + 2;
+            let mut body = j..j;
+            while j < tokens.len() {
+                match tokens[j].kind {
+                    TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                    TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+                    TokenKind::Punct(';') if depth == 0 => break,
+                    TokenKind::Punct('{') if depth == 0 => {
+                        let start = j + 1;
+                        let mut braces = 1usize;
+                        j += 1;
+                        while j < tokens.len() && braces > 0 {
+                            if tokens[j].is_punct('{') {
+                                braces += 1;
+                            } else if tokens[j].is_punct('}') {
+                                braces -= 1;
+                            }
+                            j += 1;
+                        }
+                        body = start..j.saturating_sub(1);
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            out.push((name, i, body));
+            i = j.max(i + 2);
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r###"
+            // Instant::now in a line comment
+            /* HashMap in a block /* nested SystemTime */ comment */
+            let a = "thread_rng quoted";
+            let b = r#"raw "static mut" fenced"#;
+            let c = b"from_entropy bytes";
+            let d = 'x';
+            real_ident();
+        "###;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        for forbidden in ["Instant", "HashMap", "SystemTime", "thread_rng", "static"] {
+            assert!(!ids.contains(&forbidden.to_string()), "{forbidden} leaked");
+        }
+    }
+
+    #[test]
+    fn lifetimes_do_not_swallow_code() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { unwrap_me() }";
+        let ids = idents(src);
+        assert!(ids.contains(&"unwrap_me".to_string()));
+        // 'a and 'static lex as lifetimes, not char literals eating `(x:`.
+        let lifetimes = lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 3);
+    }
+
+    #[test]
+    fn char_escapes_terminate() {
+        let src = r"let q = '\''; let b = '\\'; after();";
+        assert!(idents(src).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn string_line_continuations_keep_line_numbers() {
+        let src = "let s = \"first \\\n     second\";\nmarker();\n";
+        let lexed = lex(src);
+        let marker = lexed.tokens.iter().find(|t| t.is_ident("marker")).unwrap();
+        assert_eq!(marker.line, 3);
+    }
+
+    #[test]
+    fn raw_string_fences_respect_hash_count() {
+        let src = r####"let s = r##"contains "# inside"##; tail();"####;
+        assert!(idents(src).contains(&"tail".to_string()));
+        assert!(!idents(src).contains(&"contains".to_string()));
+    }
+
+    #[test]
+    fn allow_annotations_parse_with_reasons() {
+        let src = "x(); // audit:allow(wall-clock): progress timing only\n\
+                   // audit:allow(env-read)\n\
+                   // not an annotation";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 2);
+        assert_eq!(lexed.allows[0].rule, "wall-clock");
+        assert_eq!(lexed.allows[0].reason, "progress timing only");
+        assert_eq!(lexed.allows[0].line, 1);
+        assert_eq!(lexed.allows[1].rule, "env-read");
+        assert_eq!(lexed.allows[1].reason, "", "missing reason surfaces empty");
+    }
+
+    #[test]
+    fn cfg_test_spans_cover_modules_and_fns() {
+        let src = "\
+fn prod() {}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    #[test]\n\
+    fn t() { helper(); }\n\
+}\n\
+fn prod2() {}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.test_spans, vec![(2, 6)]);
+        assert!(!lexed.in_test_span(1));
+        assert!(lexed.in_test_span(5));
+        assert!(!lexed.in_test_span(7));
+    }
+
+    #[test]
+    fn cfg_test_span_handles_attributed_structs_and_semis() {
+        let src = "\
+#[cfg(test)]\n\
+#[derive(Debug)]\n\
+pub struct Oracle { x: [u8; 3] }\n\
+#[cfg(test)]\n\
+use std::fmt;\n\
+fn live() {}\n";
+        let lexed = lex(src);
+        assert!(lexed.in_test_span(3));
+        assert!(lexed.in_test_span(5));
+        assert!(!lexed.in_test_span(6));
+    }
+
+    #[test]
+    fn non_test_cfg_is_not_a_test_span() {
+        let src = "#[cfg(target_os = \"linux\")]\nfn linux_only() { body(); }\n";
+        assert!(lex(src).test_spans.is_empty());
+    }
+
+    #[test]
+    fn fn_spans_report_names_and_bodies() {
+        let src = "fn alpha(a: u8) { x(); } impl T { fn decode_body(&self) -> R<()> { y(); } }";
+        let spans = fn_spans(&lex(src).tokens);
+        let names: Vec<&str> = spans.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "decode_body"]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Property tests for the audit lexer and allow-annotation scoping.
+//!
+//! Two properties carry the tool's soundness story:
+//!
+//! * **quoting blindness** — generated Rust-ish sources where forbidden
+//!   names appear *only* inside line comments, block comments, string
+//!   literals, and raw strings never produce a violation, regardless of
+//!   how the fragments interleave;
+//! * **allow precision** — an `audit:allow` annotation suppresses exactly
+//!   its own rule on exactly its scope line: a matching annotation on the
+//!   violation's line (or the comment line directly above it) suppresses,
+//!   while a different rule name or an interposed code line does not.
+//!
+//! A third property pins line accounting: tokens after any fragment mix
+//! land on the line the raw text says they should — the invariant the
+//! string line-continuation bug (`\` + newline inside a literal) violated.
+
+use p2p_audit::engine::{audit_files, SourceFile};
+use p2p_audit::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+/// Names that, as real tokens in `crates/sim` source, would trip a rule.
+const FORBIDDEN: &[&str] = &["SystemTime", "thread_rng", "from_entropy", "OsRng", "sleep"];
+
+/// One generated source fragment: the text and the number of source lines
+/// it spans (every fragment ends without a trailing newline; the composer
+/// joins with `\n`).
+#[derive(Clone, Debug)]
+struct Fragment {
+    text: String,
+    lines: usize,
+}
+
+fn forbidden_name() -> impl Strategy<Value = &'static str> {
+    (0..FORBIDDEN.len()).prop_map(|i| FORBIDDEN[i])
+}
+
+/// Fragments that quote or comment out a forbidden name — the lexer must
+/// make all of them invisible.
+fn hiding_fragment() -> impl Strategy<Value = Fragment> {
+    prop_oneof![
+        forbidden_name().prop_map(|n| Fragment {
+            text: format!("// call {n}() here? Instant::now and static mut too"),
+            lines: 1,
+        }),
+        forbidden_name().prop_map(|n| Fragment {
+            text: format!("/* {n} in a block /* nested {n} */ comment */"),
+            lines: 1,
+        }),
+        forbidden_name().prop_map(|n| Fragment {
+            text: format!("/* multi\n   line {n}\n   comment */"),
+            lines: 3,
+        }),
+        forbidden_name().prop_map(|n| Fragment {
+            text: format!("let s = \"{n} quoted, Instant::now too\";"),
+            lines: 1,
+        }),
+        forbidden_name().prop_map(|n| Fragment {
+            text: format!("let r = r#\"{n} fenced \"quote\" inside\"#;"),
+            lines: 1,
+        }),
+        forbidden_name().prop_map(|n| Fragment {
+            text: format!("let b = b\"{n} bytes\";"),
+            lines: 1,
+        }),
+        forbidden_name().prop_map(|n| Fragment {
+            text: format!("let cont = \"{n} first \\\n    second half\";"),
+            lines: 2,
+        }),
+    ]
+}
+
+/// Innocent real code that no rule matches.
+fn neutral_fragment() -> impl Strategy<Value = Fragment> {
+    prop_oneof![
+        (0u32..100).prop_map(|k| Fragment {
+            text: format!("fn work_{k}(x: u64) -> u64 {{ x + {k} }}"),
+            lines: 1,
+        }),
+        (0u32..100).prop_map(|k| Fragment {
+            text: format!("let v_{k}: Vec<u32> = Vec::new();"),
+            lines: 1,
+        }),
+        (0u32..1).prop_map(|_| Fragment {
+            text: "let c = 'x'; let esc = '\\'';".to_string(),
+            lines: 1,
+        }),
+        (0u32..1).prop_map(|_| Fragment {
+            text: "fn generic<'a>(s: &'a str) -> &'static str { \"ok\" }".to_string(),
+            lines: 1,
+        }),
+    ]
+}
+
+fn fragment() -> impl Strategy<Value = Fragment> {
+    prop_oneof![hiding_fragment(), neutral_fragment()]
+}
+
+fn compose(fragments: &[Fragment]) -> (String, usize) {
+    let text = fragments
+        .iter()
+        .map(|f| f.text.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    let lines = fragments.iter().map(|f| f.lines).sum();
+    (text, lines)
+}
+
+fn audit_sim_source(source: &str) -> p2p_audit::AuditReport {
+    audit_files(&[SourceFile {
+        path: "crates/sim/src/generated.rs".to_string(),
+        source: source.to_string(),
+    }])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Forbidden names that exist only inside comments/strings/raw strings
+    // never produce a violation, whatever the interleaving.
+    #[test]
+    fn quoted_and_commented_tokens_never_report(frags in prop::collection::vec(fragment(), 1..20)) {
+        let (source, _) = compose(&frags);
+        let report = audit_sim_source(&source);
+        prop_assert!(
+            report.violations.is_empty(),
+            "hidden tokens leaked violations from:\n{source}\n-> {:?}",
+            report.violations
+        );
+    }
+
+    // Token line numbers survive any fragment mix: a marker appended after
+    // the fragments sits exactly where the raw text puts it.
+    #[test]
+    fn line_numbers_track_raw_text(frags in prop::collection::vec(fragment(), 1..20)) {
+        let (source, lines) = compose(&frags);
+        let full = format!("{source}\naudit_line_marker();");
+        let lexed = lex(&full);
+        let marker = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident && t.text == "audit_line_marker")
+            .expect("marker token survives");
+        prop_assert_eq!(marker.line as usize, lines + 1);
+    }
+
+    // `audit:allow` suppresses exactly its own rule on exactly its scope.
+    #[test]
+    fn allow_suppresses_exactly_its_rule_and_scope(
+        rule_matches in any::<bool>(),
+        trailing in any::<bool>(),
+        interposed in any::<bool>(),
+        pad in prop::collection::vec(neutral_fragment(), 0..5),
+    ) {
+        let rule = if rule_matches { "wall-clock" } else { "wall-sleep" };
+        let annotation = format!("audit:allow({rule}): generated justification");
+        let violation = "let t = Instant::now();";
+        let (prefix, _) = compose(&pad);
+        let mut body = if trailing {
+            format!("{violation} // {annotation}")
+        } else if interposed {
+            // A code line between the annotation and the violation moves
+            // the annotation's scope onto that line instead.
+            format!("// {annotation}\nlet unrelated = 1;\n{violation}")
+        } else {
+            format!("// {annotation}\n{violation}")
+        };
+        if !prefix.is_empty() {
+            body = format!("{prefix}\n{body}");
+        }
+        let report = audit_sim_source(&body);
+
+        let wall_clock: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.rule == "wall-clock")
+            .collect();
+        prop_assert_eq!(wall_clock.len(), 1, "exactly one wall-clock finding:\n{}", body);
+        let suppressed = wall_clock[0].is_allowed();
+        // `interposed` only displaces the scope in the standalone-comment
+        // form; a trailing annotation always sits on the violation line.
+        let should_suppress = rule_matches && (trailing || !interposed);
+        prop_assert_eq!(
+            suppressed,
+            should_suppress,
+            "rule_matches={} trailing={} interposed={} in:\n{}",
+            rule_matches,
+            trailing,
+            interposed,
+            body
+        );
+        // A mismatched or mis-scoped annotation must surface as unused,
+        // never silently eat a different rule's finding.
+        if !should_suppress {
+            prop_assert_eq!(report.unused_allows.len(), 1);
+        }
+    }
+}

@@ -41,6 +41,7 @@ fn usage() -> &'static str {
             [--reuse-slots]
             [--record-trace FILE | --replay-trace FILE] [common options]
   repro table [--scale ...] [--seed ...] [--out DIR]
+  repro audit [--list-rules] [--format text|jsonl] [--root DIR]
   repro (--all | --fig N | --table 1) [...]        (legacy form)
 
 common options:
@@ -75,7 +76,13 @@ specs:
   --record-trace FILE   record the run's churn ops as a JSONL trace (needs a
                         churn workload, one --protocol, --reps 1; no --sweep)
   --replay-trace FILE   replay a recorded trace (bit-for-bit under the
-                        recording's protocol and seed)"
+                        recording's protocol and seed)
+
+audit (the determinism & safety auditor, crates/audit):
+  --list-rules          print every rule with its scope and rationale
+  --format text|jsonl   report format (jsonl follows the sink conventions)
+  --root DIR            workspace checkout to audit (default: this one)
+  exits nonzero if any violation lacks a reasoned audit:allow annotation"
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -98,9 +105,17 @@ struct Args {
 
 enum Command {
     List,
-    Figures { figs: Vec<u32>, table: bool },
+    Figures {
+        figs: Vec<u32>,
+        table: bool,
+    },
     Custom(Box<ExperimentSpec>),
     Table,
+    Audit {
+        list_rules: bool,
+        jsonl: bool,
+        root: Option<PathBuf>,
+    },
 }
 
 /// Prints engine progress callbacks to stderr.
@@ -140,6 +155,9 @@ fn parse_args() -> Result<Args, String> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() {
         return Err(usage().to_string());
+    }
+    if raw[0] == "audit" {
+        return parse_audit_args(&raw[1..]);
     }
     let (subcommand, rest): (Option<&str>, &[String]) = match raw[0].as_str() {
         "list" | "run" | "table" => (Some(raw[0].as_str()), &raw[1..]),
@@ -403,6 +421,74 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
+/// Parses `repro audit` flags; the shared figure/scale knobs do not apply.
+fn parse_audit_args(rest: &[String]) -> Result<Args, String> {
+    let mut list_rules = false;
+    let mut jsonl = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = rest.iter().map(String::as_str);
+    while let Some(arg) = it.next() {
+        match arg {
+            "--list-rules" => list_rules = true,
+            "--format" => match it.next().ok_or("--format needs a value")? {
+                "text" => jsonl = false,
+                "jsonl" => jsonl = true,
+                other => return Err(format!("unknown audit format {other} (text | jsonl)")),
+            },
+            "--root" => root = Some(PathBuf::from(it.next().ok_or("--root needs a value")?)),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown audit argument {other}\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        command: Command::Audit {
+            list_rules,
+            jsonl,
+            root,
+        },
+        scale: ExperimentScale::by_name("small").ok_or("small scale registered")?,
+        scale_name: "small".to_string(),
+        seed: 20060619,
+        out: PathBuf::from("target/figures"),
+        jobs: None,
+        format: Format::Csv,
+        quiet: false,
+    })
+}
+
+/// Runs the determinism auditor; exits nonzero on unannotated violations.
+fn run_audit(list_rules: bool, jsonl: bool, root: Option<&std::path::Path>) -> ExitCode {
+    if list_rules {
+        print!("{}", p2p_audit::list_rules());
+        return ExitCode::SUCCESS;
+    }
+    // Default to the checkout this binary was built from: two levels up
+    // from crates/experiments. Compile-time, so the env-read rule (which
+    // governs runtime `std::env` reads) is not in play.
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let default_root = manifest.ancestors().nth(2).unwrap_or(manifest);
+    let root = root.unwrap_or(default_root);
+    match p2p_audit::audit_workspace(root) {
+        Ok(report) => {
+            if jsonl {
+                print!("{}", report.to_jsonl());
+            } else {
+                print!("{}", report.to_text());
+            }
+            let _ = std::io::stdout().flush();
+            if report.unannotated().count() == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("audit: cannot walk {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Assembles a free-form [`ExperimentSpec`] from the CLI's parsed pieces.
 #[allow(clippy::too_many_arguments)] // one call site, mirroring the flags
 fn build_custom_spec(
@@ -612,6 +698,7 @@ fn execute(spec: &ExperimentSpec, args: &Args) -> Result<(), String> {
         id: spec.id.clone(),
         enabled: !args.quiet,
     };
+    // audit:allow(wall-clock): elapsed-time console banner only; figure CSVs never see it
     let start = Instant::now();
     match args.format {
         Format::Csv => {
@@ -674,6 +761,7 @@ fn execute(spec: &ExperimentSpec, args: &Args) -> Result<(), String> {
 }
 
 fn run_table(args: &Args) -> Result<(), String> {
+    // audit:allow(wall-clock): elapsed-time console banner only; table1.csv never sees it
     let start = Instant::now();
     let runs = if args.scale.large >= 100_000 { 10 } else { 20 };
     let t = table1(args.scale.large, runs, args.seed);
@@ -730,6 +818,11 @@ fn main() -> ExitCode {
             run_list(&args);
             ExitCode::SUCCESS
         }
+        Command::Audit {
+            list_rules,
+            jsonl,
+            root,
+        } => run_audit(*list_rules, *jsonl, root.as_deref()),
         Command::Table => match run_table(&args) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {

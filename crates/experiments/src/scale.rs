@@ -103,6 +103,7 @@ impl ExperimentScale {
     /// Resolves the scale for benches: `P2P_PAPER_SCALE=1` selects
     /// [`paper`](Self::paper), anything else [`small`](Self::small).
     pub fn from_env() -> Self {
+        // audit:allow(env-read): explicit bench-harness opt-in knob; it selects a named scale, never feeds figure output
         match std::env::var("P2P_PAPER_SCALE") {
             Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Self::paper(),
             _ => Self::small(),

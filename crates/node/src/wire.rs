@@ -134,20 +134,28 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
+    /// `take(N)` as a fixed array, with the length proven by construction
+    /// rather than a fallible `try_into`.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+
     fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
     }
 
     fn u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn f64(&mut self) -> Result<f64, WireError> {
@@ -387,7 +395,7 @@ fn check_frame(buf: &[u8]) -> Result<&[u8], WireError> {
             got: buf.len(),
         });
     }
-    let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
     if len > MAX_FRAME {
         return Err(WireError::Oversized { len });
     }

@@ -37,6 +37,7 @@ impl WallPacer {
     pub fn new(step_ms: u64) -> Self {
         assert!(step_ms > 0, "the wall-clock step cadence must be positive");
         WallPacer {
+            // audit:allow(wall-clock): WallPacer IS the wall-clock boundary — it paces live cluster runs; DES runs never construct one
             start: Instant::now(),
             step: Duration::from_millis(step_ms),
             next_step: 1,
@@ -57,11 +58,13 @@ impl WallPacer {
     /// Time remaining until the next step boundary (zero if it is due).
     pub fn until_next(&self) -> Duration {
         self.deadline(self.next_step)
+            // audit:allow(wall-clock): comparing against the pacer's own wall anchor; cluster-only path
             .saturating_duration_since(Instant::now())
     }
 
     /// Yields the next step if its boundary has passed, without blocking.
     pub fn poll(&mut self) -> Option<u64> {
+        // audit:allow(wall-clock): step-boundary check against the pacer's wall anchor; cluster-only path
         if Instant::now() < self.deadline(self.next_step) {
             return None;
         }
@@ -72,6 +75,7 @@ impl WallPacer {
 
     /// Sleeps to the next step boundary and yields the step number.
     pub fn wait_next(&mut self) -> u64 {
+        // audit:allow(wall-sleep): blocking to the next wall step is this type's purpose; nothing in the DES path calls it
         std::thread::sleep(self.until_next());
         let step = self.next_step;
         self.next_step += 1;

@@ -65,6 +65,35 @@ fn table1_is_deterministic() {
     }
 }
 
+/// Satellite of the audit PR: the auditor's sink-unordered/hashmap-iter
+/// rules statically forbid order-unstable iteration feeding output; this
+/// pins the same property dynamically — two identical runs streamed
+/// through the JSONL sink emit byte-identical output.
+#[test]
+fn streamed_output_bytes_are_identical_across_runs() {
+    use p2p_size_estimation::experiments::engine::{run_experiment, EngineOptions};
+    use p2p_size_estimation::experiments::figures::spec_for;
+    use p2p_size_estimation::experiments::sink::JsonLinesSink;
+
+    let scale = ExperimentScale::tiny();
+    let spec = spec_for(1, &scale).expect("fig 1 registered");
+    let run = || {
+        let mut buf: Vec<u8> = Vec::new();
+        {
+            let mut sink = JsonLinesSink::new(&mut buf);
+            run_experiment(&spec, 20060619, &EngineOptions { jobs: Some(2) }, &mut sink);
+        }
+        buf
+    };
+    let a = run();
+    assert!(!a.is_empty(), "the run should stream rows");
+    assert_eq!(
+        a,
+        run(),
+        "two identical runs must emit identical output bytes"
+    );
+}
+
 #[test]
 fn run_replications_sweeps_seeds_across_threads() {
     use p2p_size_estimation::estimation::{Heuristic, SampleCollide};
