@@ -97,7 +97,7 @@ pub fn rules() -> &'static [Rule] {
     &RULES
 }
 
-static RULES: [Rule; 12] = [
+static RULES: [Rule; 13] = [
     Rule {
         name: "wall-clock",
         summary: "no Instant::now / SystemTime in sim-path crates (results must be a function of the seed, not the host clock)",
@@ -213,6 +213,16 @@ static RULES: [Rule; 12] = [
                 ) && !m.is_bin
             },
             check: check_print,
+        },
+    },
+    Rule {
+        name: "telemetry-side-effect",
+        summary: "telemetry mutators (counter_add/gauge_set/hist_observe) in statement position only (instrumentation must never feed values back into control flow)",
+        scope: "workspace",
+        skip_test_code: true,
+        kind: RuleKind::PerFile {
+            applies: |_| true,
+            check: check_telemetry_side_effect,
         },
     },
     Rule {
@@ -486,6 +496,63 @@ fn check_print(cx: &FileCtx<'_>, lines: &mut Vec<u32>) {
     }
 }
 
+/// Statement-position check for the telemetry mutators: walk back over the
+/// receiver chain (`self.reg`, `tel.as_mut().…`, indexing, `::` paths) to
+/// the first token of the expression; the token before it must end a
+/// statement. Anything else — `let x = …`, an argument position, a bare
+/// match arm — means the call sits inside a larger expression, which is
+/// how instrumentation starts steering control flow.
+fn check_telemetry_side_effect(cx: &FileCtx<'_>, lines: &mut Vec<u32>) {
+    let t = &cx.lex.tokens;
+    const KEYWORDS: &[&str] = &[
+        "return", "in", "if", "while", "match", "else", "break", "move",
+    ];
+    for name in ["counter_add", "gauge_set", "hist_observe"] {
+        for i in method_calls(t, name) {
+            let mut j = i - 1; // the `.` before the method name
+            while j > 0 {
+                let prev = &t[j - 1];
+                match prev.kind {
+                    TokenKind::Ident if !KEYWORDS.contains(&prev.text.as_str()) => j -= 1,
+                    TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                        // Skip the balanced group backwards to its opener.
+                        let (open, close) = if prev.is_punct(')') {
+                            ('(', ')')
+                        } else {
+                            ('[', ']')
+                        };
+                        let mut depth = 1usize;
+                        let mut k = j - 1;
+                        while k > 0 && depth > 0 {
+                            k -= 1;
+                            if t[k].is_punct(close) {
+                                depth += 1;
+                            } else if t[k].is_punct(open) {
+                                depth -= 1;
+                            }
+                        }
+                        j = k;
+                    }
+                    TokenKind::Punct('.')
+                    | TokenKind::Punct(':')
+                    | TokenKind::Punct('?')
+                    | TokenKind::Punct('&') => j -= 1,
+                    _ => break,
+                }
+            }
+            let statement = j > 0 && {
+                let p = &t[j - 1];
+                p.is_punct(';') || p.is_punct('{') || p.is_punct('}')
+            };
+            if !statement {
+                push_line(lines, t[i].line);
+            }
+        }
+    }
+    lines.sort_unstable();
+    lines.dedup();
+}
+
 // ---------------------------------------------------------------------------
 // workspace checks
 
@@ -683,6 +750,36 @@ fn encode_body(out: &mut Vec<u8>) { let x = y as u16; }\n";
         let used = "#[cfg(test)]\npub mod oracle { pub struct X; }\n\
                     #[cfg(test)]\nmod tests { use super::oracle; }\n";
         assert!(run_rule("orphan-oracle", "crates/sim/src/e.rs", used).is_empty());
+    }
+
+    #[test]
+    fn telemetry_mutators_must_be_statements() {
+        let good = "\
+fn f(reg: &mut Registry) {\n\
+    reg.counter_add(id, 1);\n\
+    self.tel.as_mut().reg.gauge_set(g, 7);\n\
+    if armed { regs[0].hist_observe(h, n); }\n\
+}\n";
+        assert!(run_rule(
+            "telemetry-side-effect",
+            "crates/experiments/src/runner.rs",
+            good
+        )
+        .is_empty());
+        let bad = "\
+fn f() {\n\
+    let x = reg.counter_add(id, 1);\n\
+    take(reg.hist_observe(h, 2));\n\
+    return reg.gauge_set(g, 3);\n\
+}\n";
+        assert_eq!(
+            run_rule(
+                "telemetry-side-effect",
+                "crates/experiments/src/runner.rs",
+                bad
+            ),
+            vec![2, 3, 4]
+        );
     }
 
     #[test]

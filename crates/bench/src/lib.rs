@@ -93,6 +93,22 @@ pub fn write_bench6(entries: &[(String, String)]) {
     write_snapshot("bench6", &bench6_path(), entries);
 }
 
+/// Where the telemetry-overhead snapshot lands: `target/BENCH_7.json`,
+/// events/s with and without interval metrics capture on the 1M-node
+/// `engine-memory` configuration. Same convention as [`bench5_path`].
+pub fn bench7_path() -> PathBuf {
+    figures_dir()
+        .parent()
+        .map(|p| p.join("BENCH_7.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_7.json"))
+}
+
+/// Writes the telemetry-overhead snapshot (see [`write_bench5`] for the
+/// format).
+pub fn write_bench7(entries: &[(String, String)]) {
+    write_snapshot("bench7", &bench7_path(), entries);
+}
+
 fn write_snapshot(tag: &str, path: &std::path::Path, entries: &[(String, String)]) {
     let mut out = String::from("{\n");
     for (i, (key, value)) in entries.iter().enumerate() {

@@ -15,7 +15,7 @@
 //! finish instead of writing figure files.
 
 use p2p_estimation::{Heuristic, ProtocolSpec};
-use p2p_experiments::engine::{run_experiment, EngineOptions};
+use p2p_experiments::engine::{run_experiment, EngineOptions, MetricsConfig};
 use p2p_experiments::figures::{spec_for, ALL_FIGURES};
 use p2p_experiments::sink::{CsvSink, FigureSink, JsonLinesSink, ResultSink, Row, TeeSink};
 use p2p_experiments::spec::{
@@ -53,6 +53,12 @@ common options:
   --out DIR                  CSV output directory       (default target/figures)
   --jobs J                   worker threads per replication batch
   --format csv|csv-stream|jsonl   figure files, or streaming rows on stdout
+  --metrics FILE             write interval telemetry snapshots as JSONL to
+                             FILE (one experiment per file: a single --fig or
+                             a free-form run). Capture is replication-0-only,
+                             so the file is byte-identical across reruns at
+                             any --jobs setting and never perturbs results
+  --metrics-every N          steps between interval snapshots (default 1)
   --quiet                    no progress lines on stderr
 
 specs:
@@ -101,6 +107,7 @@ struct Args {
     jobs: Option<usize>,
     format: Format,
     quiet: bool,
+    metrics: Option<MetricsConfig>,
 }
 
 enum Command {
@@ -188,6 +195,8 @@ fn parse_args() -> Result<Args, String> {
     let mut jobs = None;
     let mut format = Format::Csv;
     let mut quiet = false;
+    let mut metrics: Option<PathBuf> = None;
+    let mut metrics_every: Option<u64> = None;
 
     // Flags that only make sense for a free-form --protocol run; remembered
     // so combining them with --fig/--all/table errors instead of silently
@@ -347,6 +356,19 @@ fn parse_args() -> Result<Args, String> {
                     }
                 }
             }
+            "--metrics" => {
+                metrics = Some(PathBuf::from(next_value(&mut it, "--metrics")?));
+            }
+            "--metrics-every" => {
+                let v = next_value(&mut it, "--metrics-every")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad snapshot interval {v}"))?;
+                if n == 0 {
+                    return Err("--metrics-every must be ≥ 1".to_string());
+                }
+                metrics_every = Some(n);
+            }
             "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown argument {other}\n{}", usage())),
@@ -409,6 +431,27 @@ fn parse_args() -> Result<Args, String> {
         }
     };
 
+    if metrics_every.is_some() && metrics.is_none() {
+        return Err("--metrics-every needs --metrics".to_string());
+    }
+    if metrics.is_some() {
+        // One metrics file per experiment: the file is created (truncated)
+        // when the experiment starts, so a multi-experiment invocation
+        // would silently keep only the last one.
+        let single = match &command {
+            Command::Custom(_) => true,
+            Command::Figures { figs, table } => figs.len() == 1 && !table,
+            _ => false,
+        };
+        if !single {
+            return Err(
+                "--metrics writes one file per experiment; use it with a single --fig or a \
+                 free-form --protocol run (not --all/--table)"
+                    .to_string(),
+            );
+        }
+    }
+
     Ok(Args {
         command,
         scale,
@@ -418,6 +461,10 @@ fn parse_args() -> Result<Args, String> {
         jobs,
         format,
         quiet,
+        metrics: metrics.map(|path| MetricsConfig {
+            path,
+            every: metrics_every.unwrap_or(1),
+        }),
     })
 }
 
@@ -453,6 +500,7 @@ fn parse_audit_args(rest: &[String]) -> Result<Args, String> {
         jobs: None,
         format: Format::Csv,
         quiet: false,
+        metrics: None,
     })
 }
 
@@ -693,7 +741,10 @@ fn build_custom_spec(
 /// Runs one spec under the chosen output format; returns the rendered
 /// figure (empty under pure streaming) for the summary printout.
 fn execute(spec: &ExperimentSpec, args: &Args) -> Result<(), String> {
-    let opts = EngineOptions { jobs: args.jobs };
+    let opts = EngineOptions {
+        jobs: args.jobs,
+        metrics: args.metrics.clone(),
+    };
     let mut progress = ProgressPrinter {
         id: spec.id.clone(),
         enabled: !args.quiet,

@@ -25,7 +25,9 @@
 
 use crate::figures::{smooth_last_k, to_quality};
 use crate::runner::record_aggregation_convergence;
-use crate::runner::{replication_threads, run_scenario, run_scenario_des, Trace};
+use crate::runner::{
+    replication_threads, run_scenario_des_telemetry, run_scenario_telemetry, TelemetryOpts, Trace,
+};
 use crate::scenario::Scenario;
 use crate::sink::{ExperimentMeta, ResultSink, Row, RunStats};
 use crate::spec::{ExecMode, ExperimentSpec, Presentation, SweepMetric};
@@ -34,15 +36,46 @@ use p2p_sim::parallel::{default_threads, par_map};
 use p2p_sim::rng::{derive_seed, replication_seeds, small_rng};
 use p2p_stats::series::Figure;
 use p2p_stats::Series;
+use p2p_telemetry::{Snapshot, TelemetrySink};
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::PathBuf;
+
+/// `--metrics` capture: where interval telemetry snapshots go and how
+/// often they are taken. Capture is restricted to replication 0 of each
+/// protocol entry (and each sweep point), so the metrics file is
+/// byte-identical across reruns at any `--jobs` setting.
+#[derive(Clone, Debug)]
+pub struct MetricsConfig {
+    /// JSONL output path (created/truncated per experiment).
+    pub path: PathBuf,
+    /// Steps between interval snapshots.
+    pub every: u64,
+}
+
+impl MetricsConfig {
+    fn telemetry_opts(&self) -> TelemetryOpts {
+        TelemetryOpts {
+            every: self.every,
+            ..TelemetryOpts::default()
+        }
+    }
+}
 
 /// Execution knobs that change wall-clock behavior but never results.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct EngineOptions {
     /// Worker threads per replication batch; `None` keeps each
     /// presentation's historic policy ([`replication_threads`] /
     /// [`default_threads`]).
     pub jobs: Option<usize>,
+    /// Telemetry capture (`repro run --metrics`); `None` disables it.
+    /// Captured runs and uncaptured runs produce bit-identical results.
+    pub metrics: Option<MetricsConfig>,
 }
+
+/// The open `--metrics` output file.
+type MetricsFile = TelemetrySink<BufWriter<File>>;
 
 /// Runs a spec and assembles the result as an in-memory [`Figure`] — the
 /// path behind `figures::by_number`.
@@ -62,6 +95,13 @@ pub fn run_experiment(
     let exp_seed = spec
         .seed_stream
         .map_or(master_seed, |s| derive_seed(master_seed, s));
+    // The metrics file opens per experiment; snapshots stream into it in
+    // entry/sweep-point order as replication-0 runs finish.
+    let mut metrics_file: Option<MetricsFile> = opts.metrics.as_ref().map(|m| {
+        let f = File::create(&m.path)
+            .unwrap_or_else(|e| panic!("cannot create metrics file {}: {e}", m.path.display()));
+        TelemetrySink::new(BufWriter::new(f))
+    });
     match &spec.presentation {
         Presentation::StaticQuality { smooth, raw_label } => {
             begin(sink, spec, None);
@@ -69,7 +109,7 @@ pub fn run_experiment(
         }
         Presentation::Tracking => {
             begin(sink, spec, None);
-            tracking(spec, exp_seed, opts, sink);
+            tracking(spec, exp_seed, opts, sink, &mut metrics_file);
         }
         Presentation::Convergence => {
             begin(sink, spec, None);
@@ -82,10 +122,23 @@ pub fn run_experiment(
         }
         Presentation::SweepSummary { metric } => {
             begin(sink, spec, None);
-            sweep_summary(spec, master_seed, exp_seed, *metric, opts, sink);
+            sweep_summary(
+                spec,
+                master_seed,
+                exp_seed,
+                *metric,
+                opts,
+                sink,
+                &mut metrics_file,
+            );
         }
     }
     sink.finish();
+    if let Some(mf) = metrics_file {
+        let path = &opts.metrics.as_ref().expect("file implies config").path;
+        mf.finish()
+            .unwrap_or_else(|e| panic!("metrics file {} write failed: {e}", path.display()));
+    }
 }
 
 fn begin(sink: &mut dyn ResultSink, spec: &ExperimentSpec, title_override: Option<String>) {
@@ -108,7 +161,9 @@ fn emit_series(sink: &mut dyn ResultSink, series: &Series) {
 }
 
 /// One replication of a protocol entry over a scenario, in the entry's
-/// execution mode. Protocols are built fresh per replication from the spec.
+/// execution mode. Protocols are built fresh per replication from the
+/// spec; `telemetry` (replication 0 under `--metrics`) additionally
+/// captures interval snapshots without perturbing the trace.
 fn run_one(
     entry_protocol: &ProtocolSpec,
     mode: ExecMode,
@@ -116,22 +171,38 @@ fn run_one(
     heuristic: Heuristic,
     seed: u64,
     series_name: String,
-) -> Trace {
+    telemetry: Option<TelemetryOpts>,
+) -> (Trace, Vec<Snapshot>) {
     match mode {
         ExecMode::Sync => {
             let mut p = entry_protocol.build_sync();
-            run_scenario(&mut *p, scenario, heuristic, seed, series_name)
+            run_scenario_telemetry(&mut *p, scenario, heuristic, seed, series_name, telemetry)
         }
         ExecMode::Async => match entry_protocol.build_async() {
-            AsyncProtocol::SampleCollide(mut p) => {
-                run_scenario_des(&mut p, scenario, heuristic, seed, series_name)
-            }
-            AsyncProtocol::HopsSampling(mut p) => {
-                run_scenario_des(&mut p, scenario, heuristic, seed, series_name)
-            }
-            AsyncProtocol::Aggregation(mut p) => {
-                run_scenario_des(&mut p, scenario, heuristic, seed, series_name)
-            }
+            AsyncProtocol::SampleCollide(mut p) => run_scenario_des_telemetry(
+                &mut p,
+                scenario,
+                heuristic,
+                seed,
+                series_name,
+                telemetry,
+            ),
+            AsyncProtocol::HopsSampling(mut p) => run_scenario_des_telemetry(
+                &mut p,
+                scenario,
+                heuristic,
+                seed,
+                series_name,
+                telemetry,
+            ),
+            AsyncProtocol::Aggregation(mut p) => run_scenario_des_telemetry(
+                &mut p,
+                scenario,
+                heuristic,
+                seed,
+                series_name,
+                telemetry,
+            ),
         },
     }
 }
@@ -176,7 +247,7 @@ fn static_quality(
         .protocols
         .first()
         .expect("StaticQuality needs one protocol entry");
-    let trace = run_one(
+    let (trace, _) = run_one(
         &entry.protocol,
         entry.mode,
         &spec.scenario,
@@ -185,6 +256,7 @@ fn static_quality(
             .seed_stream
             .map_or(exp_seed, |s| derive_seed(exp_seed, s)),
         "raw".to_string(),
+        None,
     );
     let truth = spec.scenario.initial_size as f64;
     let raw = to_quality(&trace.estimates, truth, raw_label);
@@ -202,11 +274,18 @@ fn static_quality(
 /// (so same-class entries don't replay one stream), and its curves are
 /// labelled by protocol; the single-entry form keeps the historic
 /// `Estimation #r` names the golden figures pin.
-fn tracking(spec: &ExperimentSpec, exp_seed: u64, opts: &EngineOptions, sink: &mut dyn ResultSink) {
+fn tracking(
+    spec: &ExperimentSpec,
+    exp_seed: u64,
+    opts: &EngineOptions,
+    sink: &mut dyn ResultSink,
+    metrics: &mut Option<MetricsFile>,
+) {
     assert!(
         !spec.protocols.is_empty(),
         "Tracking needs at least one protocol entry"
     );
+    let tel = opts.metrics.as_ref().map(|m| m.telemetry_opts());
     let reps = spec.replications.max(1);
     let threads = opts.jobs.unwrap_or_else(|| replication_threads(reps));
     let total = reps * spec.protocols.len();
@@ -250,13 +329,19 @@ fn tracking(spec: &ExperimentSpec, exp_seed: u64, opts: &EngineOptions, sink: &m
                     entry.heuristic,
                     seed,
                     series_name(i),
+                    if i == 0 { tel } else { None },
                 )
             },
-            |gi, trace| {
+            |gi, (trace, snaps)| {
                 if ci == 0 && gi == 0 {
                     let mut real = trace.real_size.clone();
                     real.name = "Real network size".to_string();
                     emit_series(sink, &real);
+                }
+                if let Some(mf) = metrics.as_mut() {
+                    for s in &snaps {
+                        mf.write(s);
+                    }
                 }
                 emit_series(sink, &trace.estimates);
                 // Surface the event-core accounting of message-level runs
@@ -392,8 +477,10 @@ fn sweep_summary(
     metric: SweepMetric,
     opts: &EngineOptions,
     sink: &mut dyn ResultSink,
+    metrics: &mut Option<MetricsFile>,
 ) {
     let sweep = spec.sweep.as_ref().expect("SweepSummary needs a sweep");
+    let tel = opts.metrics.as_ref().map(|m| m.telemetry_opts());
     let reps = spec.replications.max(1);
     let threads = opts.jobs.unwrap_or_else(|| replication_threads(reps));
     let total = sweep.values.len() * spec.protocols.len();
@@ -423,9 +510,20 @@ fn sweep_summary(
                         entry.heuristic,
                         seed,
                         format!("Estimation #{}", i + 1),
+                        if i == 0 { tel } else { None },
                     )
                 },
-                |_, trace| traces.push(trace),
+                |_, (trace, snaps)| {
+                    traces.push(trace);
+                    if let Some(mf) = metrics.as_mut() {
+                        // Sweep-point snapshots are qualified by axis value,
+                        // so one metrics file covers the whole sweep.
+                        for mut s in snaps {
+                            s.series = format!("{} {}", entry.series_label(), sweep.axis.label(v));
+                            mf.write(&s);
+                        }
+                    }
+                },
             );
             let y = match metric {
                 SweepMetric::MeanAbsErrPct => mean_abs_err_pct(&traces),
@@ -508,7 +606,10 @@ mod tests {
         run_experiment(
             &tracking_spec(4),
             11,
-            &EngineOptions { jobs: Some(1) },
+            &EngineOptions {
+                jobs: Some(1),
+                ..EngineOptions::default()
+            },
             &mut sink,
         );
         let b = sink.into_figure();

@@ -45,8 +45,9 @@ use p2p_overlay::Graph;
 use p2p_sim::network::NetEvent;
 use p2p_sim::parallel::{default_threads, par_replications_on};
 use p2p_sim::rng::{derive_seed, small_rng};
-use p2p_sim::{EngineStats, MessageCounter, NetStats, Network, SimTime};
-use p2p_stats::Series;
+use p2p_sim::{EngineStats, MessageCounter, MessageKind, NetStats, Network, SimTime};
+use p2p_stats::{Series, SlidingWindow};
+use p2p_telemetry::{CounterId, GaugeId, HistId, Registry, Snapshot};
 use p2p_workload::trace::{schedule_digest, TraceHeader, TraceWriter};
 use p2p_workload::{ChurnModel, TraceModel, WorkloadOp, WorkloadSource};
 use rand::rngs::SmallRng;
@@ -79,6 +80,221 @@ pub struct Trace {
 /// Control tag bit marking a protocol step (the rest is the step number);
 /// tags without it index into the scenario's churn schedule.
 const STEP_TAG: u64 = 1 << 63;
+
+/// Telemetry capture options for one DES run (`repro run --metrics`).
+#[derive(Clone, Copy, Debug)]
+pub struct TelemetryOpts {
+    /// Steps between interval snapshots (≥ 1).
+    pub every: u64,
+    /// Convergence band half-width: time-to-ε is the first step whose
+    /// windowed median estimate lies within `truth × (1 ± eps)`.
+    pub eps: f64,
+}
+
+impl Default for TelemetryOpts {
+    fn default() -> Self {
+        TelemetryOpts { every: 1, eps: 0.1 }
+    }
+}
+
+/// Estimates the convergence telemetry medians over — the paper's
+/// last-10-runs smoothing horizon.
+const CONV_WINDOW: usize = 10;
+
+/// Per-kind metric keys, indexed like [`MessageKind::ALL`]. Static so the
+/// registry interns without allocating.
+const SENT_BY_KIND: [&str; 7] = [
+    "net.sent.walk-step",
+    "net.sent.sample-reply",
+    "net.sent.gossip-forward",
+    "net.sent.poll-reply",
+    "net.sent.aggregation-push",
+    "net.sent.aggregation-pull",
+    "net.sent.control",
+];
+const DELIVERED_BY_KIND: [&str; 7] = [
+    "net.delivered.walk-step",
+    "net.delivered.sample-reply",
+    "net.delivered.gossip-forward",
+    "net.delivered.poll-reply",
+    "net.delivered.aggregation-push",
+    "net.delivered.aggregation-pull",
+    "net.delivered.control",
+];
+const DROPPED_BY_KIND: [&str; 7] = [
+    "net.dropped.walk-step",
+    "net.dropped.sample-reply",
+    "net.dropped.gossip-forward",
+    "net.dropped.poll-reply",
+    "net.dropped.aggregation-push",
+    "net.dropped.aggregation-pull",
+    "net.dropped.control",
+];
+const IN_FLIGHT_BY_KIND: [&str; 7] = [
+    "net.in_flight.walk-step",
+    "net.in_flight.sample-reply",
+    "net.in_flight.gossip-forward",
+    "net.in_flight.poll-reply",
+    "net.in_flight.aggregation-push",
+    "net.in_flight.aggregation-pull",
+    "net.in_flight.control",
+];
+
+/// Raises a monotone counter to a cumulative total sampled from an
+/// existing source (net/engine/overlay accounting), so snapshot-time
+/// sampling needs no shadow state.
+fn counter_set_total(reg: &mut Registry, id: CounterId, total: u64) {
+    let prev = reg.counter_value(id);
+    reg.counter_add(id, total.saturating_sub(prev));
+}
+
+/// One run's telemetry capture: the registry, the convergence window, and
+/// the collected interval snapshots. Most metrics are *sampled* at
+/// snapshot boundaries from accounting the engine/network/overlay already
+/// keep, so the per-event hot path gains only the batch-size observation —
+/// which is what keeps golden figure outputs byte-identical and the
+/// overhead within the BENCH_7 budget.
+struct TelemetrySession {
+    opts: TelemetryOpts,
+    reg: Registry,
+    c_dispatched: CounterId,
+    c_pool_hits: CounterId,
+    c_pool_allocs: CounterId,
+    c_sent: CounterId,
+    c_delivered: CounterId,
+    c_dropped: CounterId,
+    c_churn_lost: CounterId,
+    c_sent_kind: [CounterId; 7],
+    c_delivered_kind: [CounterId; 7],
+    c_dropped_kind: [CounterId; 7],
+    c_arrivals: CounterId,
+    c_departures: CounterId,
+    c_slots_reused: CounterId,
+    c_compactions: CounterId,
+    c_reports: CounterId,
+    g_peak_depth: GaugeId,
+    g_pending: GaugeId,
+    g_in_flight_kind: [GaugeId; 7],
+    g_alive: GaugeId,
+    g_arena_bytes: GaugeId,
+    g_window_len: GaugeId,
+    g_eps_reached: GaugeId,
+    g_time_to_eps: GaugeId,
+    h_batch_len: HistId,
+    window: SlidingWindow,
+    reports_seen: u64,
+    series: String,
+    snapshots: Vec<Snapshot>,
+}
+
+impl TelemetrySession {
+    fn new(opts: TelemetryOpts, series: String) -> Self {
+        assert!(opts.every >= 1, "snapshot interval must be ≥ 1 step");
+        let mut reg = Registry::new();
+        TelemetrySession {
+            c_dispatched: reg.counter("engine.dispatched"),
+            c_pool_hits: reg.counter("engine.pool_hits"),
+            c_pool_allocs: reg.counter("engine.pool_allocs"),
+            c_sent: reg.counter("net.sent"),
+            c_delivered: reg.counter("net.delivered"),
+            c_dropped: reg.counter("net.dropped"),
+            c_churn_lost: reg.counter("net.churn_lost"),
+            c_sent_kind: SENT_BY_KIND.map(|n| reg.counter(n)),
+            c_delivered_kind: DELIVERED_BY_KIND.map(|n| reg.counter(n)),
+            c_dropped_kind: DROPPED_BY_KIND.map(|n| reg.counter(n)),
+            c_arrivals: reg.counter("overlay.arrivals"),
+            c_departures: reg.counter("overlay.departures"),
+            c_slots_reused: reg.counter("overlay.slots_reused"),
+            c_compactions: reg.counter("overlay.compactions"),
+            c_reports: reg.counter("proto.reports"),
+            g_peak_depth: reg.gauge("engine.peak_depth"),
+            g_pending: reg.gauge("net.pending"),
+            g_in_flight_kind: IN_FLIGHT_BY_KIND.map(|n| reg.gauge(n)),
+            g_alive: reg.gauge("overlay.alive"),
+            g_arena_bytes: reg.gauge("overlay.arena_bytes"),
+            g_window_len: reg.gauge("conv.window_len"),
+            g_eps_reached: reg.gauge("conv.eps_reached"),
+            g_time_to_eps: reg.gauge("conv.time_to_eps_step"),
+            h_batch_len: reg.histogram("engine.batch_len"),
+            reg,
+            opts,
+            window: SlidingWindow::new(CONV_WINDOW),
+            reports_seen: 0,
+            series,
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Hot-path observation: one dispatched batch of `len` simultaneous
+    /// events.
+    fn observe_batch(&mut self, len: usize) {
+        self.reg.hist_observe(self.h_batch_len, len as u64);
+    }
+
+    /// A reporting period closed with raw estimate `raw` while the true
+    /// size was `truth`: feed the convergence window and latch time-to-ε
+    /// the first time the windowed median enters the ±ε band.
+    fn on_report(&mut self, raw: f64, truth: f64, step: u64) {
+        self.reports_seen += 1;
+        self.window.push(raw);
+        self.reg
+            .gauge_set(self.g_window_len, self.window.len() as u64);
+        if self.reg.gauge_value(self.g_eps_reached) == 0 && truth > 0.0 {
+            let median = self.window.median();
+            if (median - truth).abs() <= self.opts.eps * truth {
+                self.reg.gauge_set(self.g_eps_reached, 1);
+                self.reg.gauge_set(self.g_time_to_eps, step.max(1));
+            }
+        }
+    }
+
+    /// Takes one interval snapshot at step `tick`, sampling every metric
+    /// source the run already maintains.
+    fn sample<M>(&mut self, tick: u64, net: &Network<M>, graph: &Graph) {
+        let es = net.engine_stats();
+        counter_set_total(&mut self.reg, self.c_dispatched, es.dispatched);
+        counter_set_total(&mut self.reg, self.c_pool_hits, es.pool_hits);
+        counter_set_total(&mut self.reg, self.c_pool_allocs, es.pool_allocs);
+        let ns = *net.stats();
+        counter_set_total(&mut self.reg, self.c_sent, ns.sent);
+        counter_set_total(&mut self.reg, self.c_delivered, ns.delivered);
+        counter_set_total(&mut self.reg, self.c_dropped, ns.dropped);
+        counter_set_total(&mut self.reg, self.c_churn_lost, ns.churn_lost);
+        for (slot, kind) in MessageKind::ALL.into_iter().enumerate() {
+            let sent = net.counter().get(kind);
+            let delivered = net.delivered_by_kind().get(kind);
+            let dropped = net.dropped_by_kind().get(kind);
+            counter_set_total(&mut self.reg, self.c_sent_kind[slot], sent);
+            counter_set_total(&mut self.reg, self.c_delivered_kind[slot], delivered);
+            counter_set_total(&mut self.reg, self.c_dropped_kind[slot], dropped);
+            // Churn losses reclassify an already-counted delivery, so per
+            // kind `sent − delivered − dropped` is exactly the population
+            // still in flight.
+            self.reg.gauge_set(
+                self.g_in_flight_kind[slot],
+                sent.saturating_sub(delivered).saturating_sub(dropped),
+            );
+        }
+        let arrivals = graph.num_slots() as u64 + graph.slots_reused();
+        counter_set_total(&mut self.reg, self.c_arrivals, arrivals);
+        counter_set_total(
+            &mut self.reg,
+            self.c_departures,
+            arrivals.saturating_sub(graph.alive_count() as u64),
+        );
+        counter_set_total(&mut self.reg, self.c_slots_reused, graph.slots_reused());
+        counter_set_total(&mut self.reg, self.c_compactions, graph.compactions());
+        counter_set_total(&mut self.reg, self.c_reports, self.reports_seen);
+        self.reg.gauge_set(self.g_peak_depth, es.peak_depth as u64);
+        self.reg.gauge_set(self.g_pending, net.pending() as u64);
+        self.reg.gauge_set(self.g_alive, graph.alive_count() as u64);
+        self.reg
+            .gauge_set(self.g_arena_bytes, graph.adjacency_bytes() as u64);
+        let mut snap = self.reg.snapshot(tick);
+        snap.series = self.series.clone();
+        self.snapshots.push(snap);
+    }
+}
 
 /// The stream id the per-run network seed derives from (the protocol
 /// stream is the run seed itself; the two must never collide).
@@ -209,6 +425,26 @@ pub fn run_scenario_des<P: NodeProtocol>(
     seed: u64,
     series_name: impl Into<String>,
 ) -> Trace {
+    run_scenario_des_telemetry(protocol, scenario, heuristic, seed, series_name, None).0
+}
+
+/// [`run_scenario_des`] with optional telemetry capture: when `telemetry`
+/// is set, the run takes one [`Snapshot`] every `every` steps plus a final
+/// post-drain snapshot, and latches online time-to-ε from the windowed
+/// median of raw reported estimates. Telemetry never touches an RNG stream
+/// or event ordering (mutators sit in statement position, enforced by the
+/// `telemetry-side-effect` audit rule), so a run's trace is bit-identical
+/// with capture on or off.
+pub fn run_scenario_des_telemetry<P: NodeProtocol>(
+    protocol: &mut P,
+    scenario: &Scenario,
+    heuristic: Heuristic,
+    seed: u64,
+    series_name: impl Into<String>,
+    telemetry: Option<TelemetryOpts>,
+) -> (Trace, Vec<Snapshot>) {
+    let series_name = series_name.into();
+    let mut tel = telemetry.map(|o| TelemetrySession::new(o, series_name.clone()));
     let mut rng = small_rng(seed);
     let mut graph = scenario.build_overlay(&mut rng);
     let mut smoother = Smoother::new(heuristic);
@@ -248,6 +484,9 @@ pub fn run_scenario_des<P: NodeProtocol>(
     // oracle tests), one wheel probe per batch instead of per event.
     let mut batch: Vec<NetEvent<P::Msg>> = Vec::new();
     while net.pop_batch(&mut batch).is_some() {
+        if let Some(t) = tel.as_mut() {
+            t.observe_batch(batch.len());
+        }
         for event in batch.drain(..) {
             match event {
                 NetEvent::Control { tag } if tag & STEP_TAG != 0 => {
@@ -258,8 +497,20 @@ pub fn run_scenario_des<P: NodeProtocol>(
                     if let Some(w) = workload.as_mut() {
                         w.step(current_step, &mut graph, &mut rng);
                     }
-                    let mut cx = Cx::new(&graph, &mut net, &mut rng, &mut reports);
-                    protocol.on_step(current_step, &mut cx);
+                    {
+                        let mut cx = Cx::new(&graph, &mut net, &mut rng, &mut reports);
+                        protocol.on_step(current_step, &mut cx);
+                    }
+                    // Interval snapshots land at step boundaries, after the
+                    // step's own sends; the final step is covered by the
+                    // complete post-drain snapshot instead.
+                    if let Some(t) = tel.as_mut() {
+                        if current_step.is_multiple_of(t.opts.every)
+                            && current_step != scenario.steps
+                        {
+                            t.sample(current_step, &net, &graph);
+                        }
+                    }
                 }
                 NetEvent::Control { tag } => {
                     let (at, op) = scenario.schedule[tag as usize];
@@ -279,6 +530,9 @@ pub fn run_scenario_des<P: NodeProtocol>(
                 if let Some(raw) = outcome.estimate() {
                     estimates.push(x, smoother.apply(raw));
                     completed += 1;
+                    if let Some(t) = tel.as_mut() {
+                        t.on_report(raw, graph.alive_count() as f64, current_step);
+                    }
                 }
                 if outcome.is_report() {
                     real_size.push(x, graph.alive_count() as f64);
@@ -291,14 +545,21 @@ pub fn run_scenario_des<P: NodeProtocol>(
     }
     debug_assert!(graph.check_invariants().is_ok());
 
-    Trace {
+    // The complete end-of-run snapshot, after the post-timeline drain (and
+    // before `take_counter` zeroes the traffic counter).
+    if let Some(t) = tel.as_mut() {
+        t.sample(scenario.steps, &net, &graph);
+    }
+
+    let trace = Trace {
         estimates,
         real_size,
         messages: net.take_counter(),
         completed,
         net: *net.stats(),
         engine: net.engine_stats(),
-    }
+    };
+    (trace, tel.map(|t| t.snapshots).unwrap_or_default())
 }
 
 /// Runs any round-driven [`EstimationProtocol`] over a scenario: one
@@ -325,6 +586,28 @@ pub fn run_scenario<P: EstimationProtocol + ?Sized>(
         heuristic,
         seed,
         series_name,
+    )
+}
+
+/// [`run_scenario`] with optional telemetry capture (the round-driven
+/// analogue of [`run_scenario_des_telemetry`]). Sync-adapter runs route no
+/// per-message traffic, so their network counters stay zero; the overlay,
+/// batch and convergence metrics are live.
+pub fn run_scenario_telemetry<P: EstimationProtocol + ?Sized>(
+    protocol: &mut P,
+    scenario: &Scenario,
+    heuristic: Heuristic,
+    seed: u64,
+    series_name: impl Into<String>,
+    telemetry: Option<TelemetryOpts>,
+) -> (Trace, Vec<Snapshot>) {
+    run_scenario_des_telemetry(
+        &mut SyncStep::new(protocol),
+        scenario,
+        heuristic,
+        seed,
+        series_name,
+        telemetry,
     )
 }
 
@@ -444,6 +727,7 @@ pub fn record_aggregation_convergence(
 mod tests {
     use super::*;
     use p2p_estimation::aggregation::{AggregationConfig, EpochedAggregation};
+    use p2p_estimation::net_protocol::AsyncSampleCollide;
     use p2p_estimation::SampleCollide;
     use p2p_overlay::churn::ChurnOp;
 
@@ -585,6 +869,68 @@ mod tests {
         }
         // Replications use distinct derived seeds → distinct streams.
         assert_ne!(a[0].estimates.points, a[1].estimates.points);
+    }
+
+    #[test]
+    fn telemetry_capture_leaves_the_trace_bit_identical() {
+        let scenario = Scenario::catastrophic(1_500, 12);
+        let opts = TelemetryOpts { every: 3, eps: 0.5 };
+        let mut a = AsyncSampleCollide::cheap();
+        let plain = run_scenario_des(&mut a, &scenario, Heuristic::OneShot, 42, "x");
+        let mut b = AsyncSampleCollide::cheap();
+        let (with_tel, snaps) =
+            run_scenario_des_telemetry(&mut b, &scenario, Heuristic::OneShot, 42, "x", Some(opts));
+        assert_eq!(plain.estimates.points, with_tel.estimates.points);
+        assert_eq!(plain.messages, with_tel.messages);
+        assert_eq!(plain.net, with_tel.net);
+        // Interval snapshots at steps 3, 6, 9 plus the final one at 12.
+        let ticks: Vec<u64> = snaps.iter().map(|s| s.tick).collect();
+        assert_eq!(ticks, vec![3, 6, 9, 12]);
+        assert!(snaps.iter().all(|s| s.series == "x"));
+    }
+
+    #[test]
+    fn telemetry_snapshots_are_consistent_and_deterministic() {
+        let scenario = Scenario::static_network(2_000, 20);
+        let opts = TelemetryOpts { every: 5, eps: 0.5 };
+        let run = || {
+            let mut sc = AsyncSampleCollide::cheap();
+            run_scenario_des_telemetry(&mut sc, &scenario, Heuristic::OneShot, 7, "sc", Some(opts))
+                .1
+        };
+        let snaps = run();
+        let lines: Vec<String> = snaps.iter().map(|s| s.to_jsonl()).collect();
+        let again: Vec<String> = run().iter().map(|s| s.to_jsonl()).collect();
+        assert_eq!(lines, again, "identical runs must emit identical bytes");
+
+        let last = snaps.last().unwrap();
+        let get = |map: &[(String, u64)], name: &str| {
+            map.iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("metric {name} missing"))
+                .1
+        };
+        let sent = get(&last.counters, "net.sent");
+        assert!(sent > 0);
+        let by_kind: u64 = SENT_BY_KIND.iter().map(|n| get(&last.counters, n)).sum();
+        assert_eq!(by_kind, sent, "per-kind sends must partition the total");
+        assert_eq!(get(&last.gauges, "overlay.alive"), 2_000);
+        // Everything resolved by the end of the run: nothing in flight.
+        for n in IN_FLIGHT_BY_KIND {
+            assert_eq!(get(&last.gauges, n), 0, "{n} at end of run");
+        }
+        // A static overlay with a generous band converges.
+        assert_eq!(get(&last.gauges, "conv.eps_reached"), 1);
+        let t = get(&last.gauges, "conv.time_to_eps_step");
+        assert!((1..=20).contains(&t), "time-to-ε step {t}");
+        assert_eq!(get(&last.counters, "proto.reports"), 20);
+        // The batch-size histogram saw every dispatched batch.
+        let (_, hist) = last
+            .hists
+            .iter()
+            .find(|(n, _)| n == "engine.batch_len")
+            .unwrap();
+        assert!(hist.count > 0);
     }
 
     #[test]

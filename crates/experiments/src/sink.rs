@@ -285,6 +285,29 @@ impl<W: Write> ResultSink for JsonLinesSink<W> {
         ));
     }
 
+    fn run_stats(&mut self, stats: &RunStats<'_>) {
+        // Structured counterpart of the progress printer's `[stats]` line:
+        // machine-readable accounting next to the rows it belongs to.
+        // `peak_rss_kb` is a number or null — platforms without a cheap
+        // high-water readout are explicit, not a magic string.
+        let rss = match stats.peak_rss_kb {
+            Some(kb) => kb.to_string(),
+            None => "null".to_string(),
+        };
+        self.write(format!(
+            "{{\"event\":\"run_stats\",\"experiment\":\"{}\",\"series\":\"{}\",\
+             \"backend\":\"{}\",\"events\":{},\"peak_queue\":{},\"pool_hit_rate\":{},\
+             \"sent\":{},\"peak_rss_kb\":{rss}}}\n",
+            json_escape(&self.id),
+            json_escape(stats.series),
+            json_escape(stats.backend),
+            stats.events,
+            stats.peak_queue,
+            json_num(stats.pool_hit_rate),
+            stats.sent,
+        ));
+    }
+
     fn finish(&mut self) {
         let line = format!(
             "{{\"event\":\"done\",\"experiment\":\"{}\",\"rows\":{}}}\n",
@@ -414,6 +437,44 @@ mod tests {
         assert_eq!(
             lines[2],
             "{\"event\":\"done\",\"experiment\":\"fig99\",\"rows\":1}"
+        );
+    }
+
+    #[test]
+    fn json_lines_run_stats_record_is_structured() {
+        let mut buf = Vec::new();
+        let mut sink = JsonLinesSink::new(&mut buf);
+        sink.begin(&meta());
+        sink.run_stats(&RunStats {
+            series: "Estimation #1",
+            backend: "des",
+            events: 10,
+            peak_queue: 3,
+            pool_hit_rate: 0.5,
+            sent: 7,
+            peak_rss_kb: Some(2048),
+        });
+        sink.run_stats(&RunStats {
+            series: "Estimation #2",
+            backend: "des",
+            events: 11,
+            peak_queue: 3,
+            pool_hit_rate: 0.5,
+            sent: 7,
+            peak_rss_kb: None,
+        });
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[1],
+            "{\"event\":\"run_stats\",\"experiment\":\"fig99\",\"series\":\"Estimation #1\",\
+             \"backend\":\"des\",\"events\":10,\"peak_queue\":3,\"pool_hit_rate\":0.5,\
+             \"sent\":7,\"peak_rss_kb\":2048}"
+        );
+        assert!(
+            lines[2].ends_with("\"peak_rss_kb\":null}"),
+            "missing readout must be an explicit null: {}",
+            lines[2]
         );
     }
 

@@ -71,12 +71,17 @@ CLUSTER OPTIONS:
   --base-port P          first UDP data port (shard p binds P+p; 0 = ephemeral)
   --query-every Q        steps between trajectory queries (0 = final only) [default: 10]
   --out FILE             stream JSONL rows here (`-` = stdout) [default: -]
+  --metrics FILE         stream merged per-interval cluster telemetry (every
+                         shard's snapshot folded in shard-index order, plus
+                         the coordinator's time-to-ε gauges) as JSONL
+  --metrics-every N      steps between shard snapshots [default: 1 with
+                         --metrics, else off]
   --threads              host shards as threads instead of child processes
   --des-check R          cross-validate against R matched DES replications
 
 HOST OPTIONS (all required unless noted):
   --proc P --procs K --nodes N --steps S --protocol SPEC --network SPEC
-  --seed S --coordinator ADDR [--port UDP_PORT]
+  --seed S --coordinator ADDR [--port UDP_PORT] [--metrics-every N]
 
 Protocol specs: sample-collide:walks=32 | hops-sampling:probes=16 |
 aggregation:rounds=30 (same grammar as `repro --protocol`)."
@@ -106,6 +111,8 @@ fn cmd_cluster(args: &[String]) -> Result<ExitCode, String> {
     let mut out: String = "-".to_string();
     let mut threads = false;
     let mut des_check: usize = 0;
+    let mut metrics: Option<String> = None;
+    let mut metrics_every: u64 = 0;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -136,6 +143,11 @@ fn cmd_cluster(args: &[String]) -> Result<ExitCode, String> {
                 query_every = parse_num("--query-every", take_value("--query-every", &mut it)?)?
             }
             "--out" => out = take_value("--out", &mut it)?.to_string(),
+            "--metrics" => metrics = Some(take_value("--metrics", &mut it)?.to_string()),
+            "--metrics-every" => {
+                metrics_every =
+                    parse_num("--metrics-every", take_value("--metrics-every", &mut it)?)?
+            }
             "--threads" => threads = true,
             "--des-check" => {
                 des_check = parse_num("--des-check", take_value("--des-check", &mut it)?)?
@@ -155,6 +167,14 @@ fn cmd_cluster(args: &[String]) -> Result<ExitCode, String> {
     cfg.churn = churn;
     cfg.base_port = base_port;
     cfg.query_every = query_every;
+    cfg.metrics_out = metrics.map(std::path::PathBuf::from);
+    cfg.metrics_every = if metrics_every > 0 {
+        metrics_every
+    } else if cfg.metrics_out.is_some() {
+        1
+    } else {
+        0
+    };
 
     let launch = if threads {
         Launch::InProcess
@@ -188,6 +208,13 @@ fn cmd_cluster(args: &[String]) -> Result<ExitCode, String> {
         report.reports.len(),
         report.final_estimates.len(),
     );
+    if cfg.metrics_every > 0 {
+        eprintln!(
+            "[cluster] telemetry: {} merged metric intervals (every {} steps)",
+            report.merged_metrics.len(),
+            cfg.metrics_every,
+        );
+    }
     for (proc, stats) in report.node_stats.iter().enumerate() {
         eprintln!(
             "[cluster]   shard {proc}: {} frames sent, {} received, {} malformed",
@@ -262,6 +289,7 @@ fn cmd_host(args: &[String]) -> Result<ExitCode, String> {
     let mut seed: u64 = 20060619;
     let mut coordinator: Option<SocketAddr> = None;
     let mut port: u16 = 0;
+    let mut metrics_every: u64 = 0;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -287,6 +315,10 @@ fn cmd_host(args: &[String]) -> Result<ExitCode, String> {
                 )?)
             }
             "--port" => port = parse_num("--port", take_value("--port", &mut it)?)?,
+            "--metrics-every" => {
+                metrics_every =
+                    parse_num("--metrics-every", take_value("--metrics-every", &mut it)?)?
+            }
             other => return Err(format!("unknown host flag `{other}`")),
         }
     }
@@ -310,6 +342,7 @@ fn cmd_host(args: &[String]) -> Result<ExitCode, String> {
         seed,
         coordinator,
         data_port: port,
+        metrics_every,
     };
     match run_node(&cfg) {
         Ok(stats) => {

@@ -45,7 +45,8 @@ use p2p_estimation::{AsyncProtocol, ProtocolSpec, StepOutcome};
 use p2p_experiments::Scenario;
 use p2p_overlay::{Graph, NodeId};
 use p2p_sim::rng::{derive_seed, small_rng};
-use p2p_sim::{network::NetEvent, Network, SimTime};
+use p2p_sim::{network::NetEvent, MessageKind, Network, SimTime};
+use p2p_telemetry::{CounterId, GaugeId, Registry, Snapshot};
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -86,6 +87,9 @@ pub struct RuntimeConfig {
     /// Preferred UDP data port (`0` → ephemeral). Non-zero ports are tried
     /// with [`bind_with_retry`]'s backoff, falling back to ephemeral.
     pub data_port: u16,
+    /// Steps between telemetry snapshots folded into [`CtrlMsg::Metrics`]
+    /// control frames; `0` disables shard telemetry.
+    pub metrics_every: u64,
 }
 
 /// What a finished node process reports.
@@ -243,6 +247,133 @@ impl HostedProtocol for p2p_estimation::net_protocol::AsyncAggregation {
     }
 }
 
+// Shard metric names mirror the DES runner's telemetry session exactly:
+// the same accounting under the same keys, so DES-side and cluster-side
+// metrics files are directly comparable. `MessageKind::ALL` order.
+const SENT_BY_KIND: [&str; 7] = [
+    "net.sent.walk-step",
+    "net.sent.sample-reply",
+    "net.sent.gossip-forward",
+    "net.sent.poll-reply",
+    "net.sent.aggregation-push",
+    "net.sent.aggregation-pull",
+    "net.sent.control",
+];
+const IN_FLIGHT_BY_KIND: [&str; 7] = [
+    "net.in_flight.walk-step",
+    "net.in_flight.sample-reply",
+    "net.in_flight.gossip-forward",
+    "net.in_flight.poll-reply",
+    "net.in_flight.aggregation-push",
+    "net.in_flight.aggregation-pull",
+    "net.in_flight.control",
+];
+
+/// Raises a monotone counter to a cumulative total sampled from existing
+/// accounting (the outbox / frame counters), so snapshots need no shadow
+/// state on the hot path.
+fn counter_set_total(reg: &mut Registry, id: CounterId, total: u64) {
+    let prev = reg.counter_value(id);
+    reg.counter_add(id, total.saturating_sub(prev));
+}
+
+/// One shard's telemetry: every metric is sampled at step boundaries from
+/// accounting the runtime already keeps, rendered as a snapshot, and
+/// shipped to the coordinator inside a [`CtrlMsg::Metrics`] frame. Every
+/// shard registers the identical metric set in the identical order, which
+/// is what makes the coordinator's index-ordered merge well-defined.
+struct ShardTelemetry {
+    reg: Registry,
+    c_frames_sent: CounterId,
+    c_frames_received: CounterId,
+    c_frames_malformed: CounterId,
+    c_outbox_sent: CounterId,
+    c_outbox_delivered: CounterId,
+    c_outbox_dropped: CounterId,
+    c_outbox_churn_lost: CounterId,
+    c_sent_kind: [CounterId; 7],
+    g_in_flight_kind: [GaugeId; 7],
+    g_alive: GaugeId,
+    g_hosted: GaugeId,
+    g_pending: GaugeId,
+    series: String,
+}
+
+impl ShardTelemetry {
+    fn new(proc: u32) -> Self {
+        let mut reg = Registry::new();
+        let c_frames_sent = reg.counter("node.frames_sent");
+        let c_frames_received = reg.counter("node.frames_received");
+        let c_frames_malformed = reg.counter("node.frames_malformed");
+        let c_outbox_sent = reg.counter("net.sent");
+        let c_outbox_delivered = reg.counter("net.delivered");
+        let c_outbox_dropped = reg.counter("net.dropped");
+        let c_outbox_churn_lost = reg.counter("net.churn_lost");
+        let c_sent_kind = SENT_BY_KIND.map(|n| reg.counter(n));
+        let g_in_flight_kind = IN_FLIGHT_BY_KIND.map(|n| reg.gauge(n));
+        let g_alive = reg.gauge("overlay.alive");
+        let g_hosted = reg.gauge("node.hosted");
+        let g_pending = reg.gauge("outbox.pending");
+        ShardTelemetry {
+            reg,
+            c_frames_sent,
+            c_frames_received,
+            c_frames_malformed,
+            c_outbox_sent,
+            c_outbox_delivered,
+            c_outbox_dropped,
+            c_outbox_churn_lost,
+            c_sent_kind,
+            g_in_flight_kind,
+            g_alive,
+            g_hosted,
+            g_pending,
+            series: format!("shard{proc}"),
+        }
+    }
+
+    /// Samples every metric and renders the interval snapshot for `step`.
+    fn sample<M>(
+        &mut self,
+        step: u64,
+        stats: &NodeStats,
+        outbox: &Network<M>,
+        graph: &Graph,
+        procs: u32,
+        proc: u32,
+    ) -> Snapshot {
+        counter_set_total(&mut self.reg, self.c_frames_sent, stats.sent);
+        counter_set_total(&mut self.reg, self.c_frames_received, stats.received);
+        counter_set_total(&mut self.reg, self.c_frames_malformed, stats.malformed);
+        let net = outbox.stats();
+        counter_set_total(&mut self.reg, self.c_outbox_sent, net.sent);
+        counter_set_total(&mut self.reg, self.c_outbox_delivered, net.delivered);
+        counter_set_total(&mut self.reg, self.c_outbox_dropped, net.dropped);
+        counter_set_total(&mut self.reg, self.c_outbox_churn_lost, net.churn_lost);
+        let sent_kind = outbox.counter();
+        let delivered_kind = outbox.delivered_by_kind();
+        let dropped_kind = outbox.dropped_by_kind();
+        for (i, kind) in MessageKind::ALL.into_iter().enumerate() {
+            let sent = sent_kind.get(kind);
+            counter_set_total(&mut self.reg, self.c_sent_kind[i], sent);
+            let settled = delivered_kind.get(kind) + dropped_kind.get(kind);
+            self.reg
+                .gauge_set(self.g_in_flight_kind[i], sent.saturating_sub(settled));
+        }
+        let alive = graph.alive_count() as u64;
+        self.reg.gauge_set(self.g_alive, alive);
+        let hosted = graph
+            .alive_nodes()
+            .filter(|n| n.index() as u32 % procs == proc)
+            .count() as u64;
+        self.reg.gauge_set(self.g_hosted, hosted);
+        self.reg.gauge_set(self.g_pending, outbox.pending() as u64);
+        let mut snap = self.reg.snapshot(step);
+        snap.series = self.series.clone();
+        snap
+    }
+}
+
 /// The generic post-handshake server: overlay replica, outbox pump, UDP
 /// I/O, control handling. `Start` has been received; time zero is now.
 fn serve<P>(
@@ -329,6 +460,7 @@ where
     let mut reports: Vec<StepOutcome> = Vec::new();
     let mut frame_buf = Vec::with_capacity(64);
     let mut delta = p2p_overlay::churn::ChurnDelta::default();
+    let mut tel = (cfg.metrics_every > 0).then(|| ShardTelemetry::new(cfg.proc));
 
     {
         let mut cx = Cx::new(&graph, &mut outbox, &mut proto_rng, &mut reports);
@@ -355,6 +487,20 @@ where
                             SimTime((step + 1) * step_ms),
                             STEP_TAG | (step + 1),
                         );
+                    }
+                    // Telemetry rides the step grid: the interval snapshot
+                    // is sampled here (ticks are step numbers, no extra
+                    // wall-clock reads) and shipped as a control frame.
+                    if let Some(t) = tel.as_mut() {
+                        if step.is_multiple_of(cfg.metrics_every) || step == cfg.scenario.steps {
+                            let snap = t.sample(step, &stats, &outbox, &graph, cfg.procs, cfg.proc);
+                            write_ctrl(
+                                &mut ctrl,
+                                &CtrlMsg::Metrics {
+                                    json: snap.to_jsonl().into_bytes(),
+                                },
+                            )?;
+                        }
                     }
                 }
                 NetEvent::Deliver { src, dst, msg } => {

@@ -204,6 +204,7 @@ const CTRL_ESTIMATES: u8 = 0x15;
 const CTRL_REPORT: u8 = 0x16;
 const CTRL_SHUTDOWN: u8 = 0x17;
 const CTRL_BYE: u8 = 0x18;
+const CTRL_METRICS: u8 = 0x19;
 
 /// A protocol message that can cross the wire. Implemented for the three
 /// estimation protocols' message enums; the node runtime is generic over
@@ -572,6 +573,15 @@ pub enum CtrlMsg {
         /// Frames that failed to decode (hostile or corrupt input).
         malformed: u64,
     },
+    /// One interval telemetry snapshot from a shard, as the byte-exact
+    /// JSONL line of `p2p_telemetry::Snapshot::to_jsonl`. Carrying the
+    /// textual codec (rather than a second binary one) keeps one strict
+    /// parser in play end to end; the coordinator rejects frames whose
+    /// body fails that parser exactly like any other malformed input.
+    Metrics {
+        /// UTF-8 bytes of one snapshot JSONL line (no trailing newline).
+        json: Vec<u8>,
+    },
 }
 
 impl CtrlMsg {
@@ -586,6 +596,7 @@ impl CtrlMsg {
             CtrlMsg::Report { .. } => CTRL_REPORT,
             CtrlMsg::Shutdown => CTRL_SHUTDOWN,
             CtrlMsg::Bye { .. } => CTRL_BYE,
+            CtrlMsg::Metrics { .. } => CTRL_METRICS,
         }
     }
 }
@@ -635,6 +646,10 @@ pub fn encode_ctrl(msg: &CtrlMsg, out: &mut Vec<u8>) {
             out.extend_from_slice(&sent.to_le_bytes());
             out.extend_from_slice(&received.to_le_bytes());
             out.extend_from_slice(&malformed.to_le_bytes());
+        }
+        CtrlMsg::Metrics { json } => {
+            out.extend_from_slice(&(json.len() as u32).to_le_bytes());
+            out.extend_from_slice(json);
         }
     }
     let len = (out.len() - 4) as u32;
@@ -692,6 +707,12 @@ pub fn decode_ctrl(buf: &[u8]) -> Result<CtrlMsg, WireError> {
             received: r.u64()?,
             malformed: r.u64()?,
         },
+        CTRL_METRICS => {
+            let n = r.count(1)?;
+            CtrlMsg::Metrics {
+                json: r.take(n)?.to_vec(),
+            }
+        }
         other => return Err(WireError::BadKind(other)),
     };
     r.finish()?;
@@ -829,6 +850,10 @@ mod tests {
                 received: 9,
                 malformed: 1,
             },
+            CtrlMsg::Metrics {
+                json: br#"{"event":"metrics","series":"shard0","tick":5,"counters":{},"gauges":{},"hists":{}}"#.to_vec(),
+            },
+            CtrlMsg::Metrics { json: Vec::new() },
         ];
         let mut buf = Vec::new();
         for msg in msgs {
@@ -984,6 +1009,20 @@ mod tests {
         assert_eq!(
             decode_ctrl(&buf),
             Err(WireError::BadCount { count: 0x8000_0000 })
+        );
+        // A Metrics frame whose byte count outruns its body is rejected the
+        // same way — the count check runs before any allocation.
+        let mut buf = Vec::new();
+        encode_ctrl(
+            &CtrlMsg::Metrics {
+                json: b"{}".to_vec(),
+            },
+            &mut buf,
+        );
+        buf[6..10].copy_from_slice(&0x4000_0000u32.to_le_bytes());
+        assert_eq!(
+            decode_ctrl(&buf),
+            Err(WireError::BadCount { count: 0x4000_0000 })
         );
     }
 }

@@ -70,6 +70,63 @@ fn loopback_cluster_converges_within_des_envelope() {
 }
 
 #[test]
+fn loopback_cluster_streams_merged_telemetry() {
+    let protocol = ProtocolSpec::parse("aggregation:rounds=30").expect("spec parses");
+    let mut cfg = ClusterConfig::new(8, 2, protocol);
+    cfg.metrics_every = 5;
+
+    let mut sink = CollectSink::default();
+    let report = run_cluster(&cfg, &Launch::InProcess, &mut sink).expect("cluster runs");
+    assert_eq!(report.unclean_exits, 0, "all shards must exit cleanly");
+
+    assert!(
+        !report.merged_metrics.is_empty(),
+        "metrics_every > 0 must yield merged per-interval snapshots"
+    );
+    let mut last_tick = 0;
+    for snap in &report.merged_metrics {
+        assert_eq!(
+            snap.series, "cluster",
+            "merged snapshots carry the cluster series"
+        );
+        assert!(
+            snap.tick == 0 || snap.tick > last_tick,
+            "merged ticks arrive in order"
+        );
+        last_tick = snap.tick;
+        let gauge = |name: &str| {
+            snap.gauges
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("gauge {name} present in merged snapshot"))
+                .1
+        };
+        assert_eq!(gauge("cluster.truth"), 8, "truth gauge mirrors the overlay");
+        assert!(
+            gauge("conv.eps_reached.aggregation") <= 1,
+            "eps flag is boolean"
+        );
+        assert!(
+            snap.counters.iter().any(|(n, _)| n == "net.sent"),
+            "shard outbox counters survive the merge"
+        );
+    }
+    // The epsilon flag must eventually latch on: aggregation on a static
+    // 8-node overlay converges well inside the default step budget.
+    let final_snap = report.merged_metrics.last().expect("at least one snapshot");
+    let eps = final_snap
+        .gauges
+        .iter()
+        .find(|(n, _)| n == "conv.eps_reached.aggregation")
+        .expect("eps gauge")
+        .1;
+    assert_eq!(
+        eps, 1,
+        "windowed median enters ±ε of truth by the final interval"
+    );
+}
+
+#[test]
 fn bind_with_retry_survives_port_collisions() {
     // Occupy a fixed port, then ask for it: the helper must back off and
     // come back with *some* bound socket (the ephemeral fallback) instead

@@ -83,6 +83,10 @@ pub struct Graph {
     reuse_slots: bool,
     /// Number of undirected edges between alive nodes.
     edges: usize,
+    /// Cumulative arrivals that re-let a freed slot (telemetry).
+    slots_reused: u64,
+    /// Cumulative arena compactions, automatic or forced (telemetry).
+    compactions: u64,
 }
 
 const NOT_ALIVE: u32 = u32::MAX;
@@ -107,6 +111,8 @@ impl Graph {
             free_slots: Vec::new(),
             reuse_slots: false,
             edges: 0,
+            slots_reused: 0,
+            compactions: 0,
         }
     }
 
@@ -145,6 +151,7 @@ impl Graph {
             self.generation[slot] = generation;
             let id = NodeId::from_parts(slot, generation);
             debug_assert_eq!(self.spans[slot].len, 0, "re-let slot still wired");
+            self.slots_reused += 1;
             self.alive.set(slot, true);
             self.alive_pos[slot] = self.alive_list.len() as u32;
             self.alive_list.push(id);
@@ -189,6 +196,17 @@ impl Graph {
     pub fn adjacency_bytes(&self) -> usize {
         self.spans.len() * std::mem::size_of::<Span>()
             + self.arena.len() * std::mem::size_of::<NodeId>()
+    }
+
+    /// Cumulative arrivals that re-let a freed slot (telemetry; nonzero
+    /// only after [`enable_slot_reuse`](Self::enable_slot_reuse)).
+    pub fn slots_reused(&self) -> u64 {
+        self.slots_reused
+    }
+
+    /// Cumulative arena compactions, automatic or forced (telemetry).
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 
     /// Whether `node` is currently alive. Generation-checked: an id whose
@@ -369,6 +387,7 @@ impl Graph {
     /// unchanged; only arena addresses move. O(V + E). Normally triggered
     /// automatically; public so bulk loads and tests can force it.
     pub fn compact_adjacency(&mut self) {
+        self.compactions += 1;
         let mut new_arena = Vec::with_capacity(self.arena_live());
         for span in self.spans.iter_mut() {
             let off = new_arena.len() as u32;

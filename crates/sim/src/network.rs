@@ -212,10 +212,25 @@ pub enum NetEvent<M> {
 /// [`PayloadPool`] and travel through the wheel as `u32` handles, so every
 /// queue entry is small and fixed-size regardless of the wire format `M`.
 enum QueuedEvent {
-    Deliver { src: u32, dst: u32, payload: u32 },
-    Drop { src: u32, dst: u32, payload: u32 },
-    Timer { node: u32, tag: u64 },
-    Control { tag: u64 },
+    Deliver {
+        src: u32,
+        dst: u32,
+        payload: u32,
+        kind: MessageKind,
+    },
+    Drop {
+        src: u32,
+        dst: u32,
+        payload: u32,
+        kind: MessageKind,
+    },
+    Timer {
+        node: u32,
+        tag: u64,
+    },
+    Control {
+        tag: u64,
+    },
 }
 
 /// The network facade: owns the event queue (in-flight messages, timers,
@@ -234,6 +249,11 @@ pub struct Network<M> {
     link_salt: u64,
     counter: MessageCounter,
     stats: NetStats,
+    /// Per-kind delivery accounting (telemetry): with the per-kind sends in
+    /// `counter`, `sent − delivered − dropped` per kind is the in-flight
+    /// population of each message class.
+    delivered_by_kind: MessageCounter,
+    dropped_by_kind: MessageCounter,
     /// Reused scratch for [`pop_batch`](Self::pop_batch) (no steady-state
     /// allocation).
     batch_buf: Vec<QueuedEvent>,
@@ -259,6 +279,8 @@ impl<M> Network<M> {
             link_salt: seed,
             counter: MessageCounter::new(),
             stats: NetStats::default(),
+            delivered_by_kind: MessageCounter::new(),
+            dropped_by_kind: MessageCounter::new(),
             batch_buf: Vec::new(),
         }
     }
@@ -298,6 +320,16 @@ impl<M> Network<M> {
     /// Delivery/loss accounting so far.
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    /// Per-kind delivery accounting (telemetry).
+    pub fn delivered_by_kind(&self) -> &MessageCounter {
+        &self.delivered_by_kind
+    }
+
+    /// Per-kind in-flight drop accounting (telemetry).
+    pub fn dropped_by_kind(&self) -> &MessageCounter {
+        &self.dropped_by_kind
     }
 
     /// Event-core accounting: events dispatched, peak queue depth, and the
@@ -347,9 +379,19 @@ impl<M> Network<M> {
         let dropped = self.model.drop_rate > 0.0 && self.rng.gen::<f64>() < self.model.drop_rate;
         let payload = self.pool.insert(msg);
         let event = if dropped {
-            QueuedEvent::Drop { src, dst, payload }
+            QueuedEvent::Drop {
+                src,
+                dst,
+                payload,
+                kind,
+            }
         } else {
-            QueuedEvent::Deliver { src, dst, payload }
+            QueuedEvent::Deliver {
+                src,
+                dst,
+                payload,
+                kind,
+            }
         };
         self.engine.schedule_in(delay, event);
     }
@@ -377,16 +419,28 @@ impl<M> Network<M> {
     #[inline]
     fn resolve(&mut self, ev: QueuedEvent) -> NetEvent<M> {
         match ev {
-            QueuedEvent::Deliver { src, dst, payload } => {
+            QueuedEvent::Deliver {
+                src,
+                dst,
+                payload,
+                kind,
+            } => {
                 self.stats.delivered += 1;
+                self.delivered_by_kind.count(kind);
                 NetEvent::Deliver {
                     src,
                     dst,
                     msg: self.pool.take(payload),
                 }
             }
-            QueuedEvent::Drop { src, dst, payload } => {
+            QueuedEvent::Drop {
+                src,
+                dst,
+                payload,
+                kind,
+            } => {
                 self.stats.dropped += 1;
+                self.dropped_by_kind.count(kind);
                 NetEvent::Drop {
                     src,
                     dst,
@@ -670,6 +724,32 @@ mod tests {
         }
         assert!(single.pop().is_none(), "batched net drained early");
         assert_eq!(single.stats(), batched.stats());
+    }
+
+    #[test]
+    fn per_kind_delivery_accounting_partitions_sends() {
+        let model = NetworkModel::ideal().with_drop_rate(0.25);
+        let mut net: Network<u32> = Network::new(model, 17);
+        for i in 0..4_000u32 {
+            let kind = if i % 2 == 0 {
+                MessageKind::WalkStep
+            } else {
+                MessageKind::AggregationPush
+            };
+            net.send(0, 1, kind, i);
+        }
+        while net.pop().is_some() {}
+        for kind in [MessageKind::WalkStep, MessageKind::AggregationPush] {
+            assert_eq!(
+                net.delivered_by_kind().get(kind) + net.dropped_by_kind().get(kind),
+                net.counter().get(kind),
+                "sent {kind} messages must resolve as delivered or dropped"
+            );
+            assert!(net.dropped_by_kind().get(kind) > 0);
+        }
+        assert_eq!(net.delivered_by_kind().total(), net.stats().delivered);
+        assert_eq!(net.dropped_by_kind().total(), net.stats().dropped);
+        assert_eq!(net.delivered_by_kind().get(MessageKind::Control), 0);
     }
 
     #[test]

@@ -74,6 +74,25 @@ impl SlidingWindow {
     pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
         self.buf.iter().copied()
     }
+
+    /// Median of the current contents (`NaN` when empty); even-sized
+    /// windows take the midpoint of the two central values. The online
+    /// time-to-ε convergence telemetry watches this instead of the mean
+    /// because one wild estimate (a short walk on a fresh overlay) would
+    /// drag the mean outside ±ε for a whole window length.
+    pub fn median(&self) -> f64 {
+        if self.buf.is_empty() {
+            return f64::NAN;
+        }
+        let mut sorted: Vec<f64> = self.buf.iter().copied().collect();
+        sorted.sort_by(f64::total_cmp);
+        let mid = sorted.len() / 2;
+        if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        }
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +149,22 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_panics() {
         SlidingWindow::new(0);
+    }
+
+    #[test]
+    fn median_handles_odd_even_and_outliers() {
+        let mut w = SlidingWindow::new(5);
+        assert!(w.median().is_nan());
+        w.push(10.0);
+        assert_eq!(w.median(), 10.0);
+        w.push(1000.0); // outlier barely moves the median, wrecks the mean
+        assert_eq!(w.median(), 505.0);
+        w.push(12.0);
+        assert_eq!(w.median(), 12.0);
+        w.push(11.0);
+        w.push(13.0);
+        assert_eq!(w.median(), 12.0);
+        assert!(w.mean() > 200.0);
     }
 
     #[test]

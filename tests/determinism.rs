@@ -81,7 +81,15 @@ fn streamed_output_bytes_are_identical_across_runs() {
         let mut buf: Vec<u8> = Vec::new();
         {
             let mut sink = JsonLinesSink::new(&mut buf);
-            run_experiment(&spec, 20060619, &EngineOptions { jobs: Some(2) }, &mut sink);
+            run_experiment(
+                &spec,
+                20060619,
+                &EngineOptions {
+                    jobs: Some(2),
+                    metrics: None,
+                },
+                &mut sink,
+            );
         }
         buf
     };
