@@ -10,7 +10,7 @@
 //! * [`lexer`] — a small Rust lexer that tokenizes correctly through
 //!   comments, string/char literals, and raw strings, so rules never fire
 //!   on quoted or commented-out text;
-//! * [`mod@rules`] — the rule set (13 rules) with per-crate/path scoping and
+//! * [`mod@rules`] — the rule set (14 rules) with per-crate/path scoping and
 //!   `#[cfg(test)]` exemptions;
 //! * [`engine`] — the workspace walker, `audit:allow` resolution, and
 //!   text/JSONL reporting.

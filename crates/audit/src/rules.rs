@@ -84,6 +84,15 @@ fn in_sim_path(meta: &FileMeta) -> bool {
     SIM_PATH.contains(&meta.crate_name.as_str())
 }
 
+/// The two files allowed to own cross-thread machinery: the replication
+/// fan-out ([`sim::parallel`]) and the sharded tick-barrier coordinator
+/// (`experiments::sharded`). Everything else in the sim path must keep its
+/// state shard-local — cross-shard data flows through the barrier exchange,
+/// never through a shared lock a worker could race on.
+fn is_parallel_driver(meta: &FileMeta) -> bool {
+    meta.path == "crates/sim/src/parallel.rs" || meta.path == "crates/experiments/src/sharded.rs"
+}
+
 /// Files that render figure/sink output: row order is observable bytes.
 fn in_output_path(meta: &FileMeta) -> bool {
     meta.path == "crates/experiments/src/sink.rs"
@@ -97,7 +106,7 @@ pub fn rules() -> &'static [Rule] {
     &RULES
 }
 
-static RULES: [Rule; 13] = [
+static RULES: [Rule; 14] = [
     Rule {
         name: "wall-clock",
         summary: "no Instant::now / SystemTime in sim-path crates (results must be a function of the seed, not the host clock)",
@@ -116,6 +125,16 @@ static RULES: [Rule; 13] = [
         kind: RuleKind::PerFile {
             applies: in_sim_path,
             check: check_sleep,
+        },
+    },
+    Rule {
+        name: "shard-local-state",
+        summary: "no shared-mutable sync primitives (Mutex/RwLock/Barrier/Condvar/Atomic*/channels) in sim-path crates outside the designated parallel drivers (cross-shard state moves through the tick-barrier exchange only)",
+        scope: "crates/{sim,core,overlay,experiments,workload,stats} except sim/src/parallel.rs and experiments/src/sharded.rs",
+        skip_test_code: true,
+        kind: RuleKind::PerFile {
+            applies: |m| in_sim_path(m) && !is_parallel_driver(m),
+            check: check_shared_mutable,
         },
     },
     Rule {
@@ -351,6 +370,39 @@ fn check_hashmap_iter(cx: &FileCtx<'_>, lines: &mut Vec<u32>) {
         let back = i.saturating_sub(3);
         if t[back..i].iter().any(|tok| tok.is_ident("in")) {
             push_line(lines, t[i].line);
+        }
+    }
+}
+
+/// Any naming of a shared-mutable sync primitive fires — imports included.
+/// Unlike `Instant` (which may appear as a stored type at the pacing
+/// boundary), a `Mutex` or `Barrier` in a sim-path file has no
+/// deterministic use: either state is shard-local, or it crosses shards
+/// through the exchange grid. `crossbeam` is on the list because its only
+/// workspace use is channels.
+fn check_shared_mutable(cx: &FileCtx<'_>, lines: &mut Vec<u32>) {
+    const SHARED: &[&str] = &[
+        "Mutex",
+        "RwLock",
+        "Barrier",
+        "Condvar",
+        "mpsc",
+        "crossbeam",
+        "AtomicBool",
+        "AtomicUsize",
+        "AtomicIsize",
+        "AtomicU8",
+        "AtomicU16",
+        "AtomicU32",
+        "AtomicU64",
+        "AtomicI8",
+        "AtomicI16",
+        "AtomicI32",
+        "AtomicI64",
+    ];
+    for tok in &cx.lex.tokens {
+        if SHARED.iter().any(|n| tok.is_ident(n)) {
+            push_line(lines, tok.line);
         }
     }
 }
@@ -671,6 +723,31 @@ fn f() {\n\
             run_rule("hashmap-iter", "crates/overlay/src/x.rs", src),
             vec![5, 6]
         );
+    }
+
+    #[test]
+    fn shard_local_state_spares_only_the_parallel_drivers() {
+        let src = "use std::sync::{Mutex, RwLock};\n\
+                   fn f() { let b = Barrier::new(2); }\n\
+                   fn g(tx: crossbeam::channel::Sender<u8>) {}\n";
+        assert_eq!(
+            run_rule("shard-local-state", "crates/sim/src/engine.rs", src),
+            vec![1, 2, 3]
+        );
+        assert_eq!(
+            run_rule("shard-local-state", "crates/core/src/x.rs", src),
+            vec![1, 2, 3]
+        );
+        // The designated drivers own the machinery…
+        assert!(run_rule("shard-local-state", "crates/sim/src/parallel.rs", src).is_empty());
+        assert!(run_rule(
+            "shard-local-state",
+            "crates/experiments/src/sharded.rs",
+            src
+        )
+        .is_empty());
+        // …and the deployment side (crates/node) is out of scope entirely.
+        assert!(run_rule("shard-local-state", "crates/node/src/runtime.rs", src).is_empty());
     }
 
     #[test]

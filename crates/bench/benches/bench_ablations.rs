@@ -1068,12 +1068,168 @@ fn bench7_snapshot(_c: &mut Criterion) {
     p2p_bench::write_bench7(&entries);
 }
 
+// ── PR 10 shard-scaling ablation ────────────────────────────────────────
+
+/// Collected measurements for the BENCH_8.json snapshot.
+static BENCH8: std::sync::Mutex<Vec<(String, String)>> = std::sync::Mutex::new(Vec::new());
+
+/// Shard scaling on the BENCH_6 workload moved to its home turf: the same
+/// `aggregation:rounds=30` protocol on the `wan` network model (every hop
+/// ≥ 1 tick, so the conservative lookahead clamp changes nothing), run at
+/// `--shards 1` (the sequential wheel) and K ∈ {2, 4} through the
+/// tick-barrier engine. 1M always runs; the 10M acceptance point (the
+/// ≥ 2.5× target with 4+ shards) is gated behind `P2P_BENCH_10M=1` as in
+/// BENCH_6.
+///
+/// Each K is its own deterministic result identity (different RNG stream
+/// split), so events/s is each configuration's own merged dispatch count
+/// over its own wall clock — not a fixed-work comparison. `cores` records
+/// `available_parallelism` at measurement time: the speedup column only
+/// means something when it is ≥ the shard count, and the committed
+/// snapshot says so rather than hiding the host. Peak RSS is the process
+/// high-water (`VmHWM`), monotone across the loop — shard counts run
+/// ascending per size, sizes ascending overall.
+fn shard_scaling(c: &mut Criterion) {
+    use p2p_estimation::{AsyncProtocol, Deployment, Heuristic, ProtocolSpec};
+    use p2p_experiments::runner::run_scenario_des;
+    use p2p_experiments::sink::peak_rss_kb;
+    use p2p_experiments::{run_scenario_des_sharded, Scenario, ShardOpts};
+    use p2p_sim::NetworkModel;
+    use std::time::Instant;
+
+    let spec = ProtocolSpec::parse("aggregation:rounds=30").expect("literal spec");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut sizes = vec![1_000_000usize];
+    let ten_m = std::env::var("P2P_BENCH_10M").is_ok_and(|v| v == "1");
+    if ten_m {
+        sizes.push(10_000_000);
+    }
+    println!("\n[ablation] shard scaling: DES aggregation:rounds=30 on wan, shards 1/2/4");
+    if !ten_m {
+        println!("  (set P2P_BENCH_10M=1 to include the 10M acceptance point)");
+    }
+    println!("  ({cores} core(s) available — speedup needs cores ≥ shards to show)");
+    println!(
+        "{:>10} {:>7} {:>14} {:>14} {:>12} {:>10}",
+        "nodes", "shards", "events", "events/s", "peak RSS MB", "wall s"
+    );
+    let mut size_rows = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let scenario = Scenario::static_network(n, 30)
+            .with_slot_reuse()
+            .with_network(NetworkModel::wan());
+        let seed = derive_seed(BENCH_SEED, 40 + i as u64);
+        let mut points = Vec::new();
+        let mut rates = Vec::new();
+        for &k in &[1u32, 2, 4] {
+            let t0 = Instant::now();
+            let trace = if k == 1 {
+                let AsyncProtocol::Aggregation(mut p) = spec.build_async() else {
+                    unreachable!("aggregation spec builds the aggregation protocol")
+                };
+                run_scenario_des(&mut p, &scenario, Heuristic::OneShot, seed, "shard-scaling")
+            } else {
+                let make = |_: u32, view| {
+                    let AsyncProtocol::Aggregation(mut p) = spec.build_async() else {
+                        unreachable!("aggregation spec builds the aggregation protocol")
+                    };
+                    p.deployment = Deployment::Shard(view);
+                    p
+                };
+                run_scenario_des_sharded(
+                    make,
+                    &scenario,
+                    Heuristic::OneShot,
+                    seed,
+                    "shard-scaling",
+                    ShardOpts {
+                        shards: k,
+                        workers: None,
+                    },
+                    None,
+                )
+                .0
+            };
+            let wall = t0.elapsed().as_secs_f64();
+            let events = trace.engine.dispatched;
+            let rate = events as f64 / wall;
+            rates.push((k, rate));
+            let rss_kb = peak_rss_kb();
+            println!(
+                "{n:>10} {k:>7} {events:>14} {rate:>14.0} {:>12} {wall:>10.2}",
+                rss_kb.map_or("n/a".to_string(), |kb| format!("{:.1}", kb as f64 / 1024.0)),
+            );
+            let rss_json = rss_kb.map_or("null".to_string(), |kb| kb.to_string());
+            points.push(format!(
+                "{{\"shards\": {k}, \"events\": {events}, \"events_per_s\": {rate:.0}, \
+                 \"peak_rss_kb\": {rss_json}, \"wall_s\": {wall:.2}}}"
+            ));
+        }
+        let base = rates[0].1;
+        let speedup_4 = rates
+            .iter()
+            .find(|&&(k, _)| k == 4)
+            .map_or(f64::NAN, |&(_, r)| r / base);
+        size_rows.push(format!(
+            "{{\"nodes\": {n}, \"speedup_4_shards\": {speedup_4:.2}, \"points\": [{}]}}",
+            points.join(", ")
+        ));
+    }
+    BENCH8.lock().unwrap().push((
+        "shard_scaling".to_string(),
+        format!(
+            "{{\"protocol\": \"aggregation:rounds=30\", \"network\": \"wan\", \"steps\": 30, \
+             \"cores\": {cores}, \"includes_10m\": {ten_m}, \"target_speedup_4_shards\": 2.5, \
+             \"sizes\": [{}]}}",
+            size_rows.join(", ")
+        ),
+    ));
+
+    c.bench_function("ablation_shard_scaling/des_sharded_20k_k4", |b| {
+        b.iter(|| {
+            let scenario = Scenario::static_network(20_000, 30)
+                .with_slot_reuse()
+                .with_network(NetworkModel::wan());
+            let make = |_: u32, view| {
+                let AsyncProtocol::Aggregation(mut p) = spec.build_async() else {
+                    unreachable!("aggregation spec builds the aggregation protocol")
+                };
+                p.deployment = Deployment::Shard(view);
+                p
+            };
+            black_box(run_scenario_des_sharded(
+                make,
+                &scenario,
+                Heuristic::OneShot,
+                derive_seed(BENCH_SEED, 49),
+                "shard-scaling-timed",
+                ShardOpts {
+                    shards: 4,
+                    workers: None,
+                },
+                None,
+            ))
+        });
+    });
+}
+
+/// Writes the shard-scaling curve to `target/BENCH_8.json`. Registered
+/// last.
+fn bench8_snapshot(_c: &mut Criterion) {
+    let entries = BENCH8.lock().unwrap().clone();
+    if entries.is_empty() {
+        eprintln!("[bench8] no entries recorded (filtered run?) — snapshot skipped");
+        return;
+    }
+    p2p_bench::write_bench8(&entries);
+}
+
 criterion_group! {
     name = benches;
     config = criterion_config();
     targets = l_sweep, t_bias, topology, estimator, min_hops, hs_target_mode, oracle_distances,
         delay, churn_removal, ops_at_lookup, workload_generation,
-        event_queue, node_arena, message_pool, engine_memory, telemetry_overhead,
-        bench5_snapshot, bench6_snapshot, bench7_snapshot
+        event_queue, node_arena, message_pool, engine_memory, telemetry_overhead, shard_scaling,
+        bench5_snapshot, bench6_snapshot, bench7_snapshot, bench8_snapshot
 }
 criterion_main!(benches);

@@ -109,6 +109,22 @@ pub fn write_bench7(entries: &[(String, String)]) {
     write_snapshot("bench7", &bench7_path(), entries);
 }
 
+/// Where the shard-scaling snapshot lands: `target/BENCH_8.json`,
+/// shards × events/s × peak RSS from the `shard_scaling` ablation (the
+/// tick-barrier parallel engine vs the sequential wheel on the same
+/// scenario). Same convention as [`bench5_path`].
+pub fn bench8_path() -> PathBuf {
+    figures_dir()
+        .parent()
+        .map(|p| p.join("BENCH_8.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_8.json"))
+}
+
+/// Writes the shard-scaling snapshot (see [`write_bench5`] for the format).
+pub fn write_bench8(entries: &[(String, String)]) {
+    write_snapshot("bench8", &bench8_path(), entries);
+}
+
 fn write_snapshot(tag: &str, path: &std::path::Path, entries: &[(String, String)]) {
     let mut out = String::from("{\n");
     for (i, (key, value)) in entries.iter().enumerate() {

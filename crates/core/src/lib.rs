@@ -77,7 +77,7 @@ pub use hops_sampling::HopsSampling;
 pub use monitor::SizeMonitor;
 pub use net_protocol::{
     AsyncAggregation, AsyncHopsSampling, AsyncSampleCollide, Deployment, Networked, NodeProtocol,
-    ShardView, SyncStep,
+    ShardRoute, ShardView, SyncStep,
 };
 pub use protocol::{estimate_once, EstimationProtocol, StepOutcome};
 pub use sample_collide::SampleCollide;

@@ -123,6 +123,16 @@ impl Deployment {
     }
 }
 
+/// The sharded DES driver's routing attachment to a [`Cx`]: which shard
+/// this protocol instance executes as, and the outbox its cross-shard
+/// sends buffer into until the next tick-barrier exchange.
+pub struct ShardRoute<'a, M> {
+    /// This shard's view (partition rule `index % procs`).
+    pub view: ShardView,
+    /// The shard's per-destination cross-shard lanes for the current tick.
+    pub outbox: &'a mut p2p_sim::shard::Outbox<M>,
+}
+
 /// Everything a [`NodeProtocol`] handler may touch: the current overlay
 /// snapshot (immutable — churn is the driver's business), the network it
 /// sends through, the protocol RNG stream and the report sink.
@@ -135,6 +145,9 @@ pub struct Cx<'a, M> {
     /// latency/loss draws — those live on the network's own stream).
     pub rng: &'a mut SmallRng,
     reports: &'a mut Vec<StepOutcome>,
+    /// Cross-shard routing, set only by the sharded DES driver. `None` is
+    /// the historic single-instance path, bit for bit.
+    route: Option<ShardRoute<'a, M>>,
 }
 
 impl<'a, M> Cx<'a, M> {
@@ -150,6 +163,27 @@ impl<'a, M> Cx<'a, M> {
             net,
             rng,
             reports,
+            route: None,
+        }
+    }
+
+    /// [`Cx::new`] with cross-shard routing: sends to nodes this shard does
+    /// not host are resolved by the local network's model
+    /// ([`Network::route_remote`]) and buffered into the route's outbox for
+    /// the barrier exchange.
+    pub fn with_route(
+        graph: &'a Graph,
+        net: &'a mut Network<M>,
+        rng: &'a mut SmallRng,
+        reports: &'a mut Vec<StepOutcome>,
+        route: ShardRoute<'a, M>,
+    ) -> Self {
+        Cx {
+            graph,
+            net,
+            rng,
+            reports,
+            route: Some(route),
         }
     }
 
@@ -160,7 +194,22 @@ impl<'a, M> Cx<'a, M> {
     }
 
     /// Sends `msg` from `src` to `dst`, charged as one message of `kind`.
+    ///
+    /// Under a shard route, a destination hosted by another shard goes
+    /// through [`Network::route_remote`] (latency/drop resolved here, on
+    /// this shard's stream, in send order) and is buffered toward that
+    /// shard; dropped remote sends surface as a local [`NodeProtocol::on_loss`]
+    /// at the would-be delivery tick.
     pub fn send(&mut self, src: NodeId, dst: NodeId, kind: MessageKind, msg: M) {
+        if let Some(route) = self.route.as_mut() {
+            let dst_shard = dst.index() as u32 % route.view.procs;
+            if dst_shard != route.view.proc {
+                if let Some(m) = self.net.route_remote(src.0, dst.0, kind, msg) {
+                    route.outbox.push(dst_shard as usize, m);
+                }
+                return;
+            }
+        }
         self.net.send(src.0, dst.0, kind, msg);
     }
 
@@ -366,7 +415,27 @@ pub fn dispatch<P: NodeProtocol>(
     rng: &mut SmallRng,
     reports: &mut Vec<StepOutcome>,
 ) {
-    let mut cx = Cx::new(graph, net, rng, reports);
+    let cx = Cx::new(graph, net, rng, reports);
+    dispatch_cx(protocol, event, cx);
+}
+
+/// [`dispatch`] for the sharded DES driver: the same event routing with a
+/// shard-routed [`Cx`], so handler sends to remote-hosted nodes buffer into
+/// the shard's outbox instead of the local wheel.
+pub fn dispatch_routed<'a, P: NodeProtocol>(
+    protocol: &mut P,
+    event: NetEvent<P::Msg>,
+    graph: &'a Graph,
+    net: &'a mut Network<P::Msg>,
+    rng: &'a mut SmallRng,
+    reports: &'a mut Vec<StepOutcome>,
+    route: ShardRoute<'a, P::Msg>,
+) {
+    let cx = Cx::with_route(graph, net, rng, reports, route);
+    dispatch_cx(protocol, event, cx);
+}
+
+fn dispatch_cx<P: NodeProtocol>(protocol: &mut P, event: NetEvent<P::Msg>, mut cx: Cx<'_, P::Msg>) {
     match event {
         NetEvent::Deliver { src, dst, msg } => {
             let (src, dst) = (NodeId(src), NodeId(dst));

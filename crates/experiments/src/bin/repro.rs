@@ -52,6 +52,12 @@ common options:
   --seed S                   master seed                (default 20060619)
   --out DIR                  CSV output directory       (default target/figures)
   --jobs J                   worker threads per replication batch
+  --shards K                 free-form async runs only: run each replication
+                             on K parallel DES shards (tick-barrier engine,
+                             partition rule index mod K). K is part of the
+                             result identity — fixed K is byte-stable across
+                             reruns and worker counts, but K=4 is a different
+                             (equally valid) realization than K=1
   --format csv|csv-stream|jsonl   figure files, or streaming rows on stdout
   --metrics FILE             write interval telemetry snapshots as JSONL to
                              FILE (one experiment per file: a single --fig or
@@ -105,6 +111,7 @@ struct Args {
     seed: u64,
     out: PathBuf,
     jobs: Option<usize>,
+    shards: u32,
     format: Format,
     quiet: bool,
     metrics: Option<MetricsConfig>,
@@ -193,6 +200,7 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 20060619; // HPDC-15 opening day
     let mut out = PathBuf::from("target/figures");
     let mut jobs = None;
+    let mut shards = 0u32;
     let mut format = Format::Csv;
     let mut quiet = false;
     let mut metrics: Option<PathBuf> = None;
@@ -225,6 +233,7 @@ fn parse_args() -> Result<Args, String> {
                 | "--reuse-slots"
                 | "--record-trace"
                 | "--replay-trace"
+                | "--shards"
         ) {
             custom_flags.push(arg);
         }
@@ -346,6 +355,14 @@ fn parse_args() -> Result<Args, String> {
                 }
                 jobs = Some(j);
             }
+            "--shards" => {
+                let v = next_value(&mut it, "--shards")?;
+                let k: u32 = v.parse().map_err(|_| format!("bad shard count {v}"))?;
+                if k == 0 {
+                    return Err("--shards must be ≥ 1 (1 = the sequential engine)".to_string());
+                }
+                shards = k;
+            }
             "--format" => {
                 format = match next_value(&mut it, "--format")?.as_str() {
                     "csv" => Format::Csv,
@@ -395,6 +412,13 @@ fn parse_args() -> Result<Args, String> {
             }
             if metric.is_some() && sweep.is_none() {
                 return Err("--metric needs a --sweep (non-sweep runs plot traces)".to_string());
+            }
+            if shards >= 2 && mode_sync {
+                return Err(
+                    "--shards needs --mode async: sync steps execute atomically, so there \
+                     is nothing to partition"
+                        .to_string(),
+                );
             }
             Command::Custom(Box::new(build_custom_spec(
                 protocols,
@@ -459,6 +483,7 @@ fn parse_args() -> Result<Args, String> {
         seed,
         out,
         jobs,
+        shards,
         format,
         quiet,
         metrics: metrics.map(|path| MetricsConfig {
@@ -498,6 +523,7 @@ fn parse_audit_args(rest: &[String]) -> Result<Args, String> {
         seed: 20060619,
         out: PathBuf::from("target/figures"),
         jobs: None,
+        shards: 0,
         format: Format::Csv,
         quiet: false,
         metrics: None,
@@ -744,6 +770,7 @@ fn execute(spec: &ExperimentSpec, args: &Args) -> Result<(), String> {
     let opts = EngineOptions {
         jobs: args.jobs,
         metrics: args.metrics.clone(),
+        shards: args.shards,
     };
     let mut progress = ProgressPrinter {
         id: spec.id.clone(),

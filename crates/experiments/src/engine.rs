@@ -29,9 +29,10 @@ use crate::runner::{
     replication_threads, run_scenario_des_telemetry, run_scenario_telemetry, TelemetryOpts, Trace,
 };
 use crate::scenario::Scenario;
+use crate::sharded::{run_scenario_des_sharded, ShardOpts};
 use crate::sink::{ExperimentMeta, ResultSink, Row, RunStats};
 use crate::spec::{ExecMode, ExperimentSpec, Presentation, SweepMetric};
-use p2p_estimation::{AsyncProtocol, Heuristic, ProtocolSpec};
+use p2p_estimation::{AsyncProtocol, Deployment, Heuristic, ProtocolSpec};
 use p2p_sim::parallel::{default_threads, par_map};
 use p2p_sim::rng::{derive_seed, replication_seeds, small_rng};
 use p2p_stats::series::Figure;
@@ -62,7 +63,8 @@ impl MetricsConfig {
     }
 }
 
-/// Execution knobs that change wall-clock behavior but never results.
+/// Execution knobs. `jobs` and `metrics` change wall-clock behavior but
+/// never results; `shards` is different — see its doc.
 #[derive(Clone, Debug, Default)]
 pub struct EngineOptions {
     /// Worker threads per replication batch; `None` keeps each
@@ -72,6 +74,15 @@ pub struct EngineOptions {
     /// Telemetry capture (`repro run --metrics`); `None` disables it.
     /// Captured runs and uncaptured runs produce bit-identical results.
     pub metrics: Option<MetricsConfig>,
+    /// `K ≥ 2` runs each event-driven (Async) replication on `K` parallel
+    /// shards ([`run_scenario_des_sharded`]); `0`/`1` keeps the sequential
+    /// engine, bit-identical to every golden figure and trace. Unlike
+    /// `jobs`, `K` is part of the **result identity**: a `K`-shard run
+    /// partitions the RNG streams like a `K`-node cluster and produces a
+    /// different (equally valid) realization — byte-stable across reruns
+    /// and worker-thread counts at fixed `K`. Sync-mode entries reject
+    /// `K ≥ 2`.
+    pub shards: u32,
 }
 
 /// The open `--metrics` output file.
@@ -163,7 +174,11 @@ fn emit_series(sink: &mut dyn ResultSink, series: &Series) {
 /// One replication of a protocol entry over a scenario, in the entry's
 /// execution mode. Protocols are built fresh per replication from the
 /// spec; `telemetry` (replication 0 under `--metrics`) additionally
-/// captures interval snapshots without perturbing the trace.
+/// captures interval snapshots without perturbing the trace. `shards ≥ 2`
+/// runs event-driven entries on the sharded parallel engine — protocol
+/// instances are then built fresh *per shard*, each deployed as its slice
+/// of the partition.
+#[allow(clippy::too_many_arguments)] // private; mirrors the engine options
 fn run_one(
     entry_protocol: &ProtocolSpec,
     mode: ExecMode,
@@ -172,11 +187,71 @@ fn run_one(
     seed: u64,
     series_name: String,
     telemetry: Option<TelemetryOpts>,
+    shards: u32,
 ) -> (Trace, Vec<Snapshot>) {
     match mode {
         ExecMode::Sync => {
+            assert!(
+                shards < 2,
+                "--shards needs an event-driven protocol entry (sync steps are atomic)"
+            );
             let mut p = entry_protocol.build_sync();
             run_scenario_telemetry(&mut *p, scenario, heuristic, seed, series_name, telemetry)
+        }
+        ExecMode::Async if shards >= 2 => {
+            let opts = ShardOpts {
+                shards,
+                workers: None,
+            };
+            // One closure per variant so the sharded driver gets a concrete
+            // protocol type; each build installs the shard's deployment.
+            match entry_protocol.build_async() {
+                AsyncProtocol::SampleCollide(_) => run_scenario_des_sharded(
+                    |_, view| match entry_protocol.build_async() {
+                        AsyncProtocol::SampleCollide(mut p) => {
+                            p.deployment = Deployment::Shard(view);
+                            p
+                        }
+                        _ => unreachable!("spec re-build changed protocol class"),
+                    },
+                    scenario,
+                    heuristic,
+                    seed,
+                    series_name,
+                    opts,
+                    telemetry,
+                ),
+                AsyncProtocol::HopsSampling(_) => run_scenario_des_sharded(
+                    |_, view| match entry_protocol.build_async() {
+                        AsyncProtocol::HopsSampling(mut p) => {
+                            p.deployment = Deployment::Shard(view);
+                            p
+                        }
+                        _ => unreachable!("spec re-build changed protocol class"),
+                    },
+                    scenario,
+                    heuristic,
+                    seed,
+                    series_name,
+                    opts,
+                    telemetry,
+                ),
+                AsyncProtocol::Aggregation(_) => run_scenario_des_sharded(
+                    |_, view| match entry_protocol.build_async() {
+                        AsyncProtocol::Aggregation(mut p) => {
+                            p.deployment = Deployment::Shard(view);
+                            p
+                        }
+                        _ => unreachable!("spec re-build changed protocol class"),
+                    },
+                    scenario,
+                    heuristic,
+                    seed,
+                    series_name,
+                    opts,
+                    telemetry,
+                ),
+            }
         }
         ExecMode::Async => match entry_protocol.build_async() {
             AsyncProtocol::SampleCollide(mut p) => run_scenario_des_telemetry(
@@ -257,6 +332,7 @@ fn static_quality(
             .map_or(exp_seed, |s| derive_seed(exp_seed, s)),
         "raw".to_string(),
         None,
+        0,
     );
     let truth = spec.scenario.initial_size as f64;
     let raw = to_quality(&trace.estimates, truth, raw_label);
@@ -330,6 +406,7 @@ fn tracking(
                     seed,
                     series_name(i),
                     if i == 0 { tel } else { None },
+                    opts.shards,
                 )
             },
             |gi, (trace, snaps)| {
@@ -511,6 +588,7 @@ fn sweep_summary(
                         seed,
                         format!("Estimation #{}", i + 1),
                         if i == 0 { tel } else { None },
+                        opts.shards,
                     )
                 },
                 |_, (trace, snaps)| {
@@ -616,6 +694,55 @@ mod tests {
         for (sa, sb) in a.series.iter().zip(&b.series) {
             assert_eq!(sa.points, sb.points, "{}", sa.name);
         }
+    }
+
+    #[test]
+    fn sharded_option_runs_async_entries_deterministically() {
+        // A WAN aggregation entry on 2 shards: same bytes across reruns
+        // and across --jobs settings; a different (valid) realization than
+        // the sequential engine, which stays the `shards: 0` default.
+        let spec = ExperimentSpec {
+            backend: Backend::Des,
+            id: "t".to_string(),
+            title: "t".to_string(),
+            x_label: "step".to_string(),
+            y_label: "size".to_string(),
+            scenario: Scenario::static_network(1_200, 40)
+                .with_network(p2p_sim::NetworkModel::wan()),
+            protocols: vec![ProtocolRun::async_(
+                ProtocolSpec::parse("aggregation:rounds=20").unwrap(),
+            )],
+            replications: 2,
+            seed_stream: Some(9),
+            sweep: None,
+            presentation: Presentation::Tracking,
+        };
+        let run = |opts: &EngineOptions| {
+            let mut sink = crate::sink::FigureSink::new();
+            run_experiment(&spec, 7, opts, &mut sink);
+            sink.into_figure()
+        };
+        let sharded = EngineOptions {
+            shards: 2,
+            ..EngineOptions::default()
+        };
+        let a = run(&sharded);
+        let b = run(&sharded);
+        let c = run(&EngineOptions {
+            jobs: Some(1),
+            shards: 2,
+            ..EngineOptions::default()
+        });
+        let sequential = run(&EngineOptions::default());
+        assert_eq!(a.series.len(), sequential.series.len());
+        for (sa, sb) in a.series.iter().zip(&b.series) {
+            assert_eq!(sa.points, sb.points, "rerun: {}", sa.name);
+        }
+        for (sa, sc) in a.series.iter().zip(&c.series) {
+            assert_eq!(sa.points, sc.points, "jobs override: {}", sa.name);
+        }
+        // Replications still land on distinct derived seeds.
+        assert_ne!(a.series[1].points, a.series[2].points);
     }
 
     #[test]

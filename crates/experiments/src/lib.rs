@@ -32,6 +32,7 @@ pub mod figures;
 pub mod runner;
 pub mod scale;
 pub mod scenario;
+pub mod sharded;
 pub mod sink;
 pub mod spec;
 pub mod table;
@@ -40,5 +41,6 @@ pub use engine::{run_experiment, run_figure_spec, EngineOptions};
 pub use runner::{run_replications, run_scenario, Trace};
 pub use scale::ExperimentScale;
 pub use scenario::{Scenario, Topology};
+pub use sharded::{run_scenario_des_sharded, ShardOpts};
 pub use sink::{CsvSink, FigureSink, JsonLinesSink, ResultSink};
 pub use spec::{ExperimentSpec, NetworkSpec, Presentation, ProtocolRun, ScenarioSpec};

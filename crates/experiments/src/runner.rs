@@ -154,8 +154,14 @@ fn counter_set_total(reg: &mut Registry, id: CounterId, total: u64) {
 /// keep, so the per-event hot path gains only the batch-size observation —
 /// which is what keeps golden figure outputs byte-identical and the
 /// overhead within the BENCH_7 budget.
-struct TelemetrySession {
-    opts: TelemetryOpts,
+///
+/// Crate-visible so the sharded driver ([`crate::sharded`]) can run one
+/// session per shard (net/engine sampling) plus one coordinator session
+/// (overlay/convergence) and fold their snapshots with
+/// [`Snapshot::merge_from`] — every session registers the identical metric
+/// set, which is exactly the merge precondition.
+pub(crate) struct TelemetrySession {
+    pub(crate) opts: TelemetryOpts,
     reg: Registry,
     c_dispatched: CounterId,
     c_pool_hits: CounterId,
@@ -184,11 +190,11 @@ struct TelemetrySession {
     window: SlidingWindow,
     reports_seen: u64,
     series: String,
-    snapshots: Vec<Snapshot>,
+    pub(crate) snapshots: Vec<Snapshot>,
 }
 
 impl TelemetrySession {
-    fn new(opts: TelemetryOpts, series: String) -> Self {
+    pub(crate) fn new(opts: TelemetryOpts, series: String) -> Self {
         assert!(opts.every >= 1, "snapshot interval must be ≥ 1 step");
         let mut reg = Registry::new();
         TelemetrySession {
@@ -227,14 +233,14 @@ impl TelemetrySession {
 
     /// Hot-path observation: one dispatched batch of `len` simultaneous
     /// events.
-    fn observe_batch(&mut self, len: usize) {
+    pub(crate) fn observe_batch(&mut self, len: usize) {
         self.reg.hist_observe(self.h_batch_len, len as u64);
     }
 
     /// A reporting period closed with raw estimate `raw` while the true
     /// size was `truth`: feed the convergence window and latch time-to-ε
     /// the first time the windowed median enters the ±ε band.
-    fn on_report(&mut self, raw: f64, truth: f64, step: u64) {
+    pub(crate) fn on_report(&mut self, raw: f64, truth: f64, step: u64) {
         self.reports_seen += 1;
         self.window.push(raw);
         self.reg
@@ -251,6 +257,15 @@ impl TelemetrySession {
     /// Takes one interval snapshot at step `tick`, sampling every metric
     /// source the run already maintains.
     fn sample<M>(&mut self, tick: u64, net: &Network<M>, graph: &Graph) {
+        self.sample_core(net);
+        self.sample_overlay(graph);
+        self.snapshot_now(tick);
+    }
+
+    /// Samples the engine/network accounting of one event core. In a
+    /// sharded run each shard session calls this on its own [`Network`];
+    /// the untouched metrics stay zero and vanish under the snapshot fold.
+    pub(crate) fn sample_core<M>(&mut self, net: &Network<M>) {
         let es = net.engine_stats();
         counter_set_total(&mut self.reg, self.c_dispatched, es.dispatched);
         counter_set_total(&mut self.reg, self.c_pool_hits, es.pool_hits);
@@ -275,6 +290,14 @@ impl TelemetrySession {
                 sent.saturating_sub(delivered).saturating_sub(dropped),
             );
         }
+        self.reg.gauge_set(self.g_peak_depth, es.peak_depth as u64);
+        self.reg.gauge_set(self.g_pending, net.pending() as u64);
+    }
+
+    /// Samples the overlay gauges and the run-level report counter. In a
+    /// sharded run only the coordinator session calls this — the overlay
+    /// is shared, so sampling it once keeps the folded totals honest.
+    pub(crate) fn sample_overlay(&mut self, graph: &Graph) {
         let arrivals = graph.num_slots() as u64 + graph.slots_reused();
         counter_set_total(&mut self.reg, self.c_arrivals, arrivals);
         counter_set_total(
@@ -285,11 +308,14 @@ impl TelemetrySession {
         counter_set_total(&mut self.reg, self.c_slots_reused, graph.slots_reused());
         counter_set_total(&mut self.reg, self.c_compactions, graph.compactions());
         counter_set_total(&mut self.reg, self.c_reports, self.reports_seen);
-        self.reg.gauge_set(self.g_peak_depth, es.peak_depth as u64);
-        self.reg.gauge_set(self.g_pending, net.pending() as u64);
         self.reg.gauge_set(self.g_alive, graph.alive_count() as u64);
         self.reg
             .gauge_set(self.g_arena_bytes, graph.adjacency_bytes() as u64);
+    }
+
+    /// Closes one interval snapshot at step `tick` from whatever the
+    /// sampling calls above have staged in the registry.
+    pub(crate) fn snapshot_now(&mut self, tick: u64) {
         let mut snap = self.reg.snapshot(tick);
         snap.series = self.series.clone();
         self.snapshots.push(snap);
@@ -297,8 +323,10 @@ impl TelemetrySession {
 }
 
 /// The stream id the per-run network seed derives from (the protocol
-/// stream is the run seed itself; the two must never collide).
-const NET_SEED_STREAM: u64 = 0x006E_6574_776F_726B; // "network"
+/// stream is the run seed itself; the two must never collide). The sharded
+/// driver derives each shard's network seed from this same stream
+/// (`derive_seed(derive_seed(seed, NET_SEED_STREAM), shard)`).
+pub(crate) const NET_SEED_STREAM: u64 = 0x006E_6574_776F_726B; // "network"
 
 /// The stream id the per-run *workload* seed derives from. Model draws
 /// (lifetimes, Poisson counts, region choices) live on this stream, fully
@@ -309,7 +337,7 @@ const NET_SEED_STREAM: u64 = 0x006E_6574_776F_726B; // "network"
 pub const WORKLOAD_SEED_STREAM: u64 = 0x776F_726B_6C6F_6164; // "workload"
 
 /// The per-run execution state of a scenario's streamed churn source.
-struct WorkloadRuntime {
+pub(crate) struct WorkloadRuntime {
     model: Box<dyn ChurnModel>,
     rng: SmallRng,
     recorder: Option<TraceWriter<BufWriter<File>>>,
@@ -323,7 +351,7 @@ struct WorkloadRuntime {
 impl WorkloadRuntime {
     /// Resolves the scenario's source: builds the model (or opens the
     /// replay trace) and derives the dedicated workload stream.
-    fn new(source: &WorkloadSource, scenario: &Scenario, seed: u64) -> Self {
+    pub(crate) fn new(source: &WorkloadSource, scenario: &Scenario, seed: u64) -> Self {
         let (model, recorder): (Box<dyn ChurnModel>, _) = match source {
             WorkloadSource::Model(spec) => (spec.build(MAX_DEGREE), None),
             WorkloadSource::Record { spec, path } => {
@@ -365,14 +393,14 @@ impl WorkloadRuntime {
         }
     }
 
-    fn on_init(&mut self, graph: &Graph) {
+    pub(crate) fn on_init(&mut self, graph: &Graph) {
         self.model.on_init(graph, &mut self.rng);
     }
 
     /// One step of streamed churn: generate → record → apply → observe.
     /// Op application draws from `apply_rng` (the run's main stream),
     /// exactly like scheduled ops do.
-    fn step(&mut self, step: u64, graph: &mut Graph, apply_rng: &mut SmallRng) {
+    pub(crate) fn step(&mut self, step: u64, graph: &mut Graph, apply_rng: &mut SmallRng) {
         self.ops.clear();
         self.model.ops_at(step, graph, &mut self.rng, &mut self.ops);
         if let Some(rec) = self.recorder.as_mut() {
@@ -391,7 +419,7 @@ impl WorkloadRuntime {
     /// a session model must give scheduled arrivals lifetimes too, or a
     /// `growing` schedule under a session workload would mint immortal
     /// nodes. Consumes the same `apply_rng` draws as a plain `apply`.
-    fn observe_scheduled(
+    pub(crate) fn observe_scheduled(
         &mut self,
         step: u64,
         op: &p2p_overlay::churn::ChurnOp,
@@ -404,7 +432,7 @@ impl WorkloadRuntime {
             .observe_external(step, &self.delta, &mut self.rng);
     }
 
-    fn finish(&mut self) {
+    pub(crate) fn finish(&mut self) {
         if let Some(rec) = self.recorder.as_mut() {
             rec.flush().expect("workload trace flush failed");
         }

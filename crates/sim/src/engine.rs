@@ -69,6 +69,18 @@ impl EngineStats {
             self.pool_hits as f64 / total as f64
         }
     }
+
+    /// Folds another engine's counters into this one — the sharded runner's
+    /// whole-run totals, accumulated in shard-index order. `peak_depth` is
+    /// summed, not maxed: the shards' wheels are live simultaneously, so the
+    /// sum bounds the run's true peak pending population (and matches how
+    /// the cluster merge sums per-shard gauges).
+    pub fn merge_from(&mut self, other: &EngineStats) {
+        self.dispatched += other.dispatched;
+        self.peak_depth += other.peak_depth;
+        self.pool_hits += other.pool_hits;
+        self.pool_allocs += other.pool_allocs;
+    }
 }
 
 struct Entry<E> {
@@ -589,6 +601,69 @@ mod tests {
         assert_eq!(e.pop(), None);
         e.schedule_in(3, 7);
         assert_eq!(e.pop(), Some((SimTime(3), 7)));
+    }
+
+    /// The exact-cap partial-drain edge: a drain of precisely `cap` events
+    /// empties the bucket (clearing its occupancy bit), and a same-tick
+    /// schedule right after must re-set the bit and pop next in FIFO order;
+    /// with `cap + 1` events the remnant keeps the bit set and a mid-batch
+    /// same-tick schedule lands behind it.
+    #[test]
+    fn pop_bucket_exact_cap_keeps_fifo_and_occupancy() {
+        let cap = 8usize;
+        let mut e: Engine<u32> = Engine::new();
+        for i in 0..cap as u32 {
+            e.schedule_at(SimTime(5), i);
+        }
+        let mut batch = Vec::new();
+        assert_eq!(e.pop_bucket(&mut batch, cap), Some(SimTime(5)));
+        assert_eq!(batch, (0..cap as u32).collect::<Vec<_>>());
+        assert!(e.is_empty(), "exact-cap drain must empty the bucket");
+        // A handler scheduling back into the drained tick: the cleared
+        // occupancy bit must come back or these events are lost.
+        e.schedule_at(SimTime(5), 100);
+        e.schedule_at(SimTime(5), 101);
+        assert_eq!(e.pop_bucket(&mut batch, cap), Some(SimTime(5)));
+        assert_eq!(batch, vec![100, 101]);
+        assert_eq!(e.pop_bucket(&mut batch, cap), None);
+
+        // cap + 1: the partial drain leaves a remnant (bit stays set); a
+        // same-tick mid-batch schedule queues behind it, FIFO.
+        let mut e: Engine<u32> = Engine::new();
+        for i in 0..(cap as u32 + 1) {
+            e.schedule_at(SimTime(9), i);
+        }
+        assert_eq!(e.pop_bucket(&mut batch, cap), Some(SimTime(9)));
+        assert_eq!(batch.len(), cap);
+        e.schedule_at(SimTime(9), 200);
+        assert_eq!(e.pop_bucket(&mut batch, cap), Some(SimTime(9)));
+        assert_eq!(
+            batch,
+            vec![cap as u32, 200],
+            "remnant first, then the follow-up"
+        );
+    }
+
+    #[test]
+    fn engine_stats_merge_sums_all_fields() {
+        let a = EngineStats {
+            dispatched: 10,
+            peak_depth: 4,
+            pool_hits: 7,
+            pool_allocs: 3,
+        };
+        let mut total = EngineStats::default();
+        total.merge_from(&a);
+        total.merge_from(&EngineStats {
+            dispatched: 5,
+            peak_depth: 6,
+            pool_hits: 1,
+            pool_allocs: 0,
+        });
+        assert_eq!(total.dispatched, 15);
+        assert_eq!(total.peak_depth, 10);
+        assert_eq!(total.pool_hits, 8);
+        assert_eq!(total.pool_allocs, 3);
     }
 
     /// Replays a random schedule with heavy timestamp ties against the

@@ -29,7 +29,10 @@
 //!   experiment is reproducible and parallel replications are independent of
 //!   thread scheduling;
 //! * [`parallel`] — a small scoped-thread fan-out for embarrassingly parallel
-//!   replications (independent seeds/parameter points).
+//!   replications (independent seeds/parameter points);
+//! * [`shard`] — the cross-shard exchange buffers of the sharded parallel
+//!   DES: per-destination outbox lanes, (source-shard-index, FIFO) ordered
+//!   inbox draining, and the coordinator's lane-swapping exchange grid.
 //!
 //! ## The determinism contract
 //!
@@ -69,12 +72,13 @@ pub mod parallel;
 pub mod pool;
 pub mod rng;
 pub mod rounds;
+pub mod shard;
 pub mod time;
 
 pub use engine::{Engine, EngineStats};
 pub use latency::HopLatency;
 pub use message::{MessageCounter, MessageKind};
-pub use network::{NetEvent, NetStats, Network, NetworkModel};
+pub use network::{NetEvent, NetStats, Network, NetworkModel, RemoteMsg};
 pub use pool::PayloadPool;
 pub use rounds::{RoundClock, RoundSchedule};
 pub use time::SimTime;

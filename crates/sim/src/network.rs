@@ -167,6 +167,39 @@ impl NetStats {
     pub fn in_flight(&self) -> u64 {
         self.sent - self.delivered - self.dropped - self.churn_lost
     }
+
+    /// Folds another network's accounting into this one — the sharded
+    /// runner's whole-run totals, accumulated in shard-index order.
+    /// Cross-shard traffic stays consistent because a remote send is
+    /// counted `sent` at the source shard and `delivered`/`dropped` at
+    /// exactly one shard (drops at the source, deliveries at the
+    /// destination), so the merged sum partitions like a single network's.
+    pub fn merge_from(&mut self, other: &NetStats) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.churn_lost += other.churn_lost;
+    }
+}
+
+/// A cross-shard message in transit between two shards' networks: routed
+/// out of the source shard's [`Network`] by
+/// [`route_remote`](Network::route_remote) (which already consumed the
+/// latency/drop draws and resolved the delivery tick) and enqueued into the
+/// destination shard's wheel by [`enqueue_remote`](Network::enqueue_remote).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RemoteMsg<M> {
+    /// Sending node slot.
+    pub src: u32,
+    /// Receiving node slot (hosted by the destination shard).
+    pub dst: u32,
+    /// Absolute delivery tick (≥ send tick + 1: the conservative-lookahead
+    /// guarantee tick-barrier synchronization relies on).
+    pub at: SimTime,
+    /// Traffic class the send was charged as.
+    pub kind: MessageKind,
+    /// The payload.
+    pub msg: M,
 }
 
 /// An event dispatched by the [`Network`].
@@ -396,6 +429,69 @@ impl<M> Network<M> {
         self.engine.schedule_in(delay, event);
     }
 
+    /// Routes a message whose destination lives on *another shard*: charges
+    /// the send and consumes the model's latency/drop draws exactly like
+    /// [`send`](Self::send) (same private stream, same send-order
+    /// discipline), but clamps the delay to ≥ 1 tick — the cross-shard
+    /// lookahead that lets every shard execute a full tick before the
+    /// barrier exchange. Returns the resolved in-transit message for the
+    /// caller to buffer toward the destination shard, or `None` when the
+    /// model dropped it — the drop is then scheduled *locally* at the
+    /// would-be delivery tick, so this (sending) shard's protocol instance
+    /// observes `on_loss` with no cross-shard round trip.
+    pub fn route_remote(
+        &mut self,
+        src: u32,
+        dst: u32,
+        kind: MessageKind,
+        msg: M,
+    ) -> Option<RemoteMsg<M>> {
+        self.counter.count(kind);
+        self.stats.sent += 1;
+        let base = self.model.latency.sample(&mut self.rng);
+        let delay = ((base * self.link_factor(src, dst)).round().max(0.0) as u64).max(1);
+        let dropped = self.model.drop_rate > 0.0 && self.rng.gen::<f64>() < self.model.drop_rate;
+        if dropped {
+            let payload = self.pool.insert(msg);
+            self.engine.schedule_in(
+                delay,
+                QueuedEvent::Drop {
+                    src,
+                    dst,
+                    payload,
+                    kind,
+                },
+            );
+            return None;
+        }
+        Some(RemoteMsg {
+            src,
+            dst,
+            at: self.engine.now() + delay,
+            kind,
+            msg,
+        })
+    }
+
+    /// Enqueues a message routed out of another shard by
+    /// [`route_remote`](Network::route_remote) into this (destination)
+    /// shard's wheel at its resolved delivery tick. The delivery is counted
+    /// here, so merged per-shard [`NetStats`] partition exactly like a
+    /// single network's. Callers must enqueue in (source-shard-index, FIFO)
+    /// order — that ordering *is* the sharded determinism contract.
+    pub fn enqueue_remote(&mut self, m: RemoteMsg<M>) {
+        let payload = self.pool.insert(m.msg);
+        self.engine.schedule_at(
+            m.at,
+            QueuedEvent::Deliver {
+                src: m.src,
+                dst: m.dst,
+                payload,
+                kind: m.kind,
+            },
+        );
+    }
+
     /// Schedules a protocol timer at `node`, `delay` ticks from now.
     pub fn schedule_timer_in(&mut self, delay: u64, node: u32, tag: u64) {
         self.engine
@@ -495,6 +591,38 @@ impl<M> Network<M> {
                 None
             }
         }
+    }
+
+    /// [`pop_batch`](Self::pop_batch) bounded by a horizon: drains the next
+    /// simultaneous batch if it is due at or before `horizon`, otherwise
+    /// returns `None` (leaving later events queued) and parks the clock at
+    /// `horizon`. The batched form of [`pop_until`](Self::pop_until) — what
+    /// a barrier-synchronized shard uses to execute exactly one agreed tick.
+    pub fn pop_batch_until(
+        &mut self,
+        horizon: SimTime,
+        out: &mut Vec<NetEvent<M>>,
+    ) -> Option<SimTime> {
+        match self.engine.peek_time() {
+            Some(t) if t <= horizon => self.pop_batch(out),
+            _ => {
+                out.clear();
+                self.engine.advance_to(horizon);
+                None
+            }
+        }
+    }
+
+    /// Advances the clock to `t` without dispatching anything (see
+    /// [`Engine::advance_to`]): the sharded driver parks every shard at the
+    /// agreed barrier tick before running its step handler, so sends from
+    /// `on_step` are timestamped relative to the tick being executed even
+    /// on shards that had no events of their own.
+    ///
+    /// # Panics
+    /// Panics if an event earlier than `t` is still pending.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.engine.advance_to(t);
     }
 }
 
@@ -757,5 +885,109 @@ mod tests {
         assert!(NetworkModel::ideal().is_ideal());
         assert!(!NetworkModel::wan().is_ideal());
         assert!(!NetworkModel::ideal().with_drop_rate(0.1).is_ideal());
+    }
+
+    #[test]
+    fn route_remote_enforces_the_one_tick_lookahead() {
+        // Zero-latency model: a local send delivers at the current tick,
+        // but a remote route must resolve at least one tick out.
+        let mut src: Network<u32> = Network::new(NetworkModel::ideal(), 21);
+        let m = src.route_remote(0, 1, MessageKind::Control, 7).unwrap();
+        assert_eq!(m.at, SimTime(1), "remote delay clamps to ≥ 1 tick");
+        assert_eq!(src.stats().sent, 1, "charged at the source");
+        assert_eq!(src.counter().get(MessageKind::Control), 1);
+
+        let mut dst: Network<u32> = Network::new(NetworkModel::ideal(), 22);
+        dst.enqueue_remote(m);
+        let (t, ev) = dst.pop().unwrap();
+        assert_eq!(t, SimTime(1));
+        assert_eq!(
+            ev,
+            NetEvent::Deliver {
+                src: 0,
+                dst: 1,
+                msg: 7
+            }
+        );
+        assert_eq!(dst.stats().delivered, 1, "counted at the destination");
+        assert_eq!(dst.stats().sent, 0);
+    }
+
+    #[test]
+    fn remote_drops_surface_at_the_sending_shard() {
+        let model = NetworkModel::ideal()
+            .with_latency(HopLatency::Constant(50.0))
+            .with_drop_rate(1.0);
+        let mut src: Network<&str> = Network::new(model, 23);
+        assert!(src
+            .route_remote(0, 1, MessageKind::Control, "doomed")
+            .is_none());
+        assert_eq!(src.stats().sent, 1, "a dropped remote send was still sent");
+        let (t, ev) = src.pop().unwrap();
+        assert_eq!(t.ticks(), 50, "loss observed at the would-be delivery tick");
+        assert!(matches!(ev, NetEvent::Drop { msg: "doomed", .. }));
+        assert_eq!(src.stats().dropped, 1);
+    }
+
+    #[test]
+    fn route_remote_consumes_draws_in_send_order_like_send() {
+        // Mixed local/remote sends must march through the same private
+        // stream: replaying the same mix reproduces delays bit for bit.
+        let model = NetworkModel::wan().with_drop_rate(0.1);
+        let run = || {
+            let mut net: Network<u64> = Network::new(model, 24);
+            let mut outcome = Vec::new();
+            for i in 0..100u64 {
+                if i % 3 == 0 {
+                    outcome.push(
+                        net.route_remote(0, 1, MessageKind::Control, i)
+                            .map(|m| m.at),
+                    );
+                } else {
+                    net.send(0, 1, MessageKind::Control, i);
+                }
+            }
+            (outcome, drain(&mut net))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn pop_batch_until_respects_the_horizon_and_parks_the_clock() {
+        let mut net: Network<u32> = Network::new(
+            NetworkModel::ideal().with_latency(HopLatency::Constant(30.0)),
+            25,
+        );
+        net.send(0, 1, MessageKind::Control, 1);
+        net.send(0, 2, MessageKind::Control, 2);
+        let mut batch = Vec::new();
+        assert!(net.pop_batch_until(SimTime(10), &mut batch).is_none());
+        assert!(batch.is_empty());
+        assert_eq!(net.now(), SimTime(10));
+        assert_eq!(net.pending(), 2);
+        assert_eq!(
+            net.pop_batch_until(SimTime(30), &mut batch),
+            Some(SimTime(30))
+        );
+        assert_eq!(batch.len(), 2);
+        assert!(net.pop_batch_until(SimTime(40), &mut batch).is_none());
+        assert_eq!(net.now(), SimTime(40));
+    }
+
+    #[test]
+    fn net_stats_merge_partitions_cross_shard_traffic() {
+        let mut a: Network<u32> = Network::new(NetworkModel::ideal(), 26);
+        let mut b: Network<u32> = Network::new(NetworkModel::ideal(), 27);
+        a.send(0, 2, MessageKind::Control, 1); // local on shard a
+        let m = a.route_remote(0, 1, MessageKind::Control, 2).unwrap();
+        b.enqueue_remote(m);
+        while a.pop().is_some() {}
+        while b.pop().is_some() {}
+        let mut total = NetStats::default();
+        total.merge_from(a.stats());
+        total.merge_from(b.stats());
+        assert_eq!(total.sent, 2);
+        assert_eq!(total.delivered, 2);
+        assert_eq!(total.in_flight(), 0);
     }
 }

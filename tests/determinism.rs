@@ -86,7 +86,7 @@ fn streamed_output_bytes_are_identical_across_runs() {
                 20060619,
                 &EngineOptions {
                     jobs: Some(2),
-                    metrics: None,
+                    ..EngineOptions::default()
                 },
                 &mut sink,
             );
